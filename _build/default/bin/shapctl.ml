@@ -1,0 +1,238 @@
+(* shapctl — command-line front end.
+
+   Subcommands:
+     classify  classify a CQ into the hierarchy classes and report the
+               tractability frontier for every aggregate function
+     eval      evaluate an aggregate query on a database file
+     solve     compute Shapley values (all endogenous facts, or one)
+
+   The value function is given as COLON-separated spec:
+     id:REL:POS | relu:REL:POS | gt:REL:POS:BOUND | const:REL:VALUE *)
+
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Parser = Aggshap_cq.Parser
+module Hierarchy = Aggshap_cq.Hierarchy
+module Database = Aggshap_relational.Database
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Agg_query = Aggshap_agg.Agg_query
+module Solver = Aggshap_core.Solver
+module Monte_carlo = Aggshap_core.Monte_carlo
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("shapctl: " ^ s); exit 1) fmt
+
+let parse_query_arg s =
+  match Parser.parse_query s with
+  | Ok q -> q
+  | Error msg -> die "cannot parse query %S: %s" s msg
+
+let read_database path =
+  let contents =
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg -> die "%s" msg
+  in
+  match Parser.parse_database contents with
+  | Ok db -> db
+  | Error msg -> die "cannot parse database %s: %s" path msg
+
+let parse_tau_spec q spec =
+  let check_rel rel =
+    if not (List.mem rel (Cq.relations q)) then
+      die "value function relation %s is not an atom of the query" rel;
+    rel
+  in
+  match String.split_on_char ':' spec with
+  | [ "id"; rel; pos ] -> Value_fn.id ~rel:(check_rel rel) ~pos:(int_of_string pos)
+  | [ "relu"; rel; pos ] -> Value_fn.relu ~rel:(check_rel rel) ~pos:(int_of_string pos)
+  | [ "gt"; rel; pos; bound ] ->
+    Value_fn.gt ~rel:(check_rel rel) ~pos:(int_of_string pos) (Q.of_string bound)
+  | [ "const"; rel; value ] -> Value_fn.const ~rel:(check_rel rel) (Q.of_string value)
+  | _ -> die "cannot parse value function spec %S" spec
+
+let default_tau q =
+  match Cq.relations q with
+  | rel :: _ -> Value_fn.const ~rel Q.one
+  | [] -> die "query has no atoms"
+
+let parse_agg s =
+  match Aggregate.of_string s with
+  | Ok a -> a
+  | Error msg -> die "%s" msg
+
+let warn_schema q db =
+  match Aggshap_relational.Schema.check_database (Cq.induced_schema q) db with
+  | Ok () -> ()
+  | Error msgs ->
+    List.iter
+      (fun m -> Printf.eprintf "shapctl: warning: %s (treated as a null player)\n" m)
+      msgs
+
+let make_agg_query agg_s tau_s query =
+  let alpha = parse_agg agg_s in
+  let tau =
+    match tau_s with Some s -> parse_tau_spec query s | None -> default_tau query
+  in
+  try Agg_query.make alpha tau query with Invalid_argument msg -> die "%s" msg
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_classify query_s =
+  let q = parse_query_arg query_s in
+  Printf.printf "query: %s\n" (Cq.to_string q);
+  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string (Hierarchy.classify q));
+  Printf.printf "%-18s %-22s %s\n" "aggregate" "frontier" "tractable here?";
+  List.iter
+    (fun alpha ->
+      Printf.printf "%-18s %-22s %s\n"
+        (Aggregate.to_string alpha)
+        (Hierarchy.cls_to_string (Solver.frontier alpha))
+        (if Solver.within_frontier alpha q then "yes (polynomial)" else "no (#P-hard)"))
+    Aggregate.all;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_eval query_s db_path agg_s tau_s =
+  let q = parse_query_arg query_s in
+  let db = read_database db_path in
+  warn_schema q db;
+  let a = make_agg_query agg_s tau_s q in
+  let value = try Agg_query.eval a db with Invalid_argument msg -> die "%s" msg in
+  Printf.printf "%s = %s (~ %g)\n" agg_s (Q.to_string value) (Q.to_float value);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_fallback = function
+  | "naive" -> `Naive
+  | "fail" -> `Fail
+  | s when String.length s > 3 && String.sub s 0 3 = "mc:" ->
+    `Monte_carlo (int_of_string (String.sub s 3 (String.length s - 3)))
+  | s -> die "unknown fallback %S (use naive, fail, or mc:SAMPLES)" s
+
+let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s =
+  let q = parse_query_arg query_s in
+  let db = read_database db_path in
+  warn_schema q db;
+  let a = make_agg_query agg_s tau_s q in
+  let fallback = parse_fallback fallback_s in
+  if score_s = "banzhaf" then begin
+    (try
+       List.iter
+         (fun f ->
+           Printf.printf "%-30s %s\n"
+             (Aggshap_relational.Fact.to_string f)
+             (Q.to_string (Aggshap_core.Solver.banzhaf a db f)))
+         (match fact_s with
+          | None -> Database.endogenous db
+          | Some s -> (
+            match Parser.parse_fact s with
+            | Ok (f, _) -> [ f ]
+            | Error msg -> die "cannot parse fact %S: %s" s msg))
+     with Invalid_argument msg -> die "%s" msg);
+    0
+  end
+  else if score_s <> "shapley" then die "unknown score %S (use shapley or banzhaf)" score_s
+  else begin
+  let print_outcome fact outcome =
+    match outcome with
+    | Solver.Exact v ->
+      Printf.printf "%-30s %s (~ %g)\n"
+        (Aggshap_relational.Fact.to_string fact)
+        (Q.to_string v) (Q.to_float v)
+    | Solver.Estimate e ->
+      Printf.printf "%-30s %.6f ± %.6f (%d samples)\n"
+        (Aggshap_relational.Fact.to_string fact)
+        e.Monte_carlo.mean e.Monte_carlo.std_error e.Monte_carlo.samples
+  in
+  (try
+     match fact_s with
+     | Some s -> begin
+       match Parser.parse_fact s with
+       | Error msg -> die "cannot parse fact %S: %s" s msg
+       | Ok (f, _) ->
+         let outcome, report = Solver.shapley ~fallback a db f in
+         Printf.printf "class: %s; algorithm: %s\n" (Hierarchy.cls_to_string report.Solver.cls)
+           report.Solver.algorithm;
+         print_outcome f outcome
+     end
+     | None ->
+       let results, report = Solver.shapley_all ~fallback a db in
+       Printf.printf "class: %s; algorithm: %s\n" (Hierarchy.cls_to_string report.Solver.cls)
+         report.Solver.algorithm;
+       List.iter (fun (f, o) -> print_outcome f o) results
+   with Invalid_argument msg -> die "%s" msg);
+  0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let query_arg =
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY"
+         ~doc:"Conjunctive query, e.g. 'Q(x) <- R(x,y), S(y)'.")
+
+let db_arg =
+  Arg.(required & opt (some string) None & info [ "d"; "database" ] ~docv:"FILE"
+         ~doc:"Database file: one fact per line, e.g. 'R(1,2)' or 'S(3) @exo'.")
+
+let agg_arg =
+  Arg.(value & opt string "count" & info [ "a"; "aggregate" ] ~docv:"AGG"
+         ~doc:"Aggregate function: sum, count, count-distinct, min, max, avg, \
+               median, quantile:P/Q, has-duplicates.")
+
+let tau_arg =
+  Arg.(value & opt (some string) None & info [ "t"; "tau" ] ~docv:"SPEC"
+         ~doc:"Value function: id:REL:POS, relu:REL:POS, gt:REL:POS:BOUND, \
+               const:REL:VALUE. Defaults to the constant 1.")
+
+let fact_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "fact" ] ~docv:"FACT"
+         ~doc:"Restrict to one endogenous fact, e.g. 'R(1,2)'.")
+
+let score_arg =
+  Arg.(value & opt string "shapley" & info [ "score" ] ~docv:"SCORE"
+         ~doc:"Attribution score: shapley (default) or banzhaf.")
+
+let fallback_arg =
+  Arg.(value & opt string "naive" & info [ "fallback" ] ~docv:"MODE"
+         ~doc:"What to do outside the tractability frontier: naive (exact, \
+               exponential), mc:SAMPLES (Monte Carlo), or fail.")
+
+let classify_cmd =
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a CQ and print its per-aggregate tractability")
+    Term.(const run_classify $ query_arg)
+
+let eval_cmd =
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate an aggregate query over a database")
+    Term.(const run_eval $ query_arg $ db_arg $ agg_arg $ tau_arg)
+
+let solve_cmd =
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute Shapley values of endogenous facts")
+    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "shapctl" ~version:"1.0.0"
+       ~doc:"Shapley values for aggregate conjunctive queries")
+    [ classify_cmd; eval_cmd; solve_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

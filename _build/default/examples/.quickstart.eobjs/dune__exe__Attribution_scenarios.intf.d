@@ -1,0 +1,1 @@
+examples/attribution_scenarios.mli:

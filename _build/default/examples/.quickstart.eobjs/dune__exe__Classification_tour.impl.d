@@ -1,0 +1,1 @@
+examples/classification_tour.ml: Aggshap_agg Aggshap_core Aggshap_cq Aggshap_workload List Printf String

@@ -1,0 +1,1 @@
+examples/classification_tour.mli:

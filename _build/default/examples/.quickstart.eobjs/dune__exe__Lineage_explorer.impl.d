@@ -1,0 +1,1 @@
+examples/lineage_explorer.ml: Aggshap_arith Aggshap_core Aggshap_cq Aggshap_relational Array Format List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggshap_agg Aggshap_arith Aggshap_core Aggshap_cq Aggshap_relational List Printf

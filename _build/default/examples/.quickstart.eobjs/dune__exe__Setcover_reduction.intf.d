@@ -1,0 +1,1 @@
+examples/setcover_reduction.mli:

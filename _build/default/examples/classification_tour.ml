@@ -1,0 +1,44 @@
+(* A tour of Figure 1: classify the paper's example CQs and print, for
+   every (query, aggregate) pair, which side of the tractability
+   frontier it falls on. *)
+
+module Cq = Aggshap_cq.Cq
+module Hierarchy = Aggshap_cq.Hierarchy
+module Aggregate = Aggshap_agg.Aggregate
+module Solver = Aggshap_core.Solver
+module Catalog = Aggshap_workload.Catalog
+
+let () =
+  print_endline "Containment chain (Figure 1):";
+  print_endline
+    "  sq-hierarchical ⊂ q-hierarchical ⊂ all-hierarchical ⊂ ∃-hierarchical ⊂ general";
+  print_endline "";
+  print_endline "Tractability frontiers:";
+  List.iter
+    (fun alpha ->
+      Printf.printf "  %-16s %s\n" (Aggregate.to_string alpha)
+        (Hierarchy.cls_to_string (Solver.frontier alpha)))
+    Aggregate.all;
+  print_endline "";
+
+  Printf.printf "%-36s %-22s" "query" "class";
+  List.iter (fun alpha ->
+      let s = Aggregate.to_string alpha in
+      let s = if String.length s > 6 then String.sub s 0 6 else s in
+      Printf.printf " %-6s" s)
+    Aggregate.all;
+  print_newline ();
+  List.iter
+    (fun (name, q, _) ->
+      Printf.printf "%-36s %-22s" name (Hierarchy.cls_to_string (Hierarchy.classify q));
+      List.iter
+        (fun alpha ->
+          Printf.printf " %-6s" (if Solver.within_frontier alpha q then "poly" else "#P"))
+        Aggregate.all;
+      print_newline ())
+    Catalog.figure1;
+  print_endline "";
+  print_endline
+    "(\"poly\": polynomial for every localized value function; \"#P\": some";
+  print_endline
+    " localized value function makes the Shapley value FP^#P-complete.)"

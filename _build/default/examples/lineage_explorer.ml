@@ -1,0 +1,59 @@
+(* Lineage explorer: knowledge compilation for membership games
+   (Remark 4.5).
+
+   The Boolean lineage of a hierarchical CQ factorizes into a read-once
+   tree of independent ⊗ (and) and ⊕ (or) nodes. This example compiles
+   the lineage of the minimal interesting query on a small database,
+   prints it, and shows that Shapley values fall out of a linear pass
+   over the compiled tree. *)
+
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Parser = Aggshap_cq.Parser
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Dtree = Aggshap_core.Dtree
+
+let query = Parser.parse_query_exn "Q() <- R(x, y), S(y)"
+
+let database =
+  Database.of_list
+    [ (Fact.of_ints "R" [ 1; 10 ], Database.Endogenous);
+      (Fact.of_ints "R" [ 2; 10 ], Database.Endogenous);
+      (Fact.of_ints "R" [ 3; 20 ], Database.Endogenous);
+      (Fact.of_ints "R" [ 4; 99 ], Database.Endogenous) (* joins with nothing *);
+      (Fact.of_ints "S" [ 10 ], Database.Endogenous);
+      (Fact.of_ints "S" [ 20 ], Database.Exogenous);
+    ]
+
+let () =
+  Printf.printf "Query (as Boolean): %s\n" (Cq.to_string query);
+  Printf.printf "Database: %d facts (%d endogenous)\n\n" (Database.size database)
+    (Database.endo_size database);
+
+  let tree = Dtree.compile query database in
+  Format.printf "Compiled read-once lineage:@.  %a@.@." Dtree.pp tree;
+  Printf.printf "tree size: %d nodes; read-once: %b; literals: %d\n\n" (Dtree.size tree)
+    (Dtree.is_read_once tree)
+    (List.length (Dtree.facts tree));
+
+  (* The fact R(4,99) joins with nothing: it does not even appear in the
+     lineage, and its Shapley value is 0 (null player). *)
+  Printf.printf "Shapley values of the membership game, from the compiled tree:\n";
+  List.iter
+    (fun f ->
+      let v = Dtree.shapley tree database f in
+      let cross = Aggshap_core.Boolean_dp.shapley query database f in
+      assert (Q.equal v cross);
+      Printf.printf "  %-12s %8s (~ %.4f)\n" (Fact.to_string f) (Q.to_string v)
+        (Q.to_float v))
+    (Database.endogenous database);
+
+  (* Satisfying-subset counts by coalition size — the sum_k view. *)
+  let counts = Dtree.satisfying_counts tree database in
+  Printf.printf "\nsatisfying k-subsets: ";
+  Array.iteri
+    (fun k c -> Printf.printf "%s%d:%s" (if k > 0 then ", " else "") k
+        (Aggshap_arith.Bigint.to_string c))
+    counts;
+  print_newline ()

@@ -1,0 +1,115 @@
+(* Quickstart: the paper's running example (Examples 2.2 and 2.3).
+
+   An educational institute stores salaries, enrolments and courses:
+
+     Earns(person, salary)   Took(person, course)   Course(name, number)
+
+   The AggCQ "average salary of people who took a course" is
+   Avg ∘ salary ∘ (Q(p,s) ← Earns(p,s), Took(p,c), Course(n,c)). We make
+   the Course facts endogenous and ask: how much does each course
+   contribute to the average salary? *)
+
+module Q = Aggshap_arith.Rational
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Parser = Aggshap_cq.Parser
+module Hierarchy = Aggshap_cq.Hierarchy
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Agg_query = Aggshap_agg.Agg_query
+module Solver = Aggshap_core.Solver
+
+let query = Parser.parse_query_exn "Q(p, s) <- Earns(p, s), Took(p, c), Course(n, c)"
+
+let database =
+  let exo = Database.Exogenous in
+  Database.of_list
+    [ (* People and salaries (context: taken for granted). *)
+      (Fact.of_ints "Earns" [ 1; 90 ], exo);
+      (Fact.of_ints "Earns" [ 2; 120 ], exo);
+      (Fact.of_ints "Earns" [ 3; 50 ], exo);
+      (Fact.of_ints "Earns" [ 4; 200 ], exo);
+      (* Enrolments. *)
+      (Fact.of_ints "Took" [ 1; 101 ], exo);
+      (Fact.of_ints "Took" [ 2; 101 ], exo);
+      (Fact.of_ints "Took" [ 2; 102 ], exo);
+      (Fact.of_ints "Took" [ 3; 102 ], exo);
+      (Fact.of_ints "Took" [ 4; 103 ], exo);
+      (* Courses: the players whose contribution we measure. *)
+      (Fact.of_ints "Course" [ 9101; 101 ], Database.Endogenous);
+      (Fact.of_ints "Course" [ 9102; 102 ], Database.Endogenous);
+      (Fact.of_ints "Course" [ 9103; 103 ], Database.Endogenous);
+    ]
+
+let salary = Value_fn.id ~rel:"Earns" ~pos:1
+
+let () =
+  let avg_salary = Agg_query.make Aggregate.Avg salary query in
+  Printf.printf "Query: %s\n" (Aggshap_cq.Cq.to_string query);
+  Printf.printf "Class: %s\n"
+    (Hierarchy.cls_to_string (Hierarchy.classify query));
+  Printf.printf "A(D) = average salary of course takers = %s\n\n"
+    (Q.to_string (Agg_query.eval avg_salary database));
+
+  (* This CQ is only ∃-hierarchical (the paper's own running example sits
+     beyond the Avg frontier), so the solver falls back to exact
+     enumeration — fine at this size, and the report says so. *)
+  let results, report = Solver.shapley_all avg_salary database in
+  Printf.printf "Shapley contribution of each course to the average salary\n";
+  Printf.printf "(algorithm: %s)\n" report.Solver.algorithm;
+  let total = ref Q.zero in
+  List.iter
+    (fun (f, outcome) ->
+      match outcome with
+      | Solver.Exact v ->
+        total := Q.add !total v;
+        Printf.printf "  %-22s %8s (~ %+.3f)\n" (Fact.to_string f) (Q.to_string v)
+          (Q.to_float v)
+      | Solver.Estimate _ -> assert false)
+    results;
+  (* Efficiency axiom: contributions add up to A(D) − A(Dˣ). *)
+  Printf.printf "  %-22s %8s\n\n" "total (= A(D) - A(Dx))" (Q.to_string !total);
+
+  (* For Count the same query is inside the frontier and the polynomial
+     algorithm runs. *)
+  let count_takers = Agg_query.make Aggregate.Count salary query in
+  let results, report = Solver.shapley_all ~fallback:`Fail count_takers database in
+  Printf.printf "Shapley contribution of each course to the NUMBER of takers\n";
+  Printf.printf "(algorithm: %s)\n" report.Solver.algorithm;
+  List.iter
+    (fun (f, outcome) ->
+      match outcome with
+      | Solver.Exact v ->
+        Printf.printf "  %-22s %8s\n" (Fact.to_string f) (Q.to_string v)
+      | Solver.Estimate _ -> assert false)
+    results;
+
+  (* A q-hierarchical variant — drop the course-name attribute and join
+     directly on the course number — brings Avg inside the frontier. *)
+  let query_q = Parser.parse_query_exn "Q(p, s) <- Earns(p, s), Took(p, c)" in
+  let avg_q = Agg_query.make Aggregate.Avg salary query_q in
+  (* Same data, but now the enrolments are the players. *)
+  let db_q =
+    Database.fold
+      (fun (f : Fact.t) p acc ->
+        match f.Fact.rel with
+        | "Course" -> acc
+        | "Took" -> Database.add ~provenance:Database.Endogenous f acc
+        | _ -> Database.add ~provenance:p f acc)
+      database Database.empty
+  in
+  let results, report = Solver.shapley_all ~fallback:`Fail avg_q db_q in
+  Printf.printf "\nVariant without the Course relation: %s\n"
+    (Aggshap_cq.Cq.to_string query_q);
+  Printf.printf "Class: %s; algorithm: %s\n"
+    (Hierarchy.cls_to_string (Hierarchy.classify query_q))
+    report.Solver.algorithm;
+  Printf.printf "Shapley contribution of each enrolment to the average salary\n";
+  List.iter
+    (fun (f, outcome) ->
+      match outcome with
+      | Solver.Exact v ->
+        Printf.printf "  %-22s %8s (~ %+.3f)\n" (Fact.to_string f) (Q.to_string v)
+          (Q.to_float v)
+      | Solver.Estimate _ -> assert false)
+    results

@@ -1,0 +1,1 @@
+lib/agg/agg_query.ml: Aggregate Aggshap_arith Aggshap_cq Aggshap_relational Array Bag Format List Map Printf Stdlib String Value_fn

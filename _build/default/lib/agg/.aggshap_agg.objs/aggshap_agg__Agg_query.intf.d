@@ -1,0 +1,1 @@
+lib/agg/agg_query.mli: Aggregate Aggshap_arith Aggshap_cq Aggshap_relational Bag Format Value_fn

@@ -1,0 +1,1 @@
+lib/agg/aggregate.ml: Aggshap_arith Bag Format Option String

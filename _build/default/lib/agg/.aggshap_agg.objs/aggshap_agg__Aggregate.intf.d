@@ -1,0 +1,1 @@
+lib/agg/aggregate.mli: Aggshap_arith Bag Format

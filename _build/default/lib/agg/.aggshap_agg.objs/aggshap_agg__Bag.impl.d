@@ -1,0 +1,1 @@
+lib/agg/bag.ml: Aggshap_arith Format List Map Option

@@ -1,0 +1,1 @@
+lib/agg/bag.mli: Aggshap_arith Format

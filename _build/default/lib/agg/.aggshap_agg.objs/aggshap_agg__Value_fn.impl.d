@@ -1,0 +1,1 @@
+lib/agg/value_fn.ml: Aggshap_arith Aggshap_relational Array Format Printf

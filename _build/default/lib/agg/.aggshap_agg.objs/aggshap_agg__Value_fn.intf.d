@@ -1,0 +1,1 @@
+lib/agg/value_fn.mli: Aggshap_arith Aggshap_relational Format

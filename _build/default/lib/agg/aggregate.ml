@@ -1,0 +1,96 @@
+module Q = Aggshap_arith.Rational
+
+type t =
+  | Sum
+  | Count
+  | Count_distinct
+  | Min
+  | Max
+  | Avg
+  | Median
+  | Quantile of Q.t
+  | Has_duplicates
+
+let quantile_of = function
+  | Median -> Some Q.half
+  | Quantile q -> Some q
+  | Sum | Count | Count_distinct | Min | Max | Avg | Has_duplicates -> None
+
+let check_quantile q =
+  if Q.compare q Q.zero <= 0 || Q.compare q Q.one >= 0 then
+    invalid_arg "Aggregate: quantile parameter must lie in (0,1)"
+
+(* Qnt_q(B) = (x_⌈q|B|⌉ + x_⌊q|B|+1⌋) / 2 where x_i is the i-th smallest
+   element (1-based). The "smallest" reading is the one consistent with
+   the paper's own use in Lemma D.4. *)
+let quantile q bag =
+  check_quantile q;
+  let n = Bag.size bag in
+  if n = 0 then Q.zero
+  else begin
+    let qn = Q.mul_int q n in
+    let i1 = Aggshap_arith.Bigint.to_int_exn (Q.ceil qn) in
+    let i2 = Aggshap_arith.Bigint.to_int_exn (Q.floor (Q.add qn Q.one)) in
+    let nth_smallest i =
+      (* 1-based rank in the multiset. *)
+      let rec go remaining = function
+        | [] -> invalid_arg "Aggregate.quantile: rank out of range"
+        | (v, m) :: rest -> if remaining <= m then v else go (remaining - m) rest
+      in
+      go i (Bag.to_sorted_list bag)
+    in
+    Q.div_int (Q.add (nth_smallest i1) (nth_smallest i2)) 2
+  end
+
+let apply t bag =
+  if Bag.is_empty bag then Q.zero
+  else
+    match t with
+    | Sum -> Bag.sum bag
+    | Count -> Q.of_int (Bag.size bag)
+    | Count_distinct -> Q.of_int (Bag.distinct bag)
+    | Min -> Option.get (Bag.min_elt bag)
+    | Max -> Option.get (Bag.max_elt bag)
+    | Avg -> Q.div_int (Bag.sum bag) (Bag.size bag)
+    | Median -> quantile Q.half bag
+    | Quantile q -> quantile q bag
+    | Has_duplicates -> if Bag.has_duplicates bag then Q.one else Q.zero
+
+let is_constant_per_singleton = function
+  | Min | Max | Count_distinct | Avg | Median | Quantile _ -> true
+  | Sum | Count | Has_duplicates -> false
+
+let all = [ Sum; Count; Count_distinct; Min; Max; Avg; Median; Has_duplicates ]
+
+let to_string = function
+  | Sum -> "sum"
+  | Count -> "count"
+  | Count_distinct -> "count-distinct"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+  | Median -> "median"
+  | Quantile q -> "quantile:" ^ Q.to_string q
+  | Has_duplicates -> "has-duplicates"
+
+let of_string s =
+  match s with
+  | "sum" -> Ok Sum
+  | "count" -> Ok Count
+  | "count-distinct" | "cdist" -> Ok Count_distinct
+  | "min" -> Ok Min
+  | "max" -> Ok Max
+  | "avg" | "average" -> Ok Avg
+  | "median" | "med" -> Ok Median
+  | "has-duplicates" | "dup" -> Ok Has_duplicates
+  | _ ->
+    if String.length s > 9 && String.sub s 0 9 = "quantile:" then begin
+      match Q.of_string (String.sub s 9 (String.length s - 9)) with
+      | q ->
+        if Q.compare q Q.zero > 0 && Q.compare q Q.one < 0 then Ok (Quantile q)
+        else Error "quantile parameter must lie in (0,1)"
+      | exception _ -> Error ("malformed quantile parameter in " ^ s)
+    end
+    else Error ("unknown aggregate function: " ^ s)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,36 @@
+(** Aggregate functions α : B_fin(ℝ) → ℝ, with α(∅) = 0 (Section 2). *)
+
+type t =
+  | Sum
+  | Count
+  | Count_distinct
+  | Min
+  | Max
+  | Avg
+  | Median  (** [Quantile 1/2] *)
+  | Quantile of Aggshap_arith.Rational.t
+      (** [Qnt_q]; the parameter must lie in (0,1). *)
+  | Has_duplicates  (** [Dup]: 1 iff some element has multiplicity ≥ 2 *)
+
+val apply : t -> Bag.t -> Aggshap_arith.Rational.t
+(** Evaluates the aggregate; 0 on the empty bag.
+    @raise Invalid_argument for [Quantile q] with [q] outside (0,1). *)
+
+val quantile_of : t -> Aggshap_arith.Rational.t option
+(** [Some q] for [Median]/[Quantile q], [None] otherwise. *)
+
+val is_constant_per_singleton : t -> bool
+(** Proposition 3.2's premise: α gives the same value to all nonempty bags
+    over a single element. Holds for Min, Max, CDist, Avg and quantiles;
+    fails for Sum, Count and Dup. *)
+
+val all : t list
+(** The aggregate functions studied in the paper (with [Median] standing
+    for the quantile family). *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Accepts [sum], [count], [count-distinct], [min], [max], [avg],
+    [median], [quantile:<p>/<q>], [has-duplicates]. *)
+
+val pp : Format.formatter -> t -> unit

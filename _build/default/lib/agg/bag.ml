@@ -1,0 +1,43 @@
+module Q = Aggshap_arith.Rational
+module QMap = Map.Make (Q)
+
+type t = int QMap.t
+(* Invariant: all multiplicities are >= 1. *)
+
+let empty = QMap.empty
+let is_empty = QMap.is_empty
+
+let add ?(mult = 1) v bag =
+  if mult < 0 then invalid_arg "Bag.add: negative multiplicity";
+  if mult = 0 then bag
+  else
+    QMap.update v (function None -> Some mult | Some m -> Some (m + mult)) bag
+
+let of_list vs = List.fold_left (fun b v -> add v b) empty vs
+let singleton v = add v empty
+let size bag = QMap.fold (fun _ m acc -> m + acc) bag 0
+let distinct bag = QMap.cardinal bag
+let multiplicity v bag = match QMap.find_opt v bag with None -> 0 | Some m -> m
+let mem v bag = QMap.mem v bag
+let union a b = QMap.union (fun _ m1 m2 -> Some (m1 + m2)) a b
+let to_sorted_list bag = QMap.bindings bag
+
+let elements bag =
+  List.concat_map (fun (v, m) -> List.init m (fun _ -> v)) (to_sorted_list bag)
+
+let has_duplicates bag = QMap.exists (fun _ m -> m >= 2) bag
+let min_elt bag = Option.map fst (QMap.min_binding_opt bag)
+let max_elt bag = Option.map fst (QMap.max_binding_opt bag)
+
+let sum bag = QMap.fold (fun v m acc -> Q.add acc (Q.mul_int v m)) bag Q.zero
+
+let equal = QMap.equal ( = )
+
+let pp fmt bag =
+  Format.fprintf fmt "{{";
+  List.iteri
+    (fun i (v, m) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      if m = 1 then Q.pp fmt v else Format.fprintf fmt "%a^%d" Q.pp v m)
+    (to_sorted_list bag);
+  Format.fprintf fmt "}}"

@@ -1,0 +1,38 @@
+(** Finite bags (multisets) of rational numbers.
+
+    Aggregate functions in the paper are functions
+    [α : B_fin(ℝ) → ℝ]; this module is that domain. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : ?mult:int -> Aggshap_arith.Rational.t -> t -> t
+(** Adds [mult] (default 1) copies. @raise Invalid_argument if [mult < 0]. *)
+
+val of_list : Aggshap_arith.Rational.t list -> t
+val singleton : Aggshap_arith.Rational.t -> t
+val size : t -> int
+(** Total number of elements, counting multiplicity. *)
+
+val distinct : t -> int
+(** Number of distinct elements. *)
+
+val multiplicity : Aggshap_arith.Rational.t -> t -> int
+val mem : Aggshap_arith.Rational.t -> t -> bool
+val union : t -> t -> t
+(** Additive union: multiplicities add up. *)
+
+val to_sorted_list : t -> (Aggshap_arith.Rational.t * int) list
+(** (value, multiplicity) pairs, values ascending. *)
+
+val elements : t -> Aggshap_arith.Rational.t list
+(** All elements with repetition, ascending. *)
+
+val has_duplicates : t -> bool
+val min_elt : t -> Aggshap_arith.Rational.t option
+val max_elt : t -> Aggshap_arith.Rational.t option
+val sum : t -> Aggshap_arith.Rational.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

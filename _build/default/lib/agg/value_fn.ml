@@ -1,0 +1,43 @@
+module Q = Aggshap_arith.Rational
+module Value = Aggshap_relational.Value
+
+type t = {
+  rel : string;
+  apply : Value.t array -> Q.t;
+  descr : string;
+}
+
+let apply t args = t.apply args
+
+let numeric v =
+  match Value.as_int v with
+  | Some n -> Q.of_int n
+  | None -> invalid_arg ("Value_fn: non-numeric constant " ^ Value.to_string v)
+
+let nth args pos =
+  if pos < 0 || pos >= Array.length args then
+    invalid_arg "Value_fn: position out of range"
+  else numeric args.(pos)
+
+let id ~rel ~pos =
+  { rel; apply = (fun args -> nth args pos); descr = Printf.sprintf "id[%d]" pos }
+
+let gt ~rel ~pos b =
+  { rel;
+    apply = (fun args -> if Q.compare (nth args pos) b > 0 then Q.one else Q.zero);
+    descr = Printf.sprintf ">%s[%d]" (Q.to_string b) pos }
+
+let relu ~rel ~pos =
+  { rel;
+    apply =
+      (fun args ->
+        let v = nth args pos in
+        if Q.sign v > 0 then v else Q.zero);
+    descr = Printf.sprintf "relu[%d]" pos }
+
+let const ~rel c =
+  { rel; apply = (fun _ -> c); descr = Printf.sprintf "const %s" (Q.to_string c) }
+
+let custom ~rel ~descr apply = { rel; apply; descr }
+
+let pp fmt t = Format.fprintf fmt "%s@%s" t.descr t.rel

@@ -1,0 +1,1 @@
+lib/arith/bigint.ml: Array Buffer Format List Printf Stdlib String

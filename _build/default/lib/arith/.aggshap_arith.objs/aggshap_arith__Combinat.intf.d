@@ -1,0 +1,1 @@
+lib/arith/combinat.mli: Bigint Rational

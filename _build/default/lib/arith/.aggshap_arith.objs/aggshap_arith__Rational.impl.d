@@ -1,0 +1,1 @@
+lib/arith/rational.ml: Bigint Format List String

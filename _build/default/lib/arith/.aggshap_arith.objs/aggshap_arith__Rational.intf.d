@@ -1,0 +1,1 @@
+lib/arith/rational.mli: Bigint Format

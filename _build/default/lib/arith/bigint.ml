@@ -1,0 +1,397 @@
+(* Sign-magnitude bignums, little-endian limbs in base 2^30.
+
+   Base 2^30 keeps every intermediate product of two limbs below 2^60 and
+   every product-plus-carry below 2^62, which fits comfortably in OCaml's
+   63-bit native integers. Division is Knuth's Algorithm D (TAOCP vol. 2,
+   4.3.1); the classic qhat estimation and add-back correction are kept
+   exactly as in the reference formulation. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariants: [sign] is -1, 0 or 1; [mag] has no trailing (most
+   significant) zero limb; [sign = 0] iff [mag] is empty. *)
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = Array.length mag in
+  let rec top i = if i > 0 && mag.(i - 1) = 0 then top (i - 1) else i in
+  let len = top n in
+  if len = 0 then zero
+  else if len = n then { sign; mag }
+  else { sign; mag = Array.sub mag 0 len }
+
+let of_small n =
+  (* [n] must satisfy [0 <= n]. *)
+  if n = 0 then zero
+  else if n < base then { sign = 1; mag = [| n |] }
+  else if n < base * base then { sign = 1; mag = [| n land limb_mask; n lsr limb_bits |] }
+  else
+    { sign = 1;
+      mag =
+        [| n land limb_mask;
+           (n lsr limb_bits) land limb_mask;
+           n lsr (2 * limb_bits) |] }
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then of_small n
+  else if n = min_int then
+    (* [-n] overflows; build from [max_int] instead. *)
+    let m = of_small max_int in
+    let m1 = { m with mag = Array.copy m.mag } in
+    let mag = m1.mag in
+    (* max_int + 1: increment with carry. *)
+    let rec inc i carry mag =
+      if carry = 0 then mag
+      else if i < Array.length mag then begin
+        let s = mag.(i) + carry in
+        mag.(i) <- s land limb_mask;
+        inc (i + 1) (s lsr limb_bits) mag
+      end
+      else begin
+        let mag' = Array.make (Array.length mag + 1) 0 in
+        Array.blit mag 0 mag' 0 (Array.length mag);
+        mag'.(Array.length mag) <- carry;
+        mag'
+      end
+    in
+    { sign = -1; mag = inc 0 1 mag }
+  else { (of_small (-n)) with sign = -1 }
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_negative t = t.sign < 0
+let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+let is_even t = t.sign = 0 || t.mag.(0) land 1 = 0
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc limb -> (acc * 31 + limb) land max_int) t.sign t.mag
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then { t with sign = 1 } else t
+
+(* Magnitude addition: no sign involved. *)
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lmax = Stdlib.max la lb in
+  let out = Array.make (lmax + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to lmax - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  out.(lmax) <- !carry;
+  out
+
+(* Magnitude subtraction: requires [a >= b]. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin
+      out.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  out
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else
+    match compare_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+
+let sub a b = add a (neg b)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- cur land limb_mask;
+        carry := cur lsr limb_bits
+      done;
+      out.(i + lb) <- out.(i + lb) + !carry
+    done;
+    out
+  end
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let mul_int a n = mul a (of_int n)
+let add_int a n = add a (of_int n)
+let succ a = add a one
+let pred a = sub a one
+
+(* Division of a magnitude by a single limb [d] (0 < d < base). *)
+let divmod_small_mag u d =
+  let n = Array.length u in
+  let q = Array.make n 0 in
+  let rem = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor u.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (q, !rem)
+
+(* Left-shift a magnitude by [s] bits, 0 <= s < limb_bits. *)
+let shift_left_bits u s =
+  if s = 0 then Array.copy u
+  else begin
+    let n = Array.length u in
+    let out = Array.make (n + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let v = (u.(i) lsl s) lor !carry in
+      out.(i) <- v land limb_mask;
+      carry := v lsr limb_bits
+    done;
+    out.(n) <- !carry;
+    out
+  end
+
+(* Right-shift a magnitude by [s] bits, 0 <= s < limb_bits. *)
+let shift_right_bits u s =
+  if s = 0 then Array.copy u
+  else begin
+    let n = Array.length u in
+    let out = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let low = u.(i) lsr s in
+      let high = if i + 1 < n then (u.(i + 1) lsl (limb_bits - s)) land limb_mask else 0 in
+      out.(i) <- low lor high
+    done;
+    out
+  end
+
+(* Knuth Algorithm D on magnitudes; returns (quotient, remainder).
+   Precondition: [Array.length v >= 2], [v] has no leading zero limb. *)
+let divmod_knuth u v =
+  let n = Array.length v in
+  (* Normalize so that the top limb of v has its high bit set. *)
+  let rec leading_shift x s = if x land (base lsr 1) <> 0 then s else leading_shift (x lsl 1) (s + 1) in
+  let s = leading_shift v.(n - 1) 0 in
+  let vn = Array.sub (shift_left_bits v s) 0 n in
+  (* The dividend must carry one extra (possibly zero) top limb. *)
+  let un =
+    let shifted = shift_left_bits u s in
+    if Array.length shifted = Array.length u + 1 then shifted
+    else Array.append shifted [| 0 |]
+  in
+  let m = Array.length un - n - 1 in
+  let q = Array.make (Stdlib.max (m + 1) 1) 0 in
+  for j = m downto 0 do
+    let num = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
+    let qhat = ref (num / vn.(n - 1)) in
+    let rhat = ref (num mod vn.(n - 1)) in
+    let continue_ = ref true in
+    while
+      !continue_
+      && (!qhat >= base
+          || !qhat * vn.(n - 2) > (!rhat lsl limb_bits) lor un.(j + n - 2))
+    do
+      decr qhat;
+      rhat := !rhat + vn.(n - 1);
+      if !rhat >= base then continue_ := false
+    done;
+    (* Multiply and subtract. *)
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let p = !qhat * vn.(i) in
+      let t = un.(i + j) - !k - (p land limb_mask) in
+      un.(i + j) <- t land limb_mask;
+      k := (p lsr limb_bits) - (t asr limb_bits)
+    done;
+    let t = un.(j + n) - !k in
+    un.(j + n) <- t;
+    if t < 0 then begin
+      (* qhat was one too large: add back. *)
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let t = un.(i + j) + vn.(i) + !carry in
+        un.(i + j) <- t land limb_mask;
+        carry := t lsr limb_bits
+      done;
+      un.(j + n) <- un.(j + n) + !carry
+    end;
+    q.(j) <- !qhat
+  done;
+  let r = shift_right_bits (Array.sub un 0 n) s in
+  (q, r)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else if compare_mag a.mag b.mag < 0 then (zero, a)
+  else begin
+    let qmag, rmag =
+      if Array.length b.mag = 1 then begin
+        let q, r = divmod_small_mag a.mag b.mag.(0) in
+        (q, if r = 0 then [||] else [| r |])
+      end
+      else divmod_knuth a.mag b.mag
+    in
+    let q = normalize (a.sign * b.sign) qmag in
+    let r = normalize a.sign rmag in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+let gcd a b =
+  let rec go a b = if is_zero b then a else go b (rem a b) in
+  go (abs a) (abs b)
+
+let to_int_opt t =
+  (* A native int holds at most 63 bits: up to 3 limbs with constraints. *)
+  match Array.length t.mag with
+  | 0 -> Some 0
+  | 1 -> Some (t.sign * t.mag.(0))
+  | 2 -> Some (t.sign * ((t.mag.(1) lsl limb_bits) lor t.mag.(0)))
+  | 3 ->
+    let high = t.mag.(2) in
+    let v () = (high lsl (2 * limb_bits)) lor (t.mag.(1) lsl limb_bits) lor t.mag.(0) in
+    if high < 1 lsl (62 - 2 * limb_bits) then Some (t.sign * v ())
+    else if t.sign < 0 && high = 1 lsl (62 - 2 * limb_bits) && t.mag.(1) = 0 && t.mag.(0) = 0
+    then Some min_int
+    else None
+  | _ -> None
+
+let to_int_exn t =
+  match to_int_opt t with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: out of native int range"
+
+let to_float t =
+  let basef = float_of_int base in
+  let m = Array.fold_right (fun limb acc -> (acc *. basef) +. float_of_int limb) t.mag 0.0 in
+  float_of_int t.sign *. m
+
+let chunk_base = 1_000_000_000
+let chunk_digits = 9
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks mag acc =
+      if Array.length mag = 0 then acc
+      else
+        let q, r = divmod_small_mag mag chunk_base in
+        let q = (normalize 1 q).mag in
+        chunks q (r :: acc)
+    in
+    match chunks t.mag [] with
+    | [] -> "0"
+    | first :: rest ->
+      if t.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%0*d" chunk_digits c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  for i = start to len - 1 do
+    if not (s.[i] >= '0' && s.[i] <= '9') then
+      invalid_arg "Bigint.of_string: invalid character"
+  done;
+  let int_pow10 e =
+    let rec go acc e = if e = 0 then acc else go (acc * 10) (e - 1) in
+    go 1 e
+  in
+  let acc = ref zero in
+  let i = ref start in
+  while !i < len do
+    let take = Stdlib.min chunk_digits (len - !i) in
+    let part = String.sub s !i take in
+    let part_val = int_of_string part in
+    acc := add (mul !acc (of_int (int_pow10 take))) (of_int part_val);
+    i := !i + take
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,92 @@
+(** Arbitrary-precision signed integers.
+
+    Sign-magnitude representation with little-endian limbs in base [2^30].
+    All operations are purely functional. This module exists because the
+    Shapley coefficients [k!(n-k-1)!/n!] and the subset counts manipulated
+    by the dynamic programs exceed 63-bit integers for any interesting
+    database size, and no bignum package is available in this environment. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [None] if the value does not fit in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val to_float : t -> float
+(** Approximate conversion; may overflow to [infinity]. *)
+
+val of_string : string -> t
+(** Parses an optionally-signed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_negative : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated towards zero
+    (so [r] has the sign of [a] and [|r| < |b|]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative; [gcd 0 0 = 0]. *)
+
+(** {1 Infix operators}
+
+    Grouped in a submodule so callers can [open Bigint.Infix] locally. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

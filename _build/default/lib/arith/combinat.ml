@@ -1,0 +1,72 @@
+(* Memoized combinatorics. The memo tables grow geometrically and are
+   shared across the whole process; all entries are immutable bignums. *)
+
+let factorial_table = ref [| Bigint.one |]
+let factorial_filled = ref 1
+
+let factorial n =
+  if n < 0 then invalid_arg "Combinat.factorial: negative argument";
+  if n >= Array.length !factorial_table then begin
+    let cap = max (n + 1) (2 * Array.length !factorial_table) in
+    let table = Array.make cap Bigint.one in
+    Array.blit !factorial_table 0 table 0 !factorial_filled;
+    factorial_table := table
+  end;
+  if n >= !factorial_filled then begin
+    for i = !factorial_filled to n do
+      !factorial_table.(i) <- Bigint.mul_int !factorial_table.(i - 1) i
+    done;
+    factorial_filled := n + 1
+  end;
+  !factorial_table.(n)
+
+let binomial n k =
+  if n < 0 then invalid_arg "Combinat.binomial: negative n";
+  if k < 0 || k > n then Bigint.zero
+  else
+    let k = min k (n - k) in
+    Bigint.div (factorial n) (Bigint.mul (factorial k) (factorial (n - k)))
+
+let shapley_coefficient ~players ~before =
+  if before < 0 || before >= players then
+    invalid_arg "Combinat.shapley_coefficient: need 0 <= before < players";
+  Rational.make
+    (Bigint.mul (factorial before) (factorial (players - before - 1)))
+    (factorial players)
+
+let harmonic_table : Rational.t array ref = ref [| Rational.zero |]
+let harmonic_filled = ref 1
+
+let harmonic n =
+  if n < 0 then invalid_arg "Combinat.harmonic: negative argument";
+  if n >= Array.length !harmonic_table then begin
+    let cap = max (n + 1) (2 * Array.length !harmonic_table) in
+    let table = Array.make cap Rational.zero in
+    Array.blit !harmonic_table 0 table 0 !harmonic_filled;
+    harmonic_table := table
+  end;
+  if n >= !harmonic_filled then begin
+    for i = !harmonic_filled to n do
+      !harmonic_table.(i) <- Rational.add !harmonic_table.(i - 1) (Rational.of_ints 1 i)
+    done;
+    harmonic_filled := n + 1
+  end;
+  !harmonic_table.(n)
+
+let falling_factorial n k =
+  let rec go acc i = if i >= k then acc else go (Bigint.mul_int acc (n - i)) (i + 1) in
+  if k <= 0 then Bigint.one else go Bigint.one 0
+
+let divisors n =
+  if n <= 0 then invalid_arg "Combinat.divisors: nonpositive argument";
+  let rec go d acc =
+    if d * d > n then acc
+    else if n mod d = 0 then
+      let acc = d :: acc in
+      let acc = if d <> n / d then (n / d) :: acc else acc in
+      go (d + 1) acc
+    else go (d + 1) acc
+  in
+  List.sort Stdlib.compare (go 1 [])
+
+let compositions2 k = List.init (k + 1) (fun k1 -> (k1, k - k1))

@@ -1,0 +1,30 @@
+(** Combinatorial quantities used throughout the Shapley computations.
+
+    All functions memoize internally (growable tables), so repeated calls
+    with arguments up to the same bound are amortized O(1). *)
+
+val factorial : int -> Bigint.t
+(** [factorial n] is [n!]. @raise Invalid_argument on negative [n]. *)
+
+val binomial : int -> int -> Bigint.t
+(** [binomial n k] is [C(n, k)]; [0] when [k < 0] or [k > n].
+    @raise Invalid_argument on negative [n]. *)
+
+val shapley_coefficient : players:int -> before:int -> Rational.t
+(** [shapley_coefficient ~players:n ~before:k] is
+    [q_k = k! (n-k-1)! / n!] — the probability that, drawing players
+    uniformly without replacement, a fixed player arrives exactly after
+    [k] others (Equation 1 of the paper).
+    @raise Invalid_argument unless [0 <= k < n]. *)
+
+val harmonic : int -> Rational.t
+(** [harmonic n] is [H(n) = 1 + 1/2 + ... + 1/n]; [H(0) = 0]. *)
+
+val falling_factorial : int -> int -> Bigint.t
+(** [falling_factorial n k] is [n (n-1) ... (n-k+1)]. *)
+
+val divisors : int -> int list
+(** Positive divisors of [n > 0], ascending. *)
+
+val compositions2 : int -> (int * int) list
+(** [compositions2 k] lists all [(k1, k2)] with [k1 + k2 = k], [k1, k2 >= 0]. *)

@@ -1,0 +1,94 @@
+type t = { num : Bigint.t; den : Bigint.t }
+(* Invariants: [den > 0]; [gcd num den = 1]; zero is [0/1]. *)
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.is_negative den then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    if Bigint.is_one g then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let half = of_ints 1 2
+
+let num t = t.num
+let den t = t.den
+
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+let is_integer t = Bigint.is_one t.den
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero
+  else if Bigint.is_negative t.num then { num = Bigint.neg t.den; den = Bigint.neg t.num }
+  else { num = t.den; den = t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = mul a (inv b)
+let mul_int a n = make (Bigint.mul_int a.num n) a.den
+let div_int a n = make a.num (Bigint.mul_int a.den n)
+
+let pow x e =
+  if e >= 0 then { num = Bigint.pow x.num e; den = Bigint.pow x.den e }
+  else inv { num = Bigint.pow x.num (-e); den = Bigint.pow x.den (-e) }
+
+let sum = List.fold_left add zero
+
+let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let hash t = (Bigint.hash t.num * 65599 + Bigint.hash t.den) land max_int
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor t =
+  let q, r = Bigint.divmod t.num t.den in
+  if Bigint.is_negative r then Bigint.pred q else q
+
+let ceil t = Bigint.neg (floor (neg t))
+
+let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+    let p = String.sub s 0 i in
+    let q = String.sub s (i + 1) (String.length s - i - 1) in
+    make (Bigint.of_string p) (Bigint.of_string q)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,1 @@
+lib/core/avg_quantile.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Boolean_dp Count_dp List Map Stdlib String Sumk Tables

@@ -1,0 +1,1 @@
+lib/core/avg_quantile.mli: Aggshap_agg Aggshap_arith Aggshap_relational

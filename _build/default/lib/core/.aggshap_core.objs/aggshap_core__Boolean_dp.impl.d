@@ -1,0 +1,1 @@
+lib/core/boolean_dp.ml: Aggshap_arith Aggshap_cq Aggshap_relational Array List Sumk Tables

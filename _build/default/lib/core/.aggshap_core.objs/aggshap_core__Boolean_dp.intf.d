@@ -1,0 +1,1 @@
+lib/core/boolean_dp.mli: Aggshap_arith Aggshap_cq Aggshap_relational Sumk Tables

@@ -1,0 +1,1 @@
+lib/core/cdist.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Boolean_dp List String

@@ -1,0 +1,1 @@
+lib/core/cdist.mli: Aggshap_agg Aggshap_arith Aggshap_relational Sumk

@@ -1,0 +1,1 @@
+lib/core/closed_form.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Array List String

@@ -1,0 +1,1 @@
+lib/core/closed_form.mli: Aggshap_agg Aggshap_arith Aggshap_relational

@@ -1,0 +1,1 @@
+lib/core/count_dp.ml: Aggshap_arith Aggshap_cq Aggshap_relational Boolean_dp Int List Map Tables

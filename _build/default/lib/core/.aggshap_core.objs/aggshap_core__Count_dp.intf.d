@@ -1,0 +1,1 @@
+lib/core/count_dp.mli: Aggshap_cq Aggshap_relational Map Tables

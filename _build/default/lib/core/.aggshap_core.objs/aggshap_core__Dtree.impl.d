@@ -1,0 +1,1 @@
+lib/core/dtree.ml: Aggshap_arith Aggshap_cq Aggshap_relational Array Format List Set Tables

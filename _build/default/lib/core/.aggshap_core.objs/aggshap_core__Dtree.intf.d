@@ -1,0 +1,1 @@
+lib/core/dtree.mli: Aggshap_arith Aggshap_cq Aggshap_relational Format Tables

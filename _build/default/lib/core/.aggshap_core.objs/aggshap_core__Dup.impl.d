@@ -1,0 +1,1 @@
+lib/core/dup.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Array Count_dp List Map Option Printf Stdlib String Sumk Tables

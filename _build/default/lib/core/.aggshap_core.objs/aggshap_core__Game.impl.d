@@ -1,0 +1,1 @@
+lib/core/game.ml: Aggshap_arith Array Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/core/game.mli: Aggshap_arith

@@ -1,0 +1,1 @@
+lib/core/localization.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Array Avg_quantile Boolean_dp Map Option String Sumk Tables

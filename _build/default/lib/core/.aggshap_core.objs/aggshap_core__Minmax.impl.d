@@ -1,0 +1,1 @@
+lib/core/minmax.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Array Boolean_dp List Map Option Sumk Tables

@@ -1,0 +1,1 @@
+lib/core/minmax_monoid.ml: Aggshap_arith Aggshap_cq Aggshap_relational Array List Map Option String Sumk Tables

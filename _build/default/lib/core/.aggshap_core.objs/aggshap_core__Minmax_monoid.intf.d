@@ -1,0 +1,1 @@
+lib/core/minmax_monoid.mli: Aggshap_arith Aggshap_cq Aggshap_relational

@@ -1,0 +1,1 @@
+lib/core/monte_carlo.ml: Aggshap_agg Aggshap_arith Aggshap_relational Array Float List Random

@@ -1,0 +1,1 @@
+lib/core/monte_carlo.mli: Aggshap_agg Aggshap_relational

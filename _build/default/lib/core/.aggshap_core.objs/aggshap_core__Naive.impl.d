@@ -1,0 +1,1 @@
+lib/core/naive.ml: Aggshap_agg Aggshap_arith Aggshap_relational Array Game

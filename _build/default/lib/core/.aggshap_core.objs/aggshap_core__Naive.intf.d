@@ -1,0 +1,1 @@
+lib/core/naive.mli: Aggshap_agg Aggshap_arith Aggshap_relational Game

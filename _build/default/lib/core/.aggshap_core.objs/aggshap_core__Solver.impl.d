@@ -1,0 +1,1 @@
+lib/core/solver.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Array Avg_quantile Cdist Dup Game List Minmax Monte_carlo Naive Printf Sum_count Sumk

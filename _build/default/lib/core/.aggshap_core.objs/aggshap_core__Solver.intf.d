@@ -1,0 +1,1 @@
+lib/core/solver.mli: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Monte_carlo

@@ -1,0 +1,1 @@
+lib/core/sum_count.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Array Boolean_dp List

@@ -1,0 +1,1 @@
+lib/core/sumk.ml: Aggshap_agg Aggshap_arith Aggshap_relational Array List

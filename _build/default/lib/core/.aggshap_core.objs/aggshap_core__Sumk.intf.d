@@ -1,0 +1,1 @@
+lib/core/sumk.mli: Aggshap_agg Aggshap_arith Aggshap_relational

@@ -1,0 +1,180 @@
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Eval = Aggshap_cq.Eval
+module Hierarchy = Aggshap_cq.Hierarchy
+module Decompose = Aggshap_cq.Decompose
+module Agg_query = Aggshap_agg.Agg_query
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+
+module LMap = Map.Make (struct
+  type t = int * int * int
+
+  let compare = Stdlib.compare
+end)
+
+(* N_a for one sub-query: (ℓ<, ℓ=, ℓ>) ↦ per-k counts. Every subset is
+   counted under exactly one key, so the entries sum to [full n]. *)
+type vtable = {
+  n : int;
+  entries : Tables.counts LMap.t;
+}
+
+let add_entry l c entries =
+  LMap.update l (function None -> Some c | Some c' -> Some (Tables.add c' c)) entries
+
+let pad_vtable p t =
+  if p = 0 then t else { n = t.n + p; entries = LMap.map (Tables.pad p) t.entries }
+
+let vec_add (a1, b1, c1) (a2, b2, c2) = (a1 + a2, b1 + b2, c1 + c2)
+let vec_scale s (a, b, c) = (s * a, s * b, s * c)
+
+let combine_vtables op t1 t2 =
+  let entries =
+    LMap.fold
+      (fun l1 c1 acc ->
+        LMap.fold
+          (fun l2 c2 acc ->
+            let c = Tables.convolve c1 c2 in
+            if B.is_zero (Tables.total c) then acc else add_entry (op l1 l2) c acc)
+          t2.entries acc)
+      t1.entries LMap.empty
+  in
+  { n = t1.n + t2.n; entries }
+
+let neutral_union = { n = 0; entries = LMap.singleton (0, 0, 0) [| B.one |] }
+
+(* Cross product of a τ-side table with a τ-free side's answer counts:
+   each answer of the τ-free side replicates the whole bag. *)
+let combine_cross_counted t (c : Count_dp.t) =
+  let entries =
+    LMap.fold
+      (fun lvec c1 acc ->
+        Count_dp.IntMap.fold
+          (fun l2 c2 acc ->
+            let c = Tables.convolve c1 c2 in
+            if B.is_zero (Tables.total c) then acc
+            else add_entry (vec_scale l2 lvec) c acc)
+          c.Count_dp.entries acc)
+      t.entries LMap.empty
+  in
+  { n = t.n + c.Count_dp.n; entries }
+
+(* Boolean sub-query containing the τ-relation: at most one answer, whose
+   τ-value is read off the homomorphism support (all supporting R-facts
+   must agree — otherwise τ is not localized on this database). *)
+let boolean_valued tau a q db =
+  let n = Database.endo_size db in
+  let sat = Boolean_dp.counts q db in
+  let unsat = Tables.complement n sat in
+  let r_facts =
+    List.filter
+      (fun (f : Fact.t) -> String.equal f.rel tau.Value_fn.rel)
+      (Eval.support q db)
+  in
+  match r_facts with
+  | [] -> { n; entries = LMap.singleton (0, 0, 0) (Tables.full n) }
+  | f :: rest ->
+    let v = Value_fn.apply tau f.Fact.args in
+    List.iter
+      (fun (g : Fact.t) ->
+        if not (Q.equal v (Value_fn.apply tau g.Fact.args)) then
+          invalid_arg "Avg_quantile: τ is not localized on this database")
+      rest;
+    let lvec =
+      match Q.compare v a with c when c < 0 -> (1, 0, 0) | 0 -> (0, 1, 0) | _ -> (0, 0, 1)
+    in
+    { n; entries = LMap.empty |> add_entry lvec sat |> add_entry (0, 0, 0) unsat }
+
+(* The table for the sub-query containing the τ-relation, for a fixed
+   reference value [a]. *)
+let rec valued_table tau a q db =
+  if Cq.is_boolean q then boolean_valued tau a q db
+  else begin
+    match Decompose.connected_components q with
+    | [] -> assert false
+    | [ _ ] -> begin
+      match Decompose.choose_root q with
+      | Some x when Cq.is_free q x ->
+        let blocks, dropped = Decompose.partition q x db in
+        let t =
+          List.fold_left
+            (fun acc (v, block) ->
+              combine_vtables vec_add acc (valued_table tau a (Cq.substitute q x v) block))
+            neutral_union blocks
+        in
+        pad_vtable (Database.endo_size dropped) t
+      | Some _ | None ->
+        invalid_arg ("Avg_quantile: query is not q-hierarchical: " ^ Cq.to_string q)
+    end
+    | comps ->
+      let rel = tau.Value_fn.rel in
+      let with_r, without_r =
+        List.partition (fun c -> List.mem rel (Cq.relations c)) comps
+      in
+      (match with_r with
+       | [ c0 ] ->
+         let db0, _ = Database.restrict_relations (Cq.relations c0) db in
+         let t0 = valued_table tau a c0 db0 in
+         List.fold_left
+           (fun acc c ->
+             let db_c, _ = Database.restrict_relations (Cq.relations c) db in
+             combine_cross_counted acc (Count_dp.answer_counts c db_c))
+           t0 without_r
+       | _ -> invalid_arg "Avg_quantile: τ-relation must occur in exactly one component")
+  end
+
+let check (a : Agg_query.t) =
+  (match Aggregate.quantile_of a.alpha with
+   | Some _ -> ()
+   | None ->
+     if a.alpha <> Aggregate.Avg then
+       invalid_arg
+         ("Avg_quantile: aggregate " ^ Aggregate.to_string a.alpha ^ " is not avg/quantile"));
+  if not (Hierarchy.is_q_hierarchical a.query) then
+    invalid_arg ("Avg_quantile: query is not q-hierarchical: " ^ Cq.to_string a.query)
+
+(* Weight of the reference value [a] in the aggregate of a bag described
+   by (ℓ<, ℓ=, ℓ>): its multiplicity share for Avg, its rank-indicator
+   weight f_q for quantiles. *)
+let avg_weight (l_lt, l_eq, l_gt) =
+  if l_eq = 0 then Q.zero else Q.of_ints l_eq (l_lt + l_eq + l_gt)
+
+let quantile_weight q (l_lt, l_eq, l_gt) =
+  let tot = l_lt + l_eq + l_gt in
+  if tot = 0 || l_eq = 0 then Q.zero
+  else begin
+    let qn = Q.mul_int q tot in
+    let i1 = B.to_int_exn (Q.ceil qn) in
+    let i2 = B.to_int_exn (Q.floor (Q.add qn Q.one)) in
+    let hit i = if l_lt < i && i <= l_lt + l_eq then 1 else 0 in
+    Q.div_int (Q.of_int (hit i1 + hit i2)) 2
+  end
+
+let sum_k (a : Agg_query.t) db =
+  check a;
+  let weight =
+    match Aggregate.quantile_of a.alpha with
+    | Some q -> quantile_weight q
+    | None -> avg_weight
+  in
+  let db_rel, db_pad = Decompose.relevant a.query db in
+  let pad = Database.endo_size db_pad in
+  let values = List.sort_uniq Q.compare (List.map snd (Agg_query.answer_values a db)) in
+  let n = Database.endo_size db in
+  List.fold_left
+    (fun acc v ->
+      let t = pad_vtable pad (valued_table a.tau v a.query db_rel) in
+      LMap.fold
+        (fun lvec counts acc ->
+          let w = weight lvec in
+          if Q.is_zero w then acc
+          else Tables.add_rat acc (Tables.scale_to (Q.mul v w) counts))
+        t.entries acc)
+    (Tables.zeros_rat n) values
+
+let shapley a db f = Sumk.shapley_of sum_k a db f
+let shapley_all a db = Sumk.shapley_all_of sum_k a db

@@ -1,0 +1,33 @@
+(** Shapley values for Average and Quantile (incl. Median) over
+    q-hierarchical CQs (Theorem 5.1, Section 5.1 and Appendix D.1).
+
+    For each τ-value [a] realized on the full database, a dynamic program
+    computes [N_a(k, ℓ<, ℓ=, ℓ>)] — the number of [k]-subsets whose answer
+    bag contains [ℓ=] copies of [a], [ℓ<] elements below and [ℓ>] above.
+    Then
+
+    {v sum_k(Avg)   = Σ_a Σ_ℓ  a·ℓ= / (ℓ<+ℓ=+ℓ>) · N_a(k, ℓ)
+       sum_k(Qnt_q) = Σ_a Σ_ℓ  a·f_q(ℓ<, ℓ=, ℓ>)  · N_a(k, ℓ) v}
+
+    where [f_q] is the rank-indicator weight of Section 5.1. The
+    q-hierarchical property makes sibling answer sets disjoint (ℓ adds
+    under union) and cross products multiply ℓ by the τ-free side's
+    answer count, provided by {!Count_dp}. *)
+
+val sum_k :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** @raise Invalid_argument if the aggregate is not Avg/Median/Quantile
+    or the CQ is not q-hierarchical. *)
+
+val shapley :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+
+val shapley_all :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list

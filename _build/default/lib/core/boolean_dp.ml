@@ -1,0 +1,75 @@
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Decompose = Aggshap_cq.Decompose
+module Database = Aggshap_relational.Database
+
+(* [go q db]: satisfaction counts, assuming every fact of [db] matches
+   some atom of [q]. The recursion mirrors Figure 2: ground atoms are
+   base cases, disconnected queries multiply (conjunction over disjoint
+   fact sets), and a connected query partitions by a root variable —
+   for Boolean satisfaction, the query holds iff {e some} block holds,
+   so the blocks' complements convolve. *)
+let rec go q db =
+  match Decompose.connected_components q with
+  | [] -> Tables.full (Database.endo_size db)
+  | [ _single ] ->
+    if Decompose.is_ground q then ground_case q db
+    else begin
+      match Decompose.choose_root q with
+      | None ->
+        invalid_arg
+          ("Boolean_dp: query is not hierarchical (no root variable): " ^ Cq.to_string q)
+      | Some x ->
+        let blocks, dropped = Decompose.partition q x db in
+        let false_counts =
+          List.fold_left
+            (fun acc (a, block) ->
+              let t = go (Cq.substitute q x a) block in
+              let f = Tables.complement (Database.endo_size block) t in
+              Tables.convolve acc f)
+            [| B.one |] blocks
+        in
+        let n_blocks = Array.length false_counts - 1 in
+        let t = Tables.complement n_blocks false_counts in
+        Tables.pad (Database.endo_size dropped) t
+    end
+  | comps ->
+    List.fold_left
+      (fun acc comp ->
+        let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
+        Tables.convolve acc (go comp db_c))
+      [| B.one |] comps
+
+(* A ground connected component is a single variable-free atom. *)
+and ground_case q db =
+  match q.Cq.body with
+  | [ atom ] ->
+    let fact =
+      { Aggshap_relational.Fact.rel = atom.Cq.rel;
+        args =
+          Array.map
+            (function
+              | Cq.Const v -> v
+              | Cq.Var x -> invalid_arg ("Boolean_dp: ground case with variable " ^ x))
+            atom.Cq.terms }
+    in
+    (match Database.provenance db fact with
+     | Some Database.Exogenous -> Tables.pad (Database.endo_size db) [| B.one |]
+     | Some Database.Endogenous ->
+       (* The fact itself must be chosen; the other endogenous facts of
+          [db] (equal-looking ones cannot exist) are free choices. *)
+       Tables.pad (Database.endo_size db - 1) [| B.zero; B.one |]
+     | None -> Tables.zeros (Database.endo_size db))
+  | _ -> invalid_arg "Boolean_dp: ground component with several atoms"
+
+let counts q db =
+  let db_rel, db_pad = Decompose.relevant q db in
+  Tables.pad (Database.endo_size db_pad) (go q db_rel)
+
+let score ?coefficients q db f =
+  Sumk.score_of_db_fn ?coefficients
+    (fun db -> Tables.to_rationals (counts q db))
+    db f
+
+let shapley q db f = score q db f

@@ -1,0 +1,32 @@
+(** Exact counting and Shapley computation for Boolean hierarchical CQs.
+
+    This is the algorithm of Livshits, Bertossi, Kimelfeld and Sebag for
+    the {e membership} problem, phrased in the [sum_k] style of
+    Section 3.2: [counts q db] returns, for every [k], the number of
+    [k]-subsets [E] of the endogenous facts such that [Q(E ∪ Dˣ)] is
+    satisfied. It is the foundation of the Sum/Count algorithm (linearity
+    of expectation), of the CDist reduction (Lemma 4.3), and of the
+    Boolean sub-trees of all other dynamic programs. *)
+
+val counts : Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> Tables.counts
+(** The head of [q] is ignored (the query is evaluated as Boolean). The
+    result has length [endo_size db + 1].
+    @raise Invalid_argument if the Boolean query is not hierarchical. *)
+
+val shapley :
+  Aggshap_cq.Cq.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Shapley value of an endogenous fact for Boolean query satisfaction
+    (the membership game).
+    @raise Invalid_argument if the fact is not endogenous in [db]. *)
+
+val score :
+  ?coefficients:Sumk.coefficients ->
+  Aggshap_cq.Cq.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Any Shapley-like score of the membership game (defaults to Shapley;
+    pass {!Sumk.banzhaf_coefficients} for the Banzhaf value). *)

@@ -1,0 +1,33 @@
+(** Shapley values for count-distinct over all-hierarchical CQs
+    (Theorem 4.1 via Lemma 4.3).
+
+    CDist is the sum of the per-value indicator games: writing [D_a] for
+    the database where the τ-relation keeps only its facts of τ-value
+    [a],
+
+    {v Shapley(f, CDist∘τ∘Q)[D] = Σ_{a ∈ (τ∘Q)(D)} Shapley(f, Q_bool)[D_a] v}
+
+    with the convention that the summand is 0 when [f ∉ D_a]. Each
+    summand is a Boolean hierarchical membership game. *)
+
+val shapley :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** @raise Invalid_argument if the aggregate is not [Count_distinct], the
+    CQ is not all-hierarchical, or the fact is not endogenous. *)
+
+val score :
+  ?coefficients:Sumk.coefficients ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Shapley-like scores; sound for coefficient families invariant under
+    null-player removal (Shapley and Banzhaf are). *)
+
+val shapley_all :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list

@@ -1,0 +1,40 @@
+(** Closed formulas for single-atom queries (Propositions 4.2, 4.4, 5.2).
+
+    All three apply to [Q(x̄) ← R(x̄)] — the head repeats the atom's
+    (distinct) variables — with {e every} fact endogenous. They are used
+    as fast paths and as cross-checks of the generic dynamic programs.
+
+    Note: the body of Proposition 5.2 states the second term with a [+];
+    the derivation in Appendix D (and the efficiency axiom) show the sign
+    is [−], which is what we implement. *)
+
+val cdist_single_atom :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Proposition 4.2: [1 / #{facts with the same τ-value}].
+    @raise Invalid_argument if the query shape or database does not match
+    the proposition's premises. *)
+
+val max_single_atom :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Proposition 4.4. *)
+
+val min_single_atom :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Proposition 4.4 under τ ↦ −τ. *)
+
+val avg_single_atom :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Proposition 5.2 (sign-corrected, see above):
+    [H(n)/n · τ(t) − (H(n)−1)/(n(n−1)) · Σ_{t'≠t} τ(t')]. *)

@@ -1,0 +1,81 @@
+module B = Aggshap_arith.Bigint
+module Cq = Aggshap_cq.Cq
+module Decompose = Aggshap_cq.Decompose
+module Database = Aggshap_relational.Database
+module IntMap = Map.Make (Int)
+
+type t = {
+  n : int;
+  entries : Tables.counts IntMap.t;
+}
+
+let get t l =
+  match IntMap.find_opt l t.entries with
+  | Some c -> c
+  | None -> Tables.zeros t.n
+
+let at_least t l =
+  IntMap.fold
+    (fun l' c acc -> if l' >= l then Tables.add acc c else acc)
+    t.entries (Tables.zeros t.n)
+
+let neutral_union = { n = 0; entries = IntMap.singleton 0 [| B.one |] }
+let neutral_cross = { n = 0; entries = IntMap.singleton 1 [| B.one |] }
+
+let add_entry l c entries =
+  IntMap.update l
+    (function None -> Some c | Some c' -> Some (Tables.add c' c))
+    entries
+
+let combine op t1 t2 =
+  let entries =
+    IntMap.fold
+      (fun l1 c1 acc ->
+        IntMap.fold
+          (fun l2 c2 acc ->
+            let c = Tables.convolve c1 c2 in
+            if B.is_zero (Tables.total c) then acc else add_entry (op l1 l2) c acc)
+          t2.entries acc)
+      t1.entries IntMap.empty
+  in
+  { n = t1.n + t2.n; entries }
+
+let pad_table p t =
+  if p = 0 then t else { n = t.n + p; entries = IntMap.map (Tables.pad p) t.entries }
+
+let rec table q db =
+  if Cq.is_boolean q then begin
+    let n = Database.endo_size db in
+    let sat = Boolean_dp.counts q db in
+    let unsat = Tables.complement n sat in
+    let entries = IntMap.empty |> add_entry 1 sat |> add_entry 0 unsat in
+    { n; entries }
+  end
+  else begin
+    match Decompose.connected_components q with
+    | [] -> assert false (* non-Boolean queries have atoms *)
+    | [ _ ] -> begin
+      match Decompose.choose_root q with
+      | Some x when Cq.is_free q x ->
+        let blocks, dropped = Decompose.partition q x db in
+        let t =
+          List.fold_left
+            (fun acc (a, block) ->
+              combine ( + ) acc (table (Cq.substitute q x a) block))
+            neutral_union blocks
+        in
+        pad_table (Database.endo_size dropped) t
+      | Some _ | None ->
+        invalid_arg ("Count_dp: query is not q-hierarchical: " ^ Cq.to_string q)
+    end
+    | comps ->
+      List.fold_left
+        (fun acc comp ->
+          let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
+          combine ( * ) acc (table comp db_c))
+        neutral_cross comps
+  end
+
+let answer_counts q db =
+  let db_rel, db_pad = Decompose.relevant q db in
+  pad_table (Database.endo_size db_pad) (table q db_rel)

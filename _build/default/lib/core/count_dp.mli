@@ -1,0 +1,26 @@
+(** Answer-count tables for q-hierarchical CQs.
+
+    [P[Q', D']] maps each pair [(k, ℓ)] to the number of [k]-subsets [E]
+    of the endogenous facts with [|Q'(E ∪ D'ˣ)| = ℓ] — the "τ-free side"
+    data structure of Section 5.1, also the [P⁰]/[P¹] tables of the Dup
+    algorithm (Appendix E.2). The q-hierarchical property guarantees that
+    a free root variable exists for every connected non-Boolean
+    sub-query, making answer sets of sibling blocks disjoint, so that
+    [ℓ] adds under union and multiplies under cross product. *)
+
+module IntMap : Map.S with type key = int
+
+type t = {
+  n : int;  (** endogenous facts covered *)
+  entries : Tables.counts IntMap.t;
+      (** answer count ℓ ↦ per-k counts; the entries sum to [full n] *)
+}
+
+val answer_counts : Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> t
+(** @raise Invalid_argument if the CQ is not q-hierarchical. *)
+
+val get : t -> int -> Tables.counts
+(** [get t ℓ] (zeros when absent). *)
+
+val at_least : t -> int -> Tables.counts
+(** [at_least t ℓ]: counts of subsets with at least [ℓ] answers. *)

@@ -1,0 +1,52 @@
+(** Read-once lineage compilation for Boolean hierarchical CQs
+    (the d-trees of Remark 4.5; cf. Olteanu & Huang 2008, Fink et al.
+    2012).
+
+    The Boolean lineage of a hierarchical CQ over a database factorizes
+    into a {e read-once} formula: each fact appears in at most one leaf,
+    conjunctions join independent (fact-disjoint) subtrees and
+    disjunctions join mutually fact-disjoint blocks. Counting
+    satisfying [k]-subsets — and hence Shapley values — is a linear-time
+    DP over the compiled tree. This module is an alternative,
+    compilation-based backend for {!Boolean_dp} and the basis Abramovich
+    et al. (2025) use for Min/Max aggregation. *)
+
+type t =
+  | True  (** constant true (e.g. an exogenous ground atom) *)
+  | False  (** constant false (e.g. a missing ground atom) *)
+  | Lit of Aggshap_relational.Fact.t  (** an endogenous fact literal *)
+  | And of t list  (** conjunction of fact-disjoint subtrees *)
+  | Or of t list  (** disjunction of fact-disjoint subtrees *)
+
+val compile : Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> t
+(** Lineage of the query taken as Boolean. Only facts that can
+    participate in answers appear in the tree.
+    @raise Invalid_argument if the Boolean query is not hierarchical. *)
+
+val facts : t -> Aggshap_relational.Fact.t list
+(** The distinct facts appearing as literals. *)
+
+val is_read_once : t -> bool
+(** Whether no fact occurs in two different leaves (always true for
+    {!compile}d trees; exposed for testing). *)
+
+val eval : t -> (Aggshap_relational.Fact.t -> bool) -> bool
+(** Truth value under an assignment of the literals. *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val satisfying_counts : t -> Aggshap_relational.Database.t -> Tables.counts
+(** [satisfying_counts tree db] equals [Boolean_dp.counts q db] when
+    [tree = compile q db]: the number of [k]-subsets of the endogenous
+    facts of [db] making the lineage true. Endogenous facts of [db]
+    absent from the tree are counted as free choices. *)
+
+val shapley :
+  t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Membership Shapley value through the compiled lineage. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Hierarchy = Aggshap_cq.Hierarchy
+module Decompose = Aggshap_cq.Decompose
+module Agg_query = Aggshap_agg.Agg_query
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+
+module TupleMap = Map.Make (struct
+  type t = Aggshap_relational.Value.t array
+
+  let compare a b =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else begin
+      let rec go i =
+        if i >= la then 0
+        else
+          let c = Aggshap_relational.Value.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    end
+end)
+
+module QMap = Map.Make (Q)
+
+(* In a connected sq-hierarchical CQ every free variable occurs in every
+   atom, so a fact determines the answer tuple it can contribute to. *)
+let head_tuple_of_fact q (f : Fact.t) =
+  match Cq.find_atom q f.rel with
+  | None -> None
+  | Some atom ->
+    if not (Decompose.matches atom [] f) then None
+    else begin
+      let position x =
+        let found = ref (-1) in
+        Array.iteri
+          (fun i t -> match t with
+             | Cq.Var y when String.equal y x && !found < 0 -> found := i
+             | _ -> ())
+          atom.Cq.terms;
+        if !found < 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Dup: free variable %s missing from atom %s (query not connected \
+                sq-hierarchical)"
+               x f.rel)
+        else !found
+      in
+      Some (Array.of_list (List.map (fun x -> f.args.(position x)) q.Cq.head))
+    end
+
+(* Counts of k-subsets with at most one answer. *)
+let at_most_one q db =
+  let t = Count_dp.answer_counts q db in
+  Tables.add (Count_dp.get t 0) (Count_dp.get t 1)
+
+(* Figure 5: NoDup counts for a connected sq-hierarchical CQ containing
+   the τ-relation. The bag is duplicate-free iff every τ-value class of
+   facts yields at most one answer. *)
+let connected_dup_counts tau q db =
+  let n = Database.endo_size db in
+  let aq = Agg_query.make Aggregate.Has_duplicates tau q in
+  let answer_values =
+    List.fold_left
+      (fun acc (t, v) -> TupleMap.add t v acc)
+      TupleMap.empty
+      (Agg_query.answer_values aq db)
+  in
+  (* Group facts by the τ-value of the answer they can contribute to. *)
+  let classes, padding =
+    Database.fold
+      (fun f p (classes, padding) ->
+        match head_tuple_of_fact q f with
+        | Some t when TupleMap.mem t answer_values ->
+          let v = TupleMap.find t answer_values in
+          let cls = Option.value (QMap.find_opt v classes) ~default:Database.empty in
+          (QMap.add v (Database.add ~provenance:p f cls) classes, padding)
+        | Some _ | None ->
+          (classes, if p = Database.Endogenous then padding + 1 else padding))
+      db
+      (QMap.empty, 0)
+  in
+  let nodup =
+    QMap.fold
+      (fun _ class_db acc -> Tables.convolve acc (at_most_one q class_db))
+      classes [| B.one |]
+  in
+  let nodup = Tables.pad padding nodup in
+  Tables.sub (Tables.full n) nodup
+
+(* Appendix E.2.3: cross product with the τ-relation in the connected
+   component [q1]. *)
+let rec dup_counts tau q db =
+  match Decompose.connected_components q with
+  | [] -> invalid_arg "Dup: τ-relation vanished from the query"
+  | [ _ ] -> connected_dup_counts tau q db
+  | comps ->
+    let rel = tau.Value_fn.rel in
+    let q1 =
+      match List.find_opt (fun c -> List.mem rel (Cq.relations c)) comps with
+      | Some c -> c
+      | None -> invalid_arg "Dup: τ-relation must occur in the query"
+    in
+    let other_rels =
+      List.concat_map Cq.relations (List.filter (fun c -> c != q1) comps)
+    in
+    let q2 = Cq.restrict_to_relations q other_rels in
+    let db1, _ = Database.restrict_relations (Cq.relations q1) db in
+    let db2, _ = Database.restrict_relations other_rels db in
+    let n1 = Database.endo_size db1 and n2 = Database.endo_size db2 in
+    let t1 = Count_dp.answer_counts q1 db1 in
+    let t2 = Count_dp.answer_counts q2 db2 in
+    let nonempty1 = Tables.sub (Tables.full n1) (Count_dp.get t1 0) in
+    let many2 =
+      Tables.sub (Tables.full n2) (Tables.add (Count_dp.get t2 0) (Count_dp.get t2 1))
+    in
+    let dup1 = dup_counts tau q1 db1 in
+    Tables.add
+      (Tables.convolve nonempty1 many2)
+      (Tables.convolve dup1 (Count_dp.get t2 1))
+
+let check (a : Agg_query.t) =
+  if a.alpha <> Aggregate.Has_duplicates then
+    invalid_arg
+      ("Dup: aggregate " ^ Aggregate.to_string a.alpha ^ " is not has-duplicates");
+  if not (Hierarchy.is_sq_hierarchical a.query) then
+    invalid_arg ("Dup: query is not sq-hierarchical: " ^ Cq.to_string a.query)
+
+let sum_k (a : Agg_query.t) db =
+  check a;
+  let db_rel, db_pad = Decompose.relevant a.query db in
+  let counts = Tables.pad (Database.endo_size db_pad) (dup_counts a.tau a.query db_rel) in
+  Tables.to_rationals counts
+
+let shapley a db f = Sumk.shapley_of sum_k a db f
+let shapley_all a db = Sumk.shapley_all_of sum_k a db

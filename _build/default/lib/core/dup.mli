@@ -1,0 +1,30 @@
+(** Shapley values for has-duplicates (Dup) over sq-hierarchical CQs
+    (Theorem 6.1 and Appendix E.2).
+
+    The computation works with NoDup = 1 − Dup. For a {e connected}
+    sq-hierarchical CQ every free variable occurs in every atom, so each
+    fact determines the (unique) answer it can contribute to, and hence a
+    τ-value class; the answer bag is duplicate-free iff every class
+    produces at most one answer, counted with the [P⁰]/[P¹] tables of
+    {!Count_dp} and combined by the dynamic program of Figure 5. A
+    disconnected CQ [Q₁ × Q₂] (τ in [Q₁]) has duplicates iff [Q₁] is
+    nonempty and [Q₂] has ≥ 2 answers, or [Q₁] has duplicates and [Q₂]
+    exactly one (Appendix E.2.3). *)
+
+val sum_k :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** @raise Invalid_argument if the aggregate is not [Has_duplicates] or
+    the CQ is not sq-hierarchical. *)
+
+val shapley :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+
+val shapley_all :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list

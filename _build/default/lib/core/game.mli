@@ -1,0 +1,33 @@
+(** Generic cooperative games with exact Shapley and Banzhaf values.
+
+    Players are integers [0 .. n-1]; coalitions are bitmasks. This module
+    is the ground truth for everything else: the naive solver evaluates
+    an AggCQ on every coalition and hands the resulting game here, and the
+    property tests check the dynamic programs against it. *)
+
+type t = {
+  n : int;  (** number of players; at most 24 (the cost is [O(2ⁿ)]) *)
+  utility : int -> Aggshap_arith.Rational.t;
+      (** utility of a coalition given as a bitmask; [utility 0] need not
+          be zero — values are used only through differences, as in the
+          paper's game where [v(C) = A(C ∪ Dˣ) − A(Dˣ)] *)
+}
+
+val max_players : int
+(** Hard cap on [n] (24). *)
+
+val make : n:int -> (int -> Aggshap_arith.Rational.t) -> t
+(** Memoizes the utility. @raise Invalid_argument if [n > max_players]. *)
+
+val shapley : t -> int -> Aggshap_arith.Rational.t
+(** Exact Shapley value of one player, by subset enumeration. *)
+
+val shapley_all : t -> Aggshap_arith.Rational.t array
+
+val banzhaf : t -> int -> Aggshap_arith.Rational.t
+(** The Banzhaf score [2^{-(n-1)} Σ_C (v(C∪p) − v(C))] — a Shapley-like
+    score (Section 3.2 of the paper notes that all [sum_k]-based
+    algorithms extend to such scores). *)
+
+val efficiency_gap : t -> Aggshap_arith.Rational.t
+(** [v(P) - v(∅) - Σ_p Shapley(p)]; zero for every game (used by tests). *)

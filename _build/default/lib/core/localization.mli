@@ -1,0 +1,57 @@
+(** Localization matters: the polynomial algorithms of Proposition 7.3.
+
+    Each of the following AggCQs is FP^#P-complete when τ is localized on
+    the {e first} atom, yet polynomial when localized on the {e last} one
+    (Section 7.2):
+
+    + [Avg ∘ τ² ∘ Q_xyyz] with [Q_xyyz(x,z) ← R(x,y), S(y), T(z)]:
+      the T-component's average is replicated by the (x,y)-component's
+      answer count, which leaves the average unchanged, so
+      [sum_k] is a convolution of the single-relation Avg [sum_k] and the
+      Boolean counts of [∃x,y R(x,y),S(y)].
+    + [Med ∘ τ² ∘ Q_xyyz]: the same argument — the median is invariant
+      under uniform multiplicity scaling (unlike other quantiles).
+    + [Dup ∘ τ_id² ∘ Q_full] with [Q_full(x,y) ← R(x,y), S(y)]: grouping
+      by the y-value gives a closed count per class.
+
+    These functions check their premises and raise [Invalid_argument]
+    otherwise. *)
+
+val q_xyyz : Aggshap_cq.Cq.t
+(** [Q(x, z) ← R(x, y), S(y), T(z)]. *)
+
+val q_full : Aggshap_cq.Cq.t
+(** [Q(x, y) ← R(x, y), S(y)]. *)
+
+val avg_on_t_sum_k :
+  Aggshap_agg.Value_fn.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** [sum_k] for [Avg ∘ τ ∘ Q_xyyz] with τ localized on [T]. *)
+
+val median_on_t_sum_k :
+  Aggshap_agg.Value_fn.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** [sum_k] for [Med ∘ τ ∘ Q_xyyz] with τ localized on [T]. *)
+
+val dup_on_y_sum_k :
+  Aggshap_relational.Database.t -> Aggshap_arith.Rational.t array
+(** [sum_k] for [Dup ∘ τ_id² ∘ Q_full] (τ is the y-value itself). *)
+
+val avg_on_t_shapley :
+  Aggshap_agg.Value_fn.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+
+val median_on_t_shapley :
+  Aggshap_agg.Value_fn.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+
+val dup_on_y_shapley :
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t

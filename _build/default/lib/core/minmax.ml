@@ -1,0 +1,161 @@
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Hierarchy = Aggshap_cq.Hierarchy
+module Decompose = Aggshap_cq.Decompose
+module Agg_query = Aggshap_agg.Agg_query
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Database = Aggshap_relational.Database
+module QMap = Map.Make (Q)
+
+(* P[Q', D'] for sub-queries containing the τ-relation:
+   [by_value] maps each realizable maximal τ-value [a] to its per-k
+   counts; [empty] counts the subsets with no answer at all. Invariant:
+   [empty + Σ_a by_value(a) = full n]. *)
+type table = {
+  n : int;
+  empty : Tables.counts;
+  by_value : Tables.counts QMap.t;
+}
+
+let neutral = { n = 0; empty = [| B.one |]; by_value = QMap.empty }
+
+let pad_table p t =
+  if p = 0 then t
+  else
+    { n = t.n + p;
+      empty = Tables.pad p t.empty;
+      by_value = QMap.map (Tables.pad p) t.by_value }
+
+(* Bag-union of two independent sub-databases: the maximum of the union
+   is [a] iff one side attains [a] and the other stays at most [a]
+   (counting the empty side as "at most anything"). Sweeping values in
+   ascending order maintains the ≤a / <a cumulative tables. *)
+let combine_union t1 t2 =
+  let values =
+    QMap.fold (fun a _ acc -> QMap.add a () acc) t1.by_value QMap.empty
+    |> QMap.fold (fun a _ acc -> QMap.add a () acc) t2.by_value
+    |> QMap.bindings |> List.map fst
+  in
+  let lt1 = ref t1.empty and lt2 = ref t2.empty in
+  let by_value =
+    List.fold_left
+      (fun acc a ->
+        let p1 = Option.value (QMap.find_opt a t1.by_value) ~default:(Tables.zeros t1.n) in
+        let p2 = Option.value (QMap.find_opt a t2.by_value) ~default:(Tables.zeros t2.n) in
+        let le2 = Tables.add !lt2 p2 in
+        let counts = Tables.add (Tables.convolve p1 le2) (Tables.convolve !lt1 p2) in
+        lt1 := Tables.add !lt1 p1;
+        lt2 := le2;
+        if B.is_zero (Tables.total counts) then acc else QMap.add a counts acc)
+      QMap.empty values
+  in
+  { n = t1.n + t2.n; empty = Tables.convolve t1.empty t2.empty; by_value }
+
+(* Cross product with a τ-free side given by its nonempty counts. *)
+let combine_cross t (n2, nonempty2) =
+  let empty2 = Tables.sub (Tables.full n2) nonempty2 in
+  let empty =
+    Tables.sub
+      (Tables.add (Tables.convolve t.empty (Tables.full n2))
+         (Tables.convolve (Tables.full t.n) empty2))
+      (Tables.convolve t.empty empty2)
+  in
+  { n = t.n + n2;
+    empty;
+    by_value = QMap.map (fun c -> Tables.convolve c nonempty2) t.by_value }
+
+let ground_base tau (atom : Cq.atom) db =
+  let fact =
+    { Aggshap_relational.Fact.rel = atom.Cq.rel;
+      args =
+        Array.map
+          (function
+            | Cq.Const v -> v
+            | Cq.Var x -> invalid_arg ("Minmax: ground base with variable " ^ x))
+          atom.Cq.terms }
+  in
+  match Database.provenance db fact with
+  | None -> { n = Database.endo_size db; empty = Tables.full (Database.endo_size db); by_value = QMap.empty }
+  | Some p ->
+    let v = Value_fn.apply tau fact.args in
+    (match p with
+     | Database.Exogenous -> { n = 0; empty = [| B.zero |]; by_value = QMap.singleton v [| B.one |] }
+     | Database.Endogenous ->
+       { n = 1; empty = [| B.one; B.zero |]; by_value = QMap.singleton v [| B.zero; B.one |] })
+
+(* The table for a sub-query containing the τ-relation. Assumes every
+   fact of [db] matches some atom of [q]. *)
+let rec valued_table tau q db =
+  match Decompose.connected_components q with
+  | [] -> invalid_arg "Minmax: τ-relation vanished from the query"
+  | [ _ ] ->
+    if Decompose.is_ground q then begin
+      match q.Cq.body with
+      | [ atom ] -> ground_base tau atom db
+      | _ -> invalid_arg "Minmax: ground component with several atoms"
+    end
+    else begin
+      match Decompose.choose_root q with
+      | None ->
+        invalid_arg ("Minmax: query is not all-hierarchical: " ^ Cq.to_string q)
+      | Some x ->
+        let blocks, dropped = Decompose.partition q x db in
+        let t =
+          List.fold_left
+            (fun acc (a, block) ->
+              combine_union acc (valued_table tau (Cq.substitute q x a) block))
+            neutral blocks
+        in
+        pad_table (Database.endo_size dropped) t
+    end
+  | comps ->
+    let rel = tau.Value_fn.rel in
+    let with_r, without_r =
+      List.partition (fun c -> List.mem rel (Cq.relations c)) comps
+    in
+    (match with_r with
+     | [ c0 ] ->
+       let db0, _ = Database.restrict_relations (Cq.relations c0) db in
+       let t0 = valued_table tau c0 db0 in
+       List.fold_left
+         (fun acc c ->
+           let db_c, _ = Database.restrict_relations (Cq.relations c) db in
+           combine_cross acc (Database.endo_size db_c, Boolean_dp.counts c db_c))
+         t0 without_r
+     | _ -> invalid_arg "Minmax: τ-relation must occur in exactly one component")
+
+let check (a : Agg_query.t) =
+  if not (Hierarchy.is_all_hierarchical a.query) then
+    invalid_arg ("Minmax: query is not all-hierarchical: " ^ Cq.to_string a.query)
+
+let max_table (a : Agg_query.t) db =
+  let db_rel, db_pad = Decompose.relevant a.query db in
+  pad_table (Database.endo_size db_pad) (valued_table a.tau a.query db_rel)
+
+let max_sum_k a db =
+  let t = max_table a db in
+  QMap.fold
+    (fun v counts acc -> Tables.add_rat acc (Tables.scale_to v counts))
+    t.by_value
+    (Tables.zeros_rat t.n)
+
+let negate_tau (a : Agg_query.t) =
+  { a with
+    alpha = Aggregate.Max;
+    tau =
+      Value_fn.custom ~rel:a.tau.Value_fn.rel
+        ~descr:("neg(" ^ a.tau.Value_fn.descr ^ ")")
+        (fun args -> Q.neg (Value_fn.apply a.tau args)) }
+
+let sum_k (a : Agg_query.t) db =
+  check a;
+  match a.alpha with
+  | Aggregate.Max -> max_sum_k a db
+  | Aggregate.Min -> Array.map Q.neg (max_sum_k (negate_tau a) db)
+  | other ->
+    invalid_arg ("Minmax: aggregate " ^ Aggregate.to_string other ^ " is not min/max")
+
+let shapley a db f = Sumk.shapley_of sum_k a db f
+let shapley_all a db = Sumk.shapley_all_of sum_k a db

@@ -1,0 +1,27 @@
+(** Shapley values for Min and Max over all-hierarchical CQs
+    (Theorem 4.1, Section 4.2 and Appendix C).
+
+    The dynamic program instantiates the generic template with the table
+    [P[Q', D'](a, k)] = number of [k]-subsets whose answer bag has maximal
+    τ-value [a] (plus an explicit entry for the empty answer set). The
+    [combine] steps are exactly those of Appendix C; components that do
+    not contain the τ-relation only need nonempty/empty counts, which the
+    Boolean DP provides. Min reduces to Max by negating τ. *)
+
+val sum_k :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** [sum_k a db] for [a.alpha ∈ {Min, Max}] over an all-hierarchical CQ.
+    @raise Invalid_argument otherwise. *)
+
+val shapley :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+
+val shapley_all :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list

@@ -1,0 +1,53 @@
+module Agg_query = Aggshap_agg.Agg_query
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+
+type estimate = {
+  mean : float;
+  std_error : float;
+  samples : int;
+}
+
+let shapley ?seed ~samples a db f =
+  if samples <= 0 then invalid_arg "Monte_carlo.shapley: samples must be positive";
+  (match Database.provenance db f with
+   | Some Database.Endogenous -> ()
+   | _ -> invalid_arg "Monte_carlo.shapley: fact must be endogenous");
+  let rng = match seed with Some s -> Random.State.make [| s |] | None -> Random.State.make_self_init () in
+  let others =
+    Array.of_list (List.filter (fun g -> not (Fact.equal f g)) (Database.endogenous db))
+  in
+  let exo = Database.filter (fun _ p -> p = Database.Exogenous) db in
+  let n_others = Array.length others in
+  let shuffle () =
+    for i = n_others - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = others.(i) in
+      others.(i) <- others.(j);
+      others.(j) <- tmp
+    done
+  in
+  let eval db = Aggshap_arith.Rational.to_float (Agg_query.eval a db) in
+  let total = ref 0.0 and total_sq = ref 0.0 in
+  for _ = 1 to samples do
+    shuffle ();
+    (* f's position among the n players, uniform. *)
+    let pos = Random.State.int rng (n_others + 1) in
+    let prefix = ref exo in
+    for i = 0 to pos - 1 do
+      prefix := Database.add ~provenance:Database.Endogenous others.(i) !prefix
+    done;
+    let before = eval !prefix in
+    let after = eval (Database.add ~provenance:Database.Endogenous f !prefix) in
+    let marginal = after -. before in
+    total := !total +. marginal;
+    total_sq := !total_sq +. (marginal *. marginal)
+  done;
+  let mean = !total /. float_of_int samples in
+  let variance =
+    if samples = 1 then 0.0
+    else
+      let s = float_of_int samples in
+      ((!total_sq /. s) -. (mean *. mean)) *. (s /. (s -. 1.0))
+  in
+  { mean; std_error = sqrt (Float.max variance 0.0 /. float_of_int samples); samples }

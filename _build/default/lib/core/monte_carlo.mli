@@ -1,0 +1,23 @@
+(** Permutation-sampling approximation of the Shapley value.
+
+    The paper leaves approximation as future work (Section 8); this
+    module provides the standard unbiased estimator — sample random
+    permutations of the endogenous facts and average the marginal
+    contribution of the target fact — so that the benchmarks can compare
+    approximation error against the exact dynamic programs. *)
+
+type estimate = {
+  mean : float;  (** the Shapley estimate *)
+  std_error : float;  (** sample standard error of the mean *)
+  samples : int;
+}
+
+val shapley :
+  ?seed:int ->
+  samples:int ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  estimate
+(** @raise Invalid_argument if the fact is not endogenous or
+    [samples <= 0]. *)

@@ -1,0 +1,103 @@
+module Q = Aggshap_arith.Rational
+module Hierarchy = Aggshap_cq.Hierarchy
+module Agg_query = Aggshap_agg.Agg_query
+module Aggregate = Aggshap_agg.Aggregate
+module Database = Aggshap_relational.Database
+
+type outcome =
+  | Exact of Q.t
+  | Estimate of Monte_carlo.estimate
+
+type report = {
+  cls : Hierarchy.cls;
+  frontier : Hierarchy.cls;
+  within_frontier : bool;
+  algorithm : string;
+}
+
+let frontier = function
+  | Aggregate.Sum | Aggregate.Count -> Hierarchy.Exists_hierarchical
+  | Aggregate.Min | Aggregate.Max | Aggregate.Count_distinct -> Hierarchy.All_hierarchical
+  | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ -> Hierarchy.Q_hierarchical
+  | Aggregate.Has_duplicates -> Hierarchy.Sq_hierarchical
+
+let within_frontier alpha q =
+  Hierarchy.cls_leq (Hierarchy.classify q) (frontier alpha)
+
+let frontier_algorithm (a : Agg_query.t) =
+  match a.alpha with
+  | Aggregate.Sum | Aggregate.Count -> ("sum/count via linearity + Boolean DP", Sum_count.shapley)
+  | Aggregate.Count_distinct -> ("count-distinct via per-value Boolean DP", Cdist.shapley)
+  | Aggregate.Min | Aggregate.Max -> ("min/max (a,k)-table DP", Minmax.shapley)
+  | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ ->
+    ("avg/quantile (a,k,l)-table DP", Avg_quantile.shapley)
+  | Aggregate.Has_duplicates -> ("has-duplicates P0/P1 DP", Dup.shapley)
+
+let make_report (a : Agg_query.t) algorithm =
+  let cls = Hierarchy.classify a.query in
+  let front = frontier a.alpha in
+  { cls; frontier = front; within_frontier = Hierarchy.cls_leq cls front; algorithm }
+
+let shapley ?(fallback = `Naive) (a : Agg_query.t) db f =
+  if within_frontier a.alpha a.query then begin
+    let name, solve = frontier_algorithm a in
+    (Exact (solve a db f), make_report a name)
+  end
+  else begin
+    match fallback with
+    | `Naive -> (Exact (Naive.shapley a db f), make_report a "naive enumeration (exponential)")
+    | `Monte_carlo samples ->
+      (Estimate (Monte_carlo.shapley ~samples a db f), make_report a "Monte-Carlo permutation sampling")
+    | `Fail ->
+      invalid_arg
+        (Printf.sprintf
+           "Solver.shapley: %s is outside the tractability frontier (%s) of %s"
+           (Aggshap_cq.Cq.to_string a.query)
+           (Hierarchy.cls_to_string (frontier a.alpha))
+           (Aggregate.to_string a.alpha))
+  end
+
+let banzhaf (a : Agg_query.t) db f =
+  if within_frontier a.alpha a.query then begin
+    match a.alpha with
+    | Aggregate.Sum | Aggregate.Count ->
+      Sum_count.score ~coefficients:Sumk.banzhaf_coefficients a db f
+    | Aggregate.Count_distinct ->
+      Cdist.score ~coefficients:Sumk.banzhaf_coefficients a db f
+    | Aggregate.Min | Aggregate.Max -> Sumk.banzhaf_of Minmax.sum_k a db f
+    | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ ->
+      Sumk.banzhaf_of Avg_quantile.sum_k a db f
+    | Aggregate.Has_duplicates -> Sumk.banzhaf_of Dup.sum_k a db f
+  end
+  else begin
+    let players, game = Naive.game a db in
+    let index =
+      let found = ref (-1) in
+      Array.iteri
+        (fun i g -> if Aggshap_relational.Fact.equal f g then found := i)
+        players;
+      if !found < 0 then invalid_arg "Solver.banzhaf: fact is not endogenous";
+      !found
+    in
+    Game.banzhaf game index
+  end
+
+let shapley_exact a db f =
+  match shapley ~fallback:`Naive a db f with
+  | Exact v, _ -> v
+  | Estimate _, _ -> assert false
+
+let shapley_all ?(fallback = `Naive) a db =
+  let results =
+    List.map (fun f -> (f, fst (shapley ~fallback a db f))) (Database.endogenous db)
+  in
+  let report =
+    if within_frontier a.alpha a.query then make_report a (fst (frontier_algorithm a))
+    else
+      make_report a
+        (match fallback with
+         | `Naive -> "naive enumeration (exponential)"
+         | `Monte_carlo _ -> "Monte-Carlo permutation sampling"
+         | `Fail -> "none")
+  in
+  (results, report)

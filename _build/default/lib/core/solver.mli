@@ -1,0 +1,67 @@
+(** Front door of the library: classify the query, pick the right
+    algorithm, and report which side of the tractability frontier the
+    instance fell on — Figure 1 of the paper, operationally.
+
+    For each aggregate function the {e frontier} is the class of CQs
+    (without self-joins) for which the Shapley value is computable in
+    polynomial time for every localized value function:
+
+    - Sum, Count → ∃-hierarchical (Livshits et al.; Theorem 3.1),
+    - Min, Max, CDist → all-hierarchical (Theorem 4.1),
+    - Avg, Median, Quantile → q-hierarchical (Theorem 5.1),
+    - Has-duplicates → sq-hierarchical (Theorem 6.1).
+
+    Outside the frontier the solver can fall back to exact enumeration
+    (exponential) or Monte-Carlo estimation. *)
+
+type outcome =
+  | Exact of Aggshap_arith.Rational.t
+  | Estimate of Monte_carlo.estimate
+
+type report = {
+  cls : Aggshap_cq.Hierarchy.cls;  (** classification of the CQ *)
+  frontier : Aggshap_cq.Hierarchy.cls;  (** frontier class of the aggregate *)
+  within_frontier : bool;
+  algorithm : string;  (** human-readable name of the algorithm used *)
+}
+
+val frontier : Aggshap_agg.Aggregate.t -> Aggshap_cq.Hierarchy.cls
+
+val within_frontier : Aggshap_agg.Aggregate.t -> Aggshap_cq.Cq.t -> bool
+(** Is the Shapley value polynomial-time for this aggregate and CQ (for
+    every localized τ)? *)
+
+val shapley :
+  ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  outcome * report
+(** Computes the Shapley value of an endogenous fact. Within the frontier
+    the matching polynomial algorithm runs; outside, [fallback] decides
+    (default [`Naive]).
+    @raise Invalid_argument outside the frontier with [`Fail], or if the
+    fact is not endogenous. *)
+
+val banzhaf :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** The Banzhaf value of an endogenous fact (Section 3.2's observation
+    that [sum_k]-based algorithms compute every Shapley-like score):
+    inside the frontier via the polynomial algorithms, outside via exact
+    enumeration. *)
+
+val shapley_exact :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** [shapley] with [`Naive] fallback, unwrapped. *)
+
+val shapley_all :
+  ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_relational.Fact.t * outcome) list * report

@@ -1,0 +1,55 @@
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Hierarchy = Aggshap_cq.Hierarchy
+module Agg_query = Aggshap_agg.Agg_query
+module Aggregate = Aggshap_agg.Aggregate
+module Database = Aggshap_relational.Database
+
+let check (a : Agg_query.t) =
+  (match a.alpha with
+   | Aggregate.Sum | Aggregate.Count -> ()
+   | other ->
+     invalid_arg
+       ("Sum_count: aggregate " ^ Aggregate.to_string other ^ " is not sum/count"));
+  if not (Hierarchy.is_exists_hierarchical a.query) then
+    invalid_arg
+      ("Sum_count: query is not exists-hierarchical: " ^ Cq.to_string a.query)
+
+(* Ground the head variables of [q] to the answer tuple [t]. *)
+let membership_query q t =
+  List.fold_left2
+    (fun acc x v -> Cq.substitute acc x v)
+    q q.Cq.head (Array.to_list t)
+
+let weighted_answers (a : Agg_query.t) db =
+  let answers = Agg_query.answer_values a db in
+  match a.alpha with
+  | Aggregate.Count -> List.map (fun (t, _) -> (t, Q.one)) answers
+  | _ -> answers
+
+let score ?coefficients a db f =
+  check a;
+  List.fold_left
+    (fun acc (t, weight) ->
+      if Q.is_zero weight then acc
+      else
+        Q.add acc
+          (Q.mul weight (Boolean_dp.score ?coefficients (membership_query a.query t) db f)))
+    Q.zero (weighted_answers a db)
+
+let shapley a db f = score a db f
+
+let shapley_all a db =
+  check a;
+  let answers = weighted_answers a db in
+  List.map
+    (fun f ->
+      ( f,
+        List.fold_left
+          (fun acc (t, weight) ->
+            if Q.is_zero weight then acc
+            else
+              Q.add acc
+                (Q.mul weight (Boolean_dp.shapley (membership_query a.query t) db f)))
+          Q.zero answers ))
+    (Database.endogenous db)

@@ -1,0 +1,33 @@
+(** Shapley values for Sum and Count over ∃-hierarchical CQs
+    (Livshits et al.; positive side of Theorem 3.1).
+
+    By linearity of the Shapley value, for [A = Sum ∘ τ ∘ Q]:
+
+    {v Shapley(f, A) = Σ_{t ∈ Q(D)} τ(t) · Shapley(f, "t ∈ Q(·)") v}
+
+    and each membership game ["t ∈ Q(·)"] is the Boolean game of the
+    hierarchical CQ obtained by grounding the head variables of [Q] to
+    [t], which {!Boolean_dp} solves. [Count] is [Sum] with τ ≡ 1 per
+    answer. *)
+
+val shapley :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** @raise Invalid_argument if the aggregate is not [Sum] or [Count], if
+    the CQ is not ∃-hierarchical, or the fact is not endogenous. *)
+
+val shapley_all :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list
+
+val score :
+  ?coefficients:Sumk.coefficients ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Shapley-like scores through the same linearity argument (any such
+    score is linear in the utility). *)

@@ -1,0 +1,48 @@
+module Q = Aggshap_arith.Rational
+module C = Aggshap_arith.Combinat
+module Database = Aggshap_relational.Database
+
+type sum_k_fn =
+  Aggshap_agg.Agg_query.t -> Database.t -> Q.t array
+
+(* A Shapley-like score is determined by coefficients p(n, k) weighting
+   the marginal contribution over coalitions of size k out of n players
+   (Karmakar et al. 2024). All sum_k-based algorithms support any such
+   score, as observed in Section 3.2 of the paper. *)
+type coefficients = players:int -> before:int -> Q.t
+
+let shapley_coefficients : coefficients = C.shapley_coefficient
+
+let banzhaf_coefficients : coefficients =
+ fun ~players ~before:_ ->
+  Q.inv (Q.of_bigint (Aggshap_arith.Bigint.pow Aggshap_arith.Bigint.two (players - 1)))
+
+let score_of_db_fn ?(coefficients = shapley_coefficients) sum_k db f =
+  (match Database.provenance db f with
+   | Some Database.Endogenous -> ()
+   | _ -> invalid_arg "Sumk: fact must be endogenous");
+  let n = Database.endo_size db in
+  let with_f = sum_k (Database.set_provenance Database.Exogenous f db) in
+  let without_f = sum_k (Database.remove f db) in
+  if Array.length with_f <> n || Array.length without_f <> n then
+    invalid_arg "Sumk: sum_k vector has the wrong length";
+  let acc = ref Q.zero in
+  for k = 0 to n - 1 do
+    let diff = Q.sub with_f.(k) without_f.(k) in
+    if not (Q.is_zero diff) then
+      acc := Q.add !acc (Q.mul (coefficients ~players:n ~before:k) diff)
+  done;
+  !acc
+
+let shapley_of_db_fn sum_k db f = score_of_db_fn sum_k db f
+
+let score_of ?coefficients sum_k a db f =
+  score_of_db_fn ?coefficients (fun db -> sum_k a db) db f
+
+let shapley_of sum_k a db f = score_of sum_k a db f
+
+let banzhaf_of sum_k a db f =
+  score_of ~coefficients:banzhaf_coefficients sum_k a db f
+
+let shapley_all_of sum_k a db =
+  List.map (fun f -> (f, shapley_of sum_k a db f)) (Database.endogenous db)

@@ -1,0 +1,71 @@
+(** From [sum_k] vectors to Shapley values (Section 3.2).
+
+    Every exact algorithm in this library produces, for a database [D],
+    the vector [sum_k(A, D) = Σ_{E ∈ (Dⁿ choose k)} A(Dˣ ∪ E)]. The
+    folklore identity then gives the Shapley value of a fact [f]:
+
+    {v Shapley(f, A) = Σ_{k=0}^{n-1} q_k · (sum_k(A, F) − sum_k(A, G)) v}
+
+    where [n = |Dⁿ|], [F] is [D] with [f] made exogenous and [G] is [D]
+    without [f]. Because the formula only uses differences, any constant
+    offset (such as the [−A(Dˣ)] in the game definition) cancels. *)
+
+type sum_k_fn =
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** Must return an array of length [endo_size db + 1]. *)
+
+type coefficients = players:int -> before:int -> Aggshap_arith.Rational.t
+(** A {e Shapley-like score} (Karmakar et al. 2024) is given by the
+    weight of a marginal contribution over a coalition of size [before]
+    out of [players] players. Every [sum_k]-based algorithm in this
+    library computes any such score (Section 3.2 of the paper). *)
+
+val shapley_coefficients : coefficients
+val banzhaf_coefficients : coefficients
+(** [1 / 2^(players-1)], independent of the coalition size. *)
+
+val score_of :
+  ?coefficients:coefficients ->
+  sum_k_fn ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Defaults to the Shapley coefficients. *)
+
+val banzhaf_of :
+  sum_k_fn ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+
+val score_of_db_fn :
+  ?coefficients:coefficients ->
+  (Aggshap_relational.Database.t -> Aggshap_arith.Rational.t array) ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+
+val shapley_of_db_fn :
+  (Aggshap_relational.Database.t -> Aggshap_arith.Rational.t array) ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Like {!shapley_of} for a [sum_k] function closed over its query. *)
+
+val shapley_of :
+  sum_k_fn ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** @raise Invalid_argument if the fact is not endogenous. *)
+
+val shapley_all_of :
+  sum_k_fn ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list

@@ -1,0 +1,70 @@
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module C = Aggshap_arith.Combinat
+
+type counts = B.t array
+
+let zeros n = Array.make (n + 1) B.zero
+
+let delta n k0 =
+  let c = zeros n in
+  c.(k0) <- B.one;
+  c
+
+let full n = Array.init (n + 1) (fun k -> C.binomial n k)
+
+let check_same_length a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Tables: length mismatch"
+
+let add a b =
+  check_same_length a b;
+  Array.map2 B.add a b
+
+let sub a b =
+  check_same_length a b;
+  Array.map2 B.sub a b
+
+let complement n c = sub (full n) c
+
+let convolve a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb - 1) B.zero in
+  for i = 0 to la - 1 do
+    if not (B.is_zero a.(i)) then
+      for j = 0 to lb - 1 do
+        if not (B.is_zero b.(j)) then
+          out.(i + j) <- B.add out.(i + j) (B.mul a.(i) b.(j))
+      done
+  done;
+  out
+
+let pad p c = if p = 0 then c else convolve c (full p)
+
+let total c = Array.fold_left B.add B.zero c
+
+let to_rationals c = Array.map Q.of_bigint c
+
+let scale_to r c = Array.map (fun x -> Q.mul r (Q.of_bigint x)) c
+
+let add_rat a b =
+  if Array.length a <> Array.length b then invalid_arg "Tables.add_rat: length mismatch";
+  Array.map2 Q.add a b
+
+let zeros_rat n = Array.make (n + 1) Q.zero
+
+let convolve_rat a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb - 1) Q.zero in
+  for i = 0 to la - 1 do
+    if not (Q.is_zero a.(i)) then
+      for j = 0 to lb - 1 do
+        if not (Q.is_zero b.(j)) then
+          out.(i + j) <- Q.add out.(i + j) (Q.mul a.(i) b.(j))
+      done
+  done;
+  out
+
+let pad_rat p c =
+  if p = 0 then c
+  else convolve_rat c (Array.map Q.of_bigint (full p))

@@ -1,0 +1,58 @@
+(** Shared helpers for the dynamic-programming tables.
+
+    Every algorithm instantiated from the paper's generic template
+    (Figure 2) manipulates tables of bignum counts indexed by the size [k]
+    of the endogenous subset, i.e. arrays [c] with [c.(k)] = number of
+    [k]-subsets having some property. This module provides the common
+    array plumbing: convolution (for [combine] steps), binomial padding
+    (for null players dropped during decomposition), and totals. *)
+
+type counts = Aggshap_arith.Bigint.t array
+(** [c.(k)] for [k = 0 .. n]; length is the number of endogenous facts
+    plus one. *)
+
+val zeros : int -> counts
+(** [zeros n] is the all-zero table for [n] endogenous facts. *)
+
+val delta : int -> int -> counts
+(** [delta n k0] has a single 1 at index [k0]. *)
+
+val full : int -> counts
+(** [full n] has [C(n,k)] at index [k]: the table of the always-true
+    property. *)
+
+val add : counts -> counts -> counts
+(** Pointwise sum; lengths must agree. *)
+
+val sub : counts -> counts -> counts
+
+val complement : int -> counts -> counts
+(** [complement n c] is [full n - c]. *)
+
+val convolve : counts -> counts -> counts
+(** [convolve a b] has length [(|a|-1) + (|b|-1) + 1]; entry [k] is
+    [Σ_{k1+k2=k} a.(k1) * b.(k2)] — the table of a conjunction over two
+    disjoint fact sets. *)
+
+val pad : int -> counts -> counts
+(** [pad p c] extends the underlying fact set by [p] endogenous null
+    players: [result.(k) = Σ_j c.(k-j) * C(p, j)]. *)
+
+val total : counts -> Aggshap_arith.Bigint.t
+(** Sum of all entries. *)
+
+val to_rationals : counts -> Aggshap_arith.Rational.t array
+
+val scale_to : Aggshap_arith.Rational.t -> counts -> Aggshap_arith.Rational.t array
+(** [scale_to r c] is the rational array [r * c.(k)]. *)
+
+val add_rat : Aggshap_arith.Rational.t array -> Aggshap_arith.Rational.t array -> Aggshap_arith.Rational.t array
+val zeros_rat : int -> Aggshap_arith.Rational.t array
+
+val pad_rat : int -> Aggshap_arith.Rational.t array -> Aggshap_arith.Rational.t array
+(** Binomial padding of a rational-valued table (e.g. a [sum_k] vector). *)
+
+val convolve_rat :
+  Aggshap_arith.Rational.t array ->
+  Aggshap_arith.Rational.t array ->
+  Aggshap_arith.Rational.t array

@@ -1,0 +1,1 @@
+lib/cq/cq.ml: Aggshap_relational Array Format List Printf String

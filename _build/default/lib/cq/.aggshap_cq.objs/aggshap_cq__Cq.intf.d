@@ -1,0 +1,1 @@
+lib/cq/cq.mli: Aggshap_relational Format

@@ -1,0 +1,1 @@
+lib/cq/decompose.ml: Aggshap_relational Array Cq List Set Stdlib String

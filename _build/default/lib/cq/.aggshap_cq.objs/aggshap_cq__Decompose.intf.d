@@ -1,0 +1,1 @@
+lib/cq/decompose.mli: Aggshap_relational Cq

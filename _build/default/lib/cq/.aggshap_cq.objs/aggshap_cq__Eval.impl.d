@@ -1,0 +1,1 @@
+lib/cq/eval.ml: Aggshap_relational Array Cq List Map Set Stdlib String

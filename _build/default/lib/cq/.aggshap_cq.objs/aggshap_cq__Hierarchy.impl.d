@@ -1,0 +1,1 @@
+lib/cq/hierarchy.ml: Cq Format List Set String

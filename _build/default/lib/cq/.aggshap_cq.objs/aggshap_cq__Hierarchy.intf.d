@@ -1,0 +1,1 @@
+lib/cq/hierarchy.mli: Cq Format

@@ -1,0 +1,1 @@
+lib/cq/parser.ml: Aggshap_relational Array Cq List Printf String

@@ -1,0 +1,1 @@
+lib/cq/parser.mli: Aggshap_relational Cq

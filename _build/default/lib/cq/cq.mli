@@ -1,0 +1,71 @@
+(** Conjunctive queries (CQs).
+
+    A CQ is [Q(x̄) ← R₁(z̄₁), ..., R_q(z̄_q)] where the head [x̄] lists the
+    free variables and each body atom applies a relation name to a mix of
+    variables and constants. The paper (and hence this library) restricts
+    attention to CQs {e without self-joins}: each relation name appears in
+    at most one atom; {!validate} enforces this. *)
+
+type term =
+  | Var of string
+  | Const of Aggshap_relational.Value.t
+
+type atom = { rel : string; terms : term array }
+
+type t = {
+  name : string;  (** head predicate name, cosmetic *)
+  head : string list;  (** free variables, in answer-tuple order *)
+  body : atom list;
+}
+
+val make : ?name:string -> head:string list -> atom list -> t
+(** Builds and {!validate}s a CQ. @raise Invalid_argument when invalid. *)
+
+val atom : string -> term list -> atom
+val var : string -> term
+val cst : Aggshap_relational.Value.t -> term
+val cst_int : int -> term
+
+val validate : t -> (unit, string) result
+(** Checks: no self-joins, head variables occur in the body, no duplicate
+    head variables. *)
+
+(** {1 Variables and atoms} *)
+
+val vars : t -> string list
+(** All variables, each once, in first-occurrence order. *)
+
+val free_vars : t -> string list
+val exist_vars : t -> string list
+val is_free : t -> string -> bool
+val is_boolean : t -> bool
+
+val atoms_of : t -> string -> string list
+(** [atoms_of q x] is the set (as a sorted list of relation names) of
+    atoms in which [x] occurs — well-defined because there are no
+    self-joins. *)
+
+val atom_vars : atom -> string list
+val find_atom : t -> string -> atom option
+val relations : t -> string list
+(** Relation names of the body, in body order. *)
+
+(** {1 Transformations} *)
+
+val make_boolean : t -> t
+(** Drops the head: every variable becomes existential. *)
+
+val substitute : t -> string -> Aggshap_relational.Value.t -> t
+(** [substitute q x a] is [Q_{x↦a}]: replaces body occurrences of [x] by
+    the constant [a] and removes [x] from the head. *)
+
+val restrict_to_relations : t -> string list -> t
+(** Keeps only the body atoms over the given relations; the head keeps
+    the variables that still occur. *)
+
+val induced_schema : t -> Aggshap_relational.Schema.t
+(** The schema the query's atoms declare (relation names with arities). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

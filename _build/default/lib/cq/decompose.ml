@@ -1,0 +1,113 @@
+module Value = Aggshap_relational.Value
+module Database = Aggshap_relational.Database
+
+let is_ground q = Cq.vars q = []
+
+let connected_components q =
+  let atoms = Array.of_list q.Cq.body in
+  let n = Array.length atoms in
+  let comp = Array.init n (fun i -> i) in
+  let rec find i = if comp.(i) = i then i else find comp.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then comp.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let vi = Cq.atom_vars atoms.(i) and vj = Cq.atom_vars atoms.(j) in
+      if List.exists (fun x -> List.mem x vj) vi then union i j
+    done
+  done;
+  let roots = List.sort_uniq Stdlib.compare (List.init n (fun i -> find i)) in
+  List.map
+    (fun r ->
+      let body =
+        List.filteri (fun i _ -> find i = r) (Array.to_list atoms)
+      in
+      let body_vars = List.concat_map Cq.atom_vars body in
+      { q with
+        Cq.head = List.filter (fun x -> List.mem x body_vars) q.Cq.head;
+        body })
+    roots
+
+let root_variables q =
+  match q.Cq.body with
+  | [] -> []
+  | first :: rest ->
+    List.filter
+      (fun x -> List.for_all (fun a -> List.mem x (Cq.atom_vars a)) rest)
+      (Cq.atom_vars first)
+
+let choose_root q =
+  let roots = root_variables q in
+  match List.find_opt (Cq.is_free q) roots with
+  | Some x -> Some x
+  | None -> (match roots with [] -> None | x :: _ -> Some x)
+
+let matches (a : Cq.atom) fixing (f : Aggshap_relational.Fact.t) =
+  if not (String.equal a.rel f.rel) || Array.length a.terms <> Array.length f.args then false
+  else begin
+    let n = Array.length a.terms in
+    let rec go i sigma =
+      if i >= n then true
+      else
+        match a.terms.(i) with
+        | Cq.Const v -> Value.equal v f.args.(i) && go (i + 1) sigma
+        | Cq.Var x -> begin
+          match List.assoc_opt x sigma with
+          | Some v -> Value.equal v f.args.(i) && go (i + 1) sigma
+          | None -> go (i + 1) ((x, f.args.(i)) :: sigma)
+        end
+    in
+    go 0 fixing
+  end
+
+let relevant q db =
+  Database.filter
+    (fun f _ -> List.exists (fun a -> matches a [] f) q.Cq.body)
+    db,
+  Database.filter
+    (fun f _ -> not (List.exists (fun a -> matches a [] f) q.Cq.body))
+    db
+
+module ValueSet = Set.Make (Value)
+
+(* The value the root variable takes in a fact matching an atom, if any. *)
+let root_value_of (a : Cq.atom) x (f : Aggshap_relational.Fact.t) =
+  if matches a [] f then begin
+    let v = ref None in
+    Array.iteri
+      (fun i t -> match t with Cq.Var y when String.equal y x && !v = None -> v := Some f.args.(i) | _ -> ())
+      a.terms;
+    !v
+  end
+  else None
+
+let root_values q x db =
+  let per_atom (a : Cq.atom) =
+    List.fold_left
+      (fun acc f -> match root_value_of a x f with Some v -> ValueSet.add v acc | None -> acc)
+      ValueSet.empty
+      (Database.relation db a.rel)
+  in
+  match q.Cq.body with
+  | [] -> []
+  | first :: rest ->
+    let init = per_atom first in
+    let inter = List.fold_left (fun acc a -> ValueSet.inter acc (per_atom a)) init rest in
+    ValueSet.elements inter
+
+let partition q x db =
+  let values = root_values q x db in
+  let block a =
+    Database.filter
+      (fun f _ ->
+        List.exists (fun at -> matches at [ (x, a) ] f) q.Cq.body)
+      db
+  in
+  let blocks = List.map (fun a -> (a, block a)) values in
+  let in_some_block f =
+    List.exists (fun (_, b) -> Database.mem f b) blocks
+  in
+  let dropped = Database.filter (fun f _ -> not (in_some_block f)) db in
+  (blocks, dropped)

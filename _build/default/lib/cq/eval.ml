@@ -1,0 +1,116 @@
+module Value = Aggshap_relational.Value
+module Fact = Aggshap_relational.Fact
+module Database = Aggshap_relational.Database
+module Subst = Map.Make (String)
+
+type subst = Value.t Subst.t
+
+(* Try to extend [sigma] so that the atom matches the fact. *)
+let match_atom (a : Cq.atom) (f : Fact.t) sigma =
+  if not (String.equal a.rel f.rel) || Array.length a.terms <> Array.length f.args then None
+  else begin
+    let n = Array.length a.terms in
+    let rec go i sigma =
+      if i >= n then Some sigma
+      else
+        match a.terms.(i) with
+        | Cq.Const v ->
+          if Value.equal v f.args.(i) then go (i + 1) sigma else None
+        | Cq.Var x -> begin
+          match Subst.find_opt x sigma with
+          | Some v -> if Value.equal v f.args.(i) then go (i + 1) sigma else None
+          | None -> go (i + 1) (Subst.add x f.args.(i) sigma)
+        end
+    in
+    go 0 sigma
+  end
+
+(* Enumerate homomorphisms with a visitor; [k] returns [true] to continue
+   and [false] to stop early. *)
+let visit_homomorphisms q db k =
+  let facts_by_rel =
+    List.map (fun (a : Cq.atom) -> (a, Database.relation db a.rel)) q.Cq.body
+  in
+  let rec go atoms sigma =
+    match atoms with
+    | [] -> k sigma
+    | (a, facts) :: rest ->
+      let rec try_facts = function
+        | [] -> true
+        | f :: more -> begin
+          match match_atom a f sigma with
+          | Some sigma' -> if go rest sigma' then try_facts more else false
+          | None -> try_facts more
+        end
+      in
+      try_facts facts
+  in
+  ignore (go facts_by_rel Subst.empty)
+
+let homomorphisms q db =
+  let acc = ref [] in
+  visit_homomorphisms q db (fun sigma ->
+      acc := sigma :: !acc;
+      true);
+  List.rev !acc
+
+let apply_head q sigma =
+  Array.of_list
+    (List.map
+       (fun x ->
+         match Subst.find_opt x sigma with
+         | Some v -> v
+         | None -> invalid_arg ("Eval.apply_head: unbound head variable " ^ x))
+       q.Cq.head)
+
+let atom_image (a : Cq.atom) sigma =
+  { Fact.rel = a.rel;
+    args =
+      Array.map
+        (function
+          | Cq.Const v -> v
+          | Cq.Var x -> (
+            match Subst.find_opt x sigma with
+            | Some v -> v
+            | None -> invalid_arg ("Eval.atom_image: unbound variable " ^ x)))
+        a.terms }
+
+module TupleSet = Set.Make (struct
+  type t = Value.t array
+
+  let compare a b =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else begin
+      let rec go i =
+        if i >= la then 0
+        else
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    end
+end)
+
+let answers q db =
+  let set = ref TupleSet.empty in
+  visit_homomorphisms q db (fun sigma ->
+      set := TupleSet.add (apply_head q sigma) !set;
+      true);
+  TupleSet.elements !set
+
+let is_satisfied q db =
+  let found = ref false in
+  visit_homomorphisms q db (fun _ ->
+      found := true;
+      false);
+  !found
+
+module FactSet = Set.Make (Fact)
+
+let support q db =
+  let set = ref FactSet.empty in
+  visit_homomorphisms q db (fun sigma ->
+      List.iter (fun a -> set := FactSet.add (atom_image a sigma) !set) q.Cq.body;
+      true);
+  FactSet.elements !set

@@ -1,0 +1,30 @@
+(** CQ evaluation: homomorphism enumeration over a database.
+
+    The evaluator is a straightforward backtracking join. It is used for
+    top-level answer materialization, for the support computation of the
+    dynamic programs, and — crucially — inside the exact naive Shapley
+    baseline, which evaluates the query on exponentially many subsets. *)
+
+module Subst : Map.S with type key = string
+
+type subst = Aggshap_relational.Value.t Subst.t
+
+val homomorphisms : Cq.t -> Aggshap_relational.Database.t -> subst list
+(** All homomorphisms from the query to the database. *)
+
+val apply_head : Cq.t -> subst -> Aggshap_relational.Value.t array
+(** The answer tuple [h(x̄)] of a homomorphism. *)
+
+val atom_image : Cq.atom -> subst -> Aggshap_relational.Fact.t
+(** The fact an atom maps to under a homomorphism. *)
+
+val answers : Cq.t -> Aggshap_relational.Database.t -> Aggshap_relational.Value.t array list
+(** [Q(D)]: the {e set} of answer tuples (duplicates removed), in some
+    deterministic order. *)
+
+val is_satisfied : Cq.t -> Aggshap_relational.Database.t -> bool
+(** Boolean evaluation with early exit. *)
+
+val support : Cq.t -> Aggshap_relational.Database.t -> Aggshap_relational.Fact.t list
+(** Facts that participate in at least one homomorphism. Facts outside
+    the support are null players of every Shapley game over the query. *)

@@ -1,0 +1,84 @@
+type cls =
+  | General
+  | Exists_hierarchical
+  | All_hierarchical
+  | Q_hierarchical
+  | Sq_hierarchical
+
+module StringSet = Set.Make (String)
+
+let atom_set q x = StringSet.of_list (Cq.atoms_of q x)
+
+let pairs xs =
+  let rec go acc = function
+    | [] -> acc
+    | x :: rest -> go (List.rev_append (List.map (fun y -> (x, y)) rest) acc) rest
+  in
+  go [] xs
+
+let hierarchical_wrt q vs =
+  let sets = List.map (fun x -> (x, atom_set q x)) vs in
+  List.for_all
+    (fun ((_, sx), (_, sy)) ->
+      StringSet.subset sx sy || StringSet.subset sy sx
+      || StringSet.is_empty (StringSet.inter sx sy))
+    (pairs sets)
+
+let is_exists_hierarchical q = hierarchical_wrt q (Cq.exist_vars q)
+let is_all_hierarchical q = hierarchical_wrt q (Cq.vars q)
+
+let is_q_hierarchical q =
+  is_all_hierarchical q
+  && begin
+    let vs = Cq.vars q in
+    List.for_all
+      (fun y ->
+        (not (Cq.is_free q y))
+        || List.for_all
+             (fun x ->
+               (not (StringSet.subset (atom_set q y) (atom_set q x))) || Cq.is_free q x)
+             vs)
+      vs
+  end
+
+let is_sq_hierarchical q =
+  is_q_hierarchical q
+  && begin
+    let vs = Cq.vars q in
+    (* No free variable's atom set is strictly contained in another
+       variable's atom set. *)
+    List.for_all
+      (fun x ->
+        (not (Cq.is_free q x))
+        || List.for_all
+             (fun y ->
+               let sx = atom_set q x and sy = atom_set q y in
+               not (StringSet.subset sx sy && not (StringSet.equal sx sy)))
+             vs)
+      vs
+  end
+
+let classify q =
+  if is_sq_hierarchical q then Sq_hierarchical
+  else if is_q_hierarchical q then Q_hierarchical
+  else if is_all_hierarchical q then All_hierarchical
+  else if is_exists_hierarchical q then Exists_hierarchical
+  else General
+
+let cls_to_string = function
+  | General -> "general"
+  | Exists_hierarchical -> "exists-hierarchical"
+  | All_hierarchical -> "all-hierarchical"
+  | Q_hierarchical -> "q-hierarchical"
+  | Sq_hierarchical -> "sq-hierarchical"
+
+let rank = function
+  | General -> 0
+  | Exists_hierarchical -> 1
+  | All_hierarchical -> 2
+  | Q_hierarchical -> 3
+  | Sq_hierarchical -> 4
+
+let cls_leq a b = rank a >= rank b
+
+let pp_cls fmt c = Format.pp_print_string fmt (cls_to_string c)

@@ -1,0 +1,45 @@
+(** Hierarchy classification of CQs (Section 2 and Section 6 of the paper).
+
+    The chain of classes, from most general to most restrictive:
+
+    {v general ⊃ ∃-hierarchical ⊃ all-hierarchical ⊃ q-hierarchical ⊃ sq-hierarchical v}
+
+    Each class is the tractability frontier for a set of aggregate
+    functions (Figure 1): ∃-hierarchical for Sum/Count and membership,
+    all-hierarchical for Min/Max/CDist, q-hierarchical for Avg/Qnt_q,
+    sq-hierarchical for Dup. *)
+
+type cls =
+  | General        (** not even ∃-hierarchical *)
+  | Exists_hierarchical
+  | All_hierarchical
+  | Q_hierarchical
+  | Sq_hierarchical
+
+val hierarchical_wrt : Cq.t -> string list -> bool
+(** [hierarchical_wrt q vs]: for every pair of variables in [vs], their
+    atom sets are comparable by inclusion or disjoint. *)
+
+val is_exists_hierarchical : Cq.t -> bool
+(** Hierarchical w.r.t. the existential variables. *)
+
+val is_all_hierarchical : Cq.t -> bool
+(** Hierarchical w.r.t. all variables. *)
+
+val is_q_hierarchical : Cq.t -> bool
+(** All-hierarchical, and whenever [atoms(y) ⊆ atoms(x)] with [y] free,
+    [x] is free too (Berkholz, Keppeler, Schweikardt 2017). *)
+
+val is_sq_hierarchical : Cq.t -> bool
+(** Q-hierarchical, and no free variable has an atom set strictly
+    contained in that of another variable (Section 6). *)
+
+val classify : Cq.t -> cls
+(** The most restrictive class the CQ belongs to. *)
+
+val cls_to_string : cls -> string
+val cls_leq : cls -> cls -> bool
+(** [cls_leq a b]: membership in [a] implies membership in [b]
+    ([a] is at least as restrictive). *)
+
+val pp_cls : Format.formatter -> cls -> unit

@@ -1,0 +1,25 @@
+(** Textual front-end for queries and facts.
+
+    Query syntax (datalog-like):
+    {v Q(x, z) <- R(x, y), S(y), T(z) v}
+    Bare identifiers are variables; integer literals and quoted strings
+    (['...'] or ["..."]) are constants; [_] is an anonymous (fresh)
+    existential variable; [:-] is accepted for [<-]; a trailing period is
+    optional.
+
+    Fact syntax (one per line):
+    {v R(1, 'alice')          -- endogenous (default)
+       S(2) @exo              -- exogenous v}
+    [#] starts a comment. *)
+
+val parse_query : string -> (Cq.t, string) result
+
+val parse_query_exn : string -> Cq.t
+(** @raise Invalid_argument on parse errors. *)
+
+val parse_fact :
+  string ->
+  (Aggshap_relational.Fact.t * Aggshap_relational.Database.provenance, string) result
+
+val parse_database : string -> (Aggshap_relational.Database.t, string) result
+(** Parses a multi-line fact listing; blank lines and comments allowed. *)

@@ -1,0 +1,1 @@
+lib/linalg/matrix.ml: Aggshap_arith Array Format List

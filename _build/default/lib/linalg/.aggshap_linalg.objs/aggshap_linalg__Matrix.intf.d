@@ -1,0 +1,1 @@
+lib/linalg/matrix.mli: Aggshap_arith Format

@@ -1,0 +1,189 @@
+module Q = Aggshap_arith.Rational
+module Combinat = Aggshap_arith.Combinat
+
+type t = { rows : int; cols : int; data : Q.t array array }
+
+let make rows cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.make: negative dimension";
+  { rows; cols; data = Array.init rows (fun i -> Array.init cols (fun j -> f i j)) }
+
+let of_lists rows =
+  match rows with
+  | [] -> invalid_arg "Matrix.of_lists: empty"
+  | first :: _ ->
+    let cols = List.length first in
+    if cols = 0 then invalid_arg "Matrix.of_lists: empty row";
+    if not (List.for_all (fun r -> List.length r = cols) rows) then
+      invalid_arg "Matrix.of_lists: ragged rows";
+    let data = Array.of_list (List.map Array.of_list rows) in
+    { rows = Array.length data; cols; data }
+
+let rows m = m.rows
+let cols m = m.cols
+let get m i j = m.data.(i).(j)
+
+let identity n = make n n (fun i j -> if i = j then Q.one else Q.zero)
+let transpose m = make m.cols m.rows (fun i j -> m.data.(j).(i))
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  && begin
+    let ok = ref true in
+    for i = 0 to a.rows - 1 do
+      for j = 0 to a.cols - 1 do
+        if not (Q.equal a.data.(i).(j) b.data.(i).(j)) then ok := false
+      done
+    done;
+    !ok
+  end
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt ", ";
+      Q.pp fmt m.data.(i).(j)
+    done;
+    Format.fprintf fmt "]";
+    if i < m.rows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"
+
+let map2 op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix: dimension mismatch";
+  make a.rows a.cols (fun i j -> op a.data.(i).(j) b.data.(i).(j))
+
+let add = map2 Q.add
+let sub = map2 Q.sub
+let scale c m = make m.rows m.cols (fun i j -> Q.mul c m.data.(i).(j))
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  make a.rows b.cols (fun i j ->
+      let acc = ref Q.zero in
+      for k = 0 to a.cols - 1 do
+        acc := Q.add !acc (Q.mul a.data.(i).(k) b.data.(k).(j))
+      done;
+      !acc)
+
+let mul_vec a v =
+  if a.cols <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref Q.zero in
+      for k = 0 to a.cols - 1 do
+        acc := Q.add !acc (Q.mul a.data.(i).(k) v.(k))
+      done;
+      !acc)
+
+let kronecker a b =
+  make (a.rows * b.rows) (a.cols * b.cols) (fun i j ->
+      Q.mul a.data.(i / b.rows).(j / b.cols) b.data.(i mod b.rows).(j mod b.cols))
+
+(* Gauss-Jordan elimination on [a | extra], with partial "pivot by first
+   nonzero" (numerical stability is irrelevant over exact rationals).
+   Returns (rank, determinant of the leading square part if square). *)
+let eliminate a extra =
+  let rows = Array.length a in
+  let cols = if rows = 0 then 0 else Array.length a.(0) in
+  let det = ref Q.one in
+  let pivot_row = ref 0 in
+  let col = ref 0 in
+  while !pivot_row < rows && !col < cols do
+    (* Find a pivot in this column. *)
+    let found = ref (-1) in
+    let r = ref !pivot_row in
+    while !found < 0 && !r < rows do
+      if not (Q.is_zero a.(!r).(!col)) then found := !r;
+      incr r
+    done;
+    if !found < 0 then begin
+      det := Q.zero;
+      incr col
+    end
+    else begin
+      if !found <> !pivot_row then begin
+        let swap arr =
+          let tmp = arr.(!found) in
+          arr.(!found) <- arr.(!pivot_row);
+          arr.(!pivot_row) <- tmp
+        in
+        swap a;
+        (match extra with Some e -> (let tmp = e.(!found) in e.(!found) <- e.(!pivot_row); e.(!pivot_row) <- tmp) | None -> ());
+        det := Q.neg !det
+      end;
+      let p = a.(!pivot_row).(!col) in
+      det := Q.mul !det p;
+      let inv_p = Q.inv p in
+      for j = 0 to cols - 1 do
+        a.(!pivot_row).(j) <- Q.mul inv_p a.(!pivot_row).(j)
+      done;
+      (match extra with
+       | Some e ->
+         let ecols = Array.length e.(0) in
+         for j = 0 to ecols - 1 do
+           e.(!pivot_row).(j) <- Q.mul inv_p e.(!pivot_row).(j)
+         done
+       | None -> ());
+      for r = 0 to rows - 1 do
+        if r <> !pivot_row && not (Q.is_zero a.(r).(!col)) then begin
+          let factor = a.(r).(!col) in
+          for j = 0 to cols - 1 do
+            a.(r).(j) <- Q.sub a.(r).(j) (Q.mul factor a.(!pivot_row).(j))
+          done;
+          match extra with
+          | Some e ->
+            let ecols = Array.length e.(0) in
+            for j = 0 to ecols - 1 do
+              e.(r).(j) <- Q.sub e.(r).(j) (Q.mul factor e.(!pivot_row).(j))
+            done
+          | None -> ()
+        end
+      done;
+      incr pivot_row;
+      incr col
+    end
+  done;
+  (!pivot_row, !det)
+
+let copy_data m = Array.map Array.copy m.data
+
+let determinant m =
+  if m.rows <> m.cols then invalid_arg "Matrix.determinant: not square";
+  if m.rows = 0 then Q.one
+  else
+    let a = copy_data m in
+    let rank, det = eliminate a None in
+    if rank < m.rows then Q.zero else det
+
+let rank m =
+  if m.rows = 0 then 0
+  else
+    let a = copy_data m in
+    fst (eliminate a None)
+
+let inverse m =
+  if m.rows <> m.cols then invalid_arg "Matrix.inverse: not square";
+  if m.rows = 0 then Some m
+  else begin
+    let a = copy_data m in
+    let e = (identity m.rows).data in
+    let rank, _ = eliminate a (Some e) in
+    if rank < m.rows then None else Some { rows = m.rows; cols = m.cols; data = e }
+  end
+
+let solve m b =
+  if m.rows <> m.cols then invalid_arg "Matrix.solve: not square";
+  if m.rows <> Array.length b then invalid_arg "Matrix.solve: dimension mismatch";
+  if m.rows = 0 then Some [||]
+  else begin
+    let a = copy_data m in
+    let e = Array.map (fun x -> [| x |]) b in
+    let rank, _ = eliminate a (Some e) in
+    if rank < m.rows then None else Some (Array.map (fun row -> row.(0)) e)
+  end
+
+let hilbert n = make n n (fun i j -> Q.of_ints 1 (i + j + 1))
+
+let hankel_factorial n =
+  make n n (fun i j -> Q.of_bigint (Combinat.factorial (i + j + 2)))

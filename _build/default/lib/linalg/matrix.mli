@@ -1,0 +1,61 @@
+(** Dense matrices over exact rationals.
+
+    Exact linear algebra is required by the paper's hardness machinery:
+    the #Set-Cover reduction for [Avg] (Lemma D.3) recovers the counts
+    [Z_{i,j}] by inverting the Kronecker product of a Hilbert matrix and a
+    factorial Hankel matrix — both notoriously ill-conditioned, so floating
+    point is useless. Matrices are immutable from the caller's viewpoint. *)
+
+type t
+
+val make : int -> int -> (int -> int -> Aggshap_arith.Rational.t) -> t
+(** [make rows cols f] builds the matrix with entry [f i j] at (i, j),
+    0-indexed. *)
+
+val of_lists : Aggshap_arith.Rational.t list list -> t
+(** @raise Invalid_argument on ragged or empty input. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Aggshap_arith.Rational.t
+val identity : int -> t
+val transpose : t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : Aggshap_arith.Rational.t -> t -> t
+
+val mul_vec : t -> Aggshap_arith.Rational.t array -> Aggshap_arith.Rational.t array
+(** Matrix-vector product. *)
+
+val kronecker : t -> t -> t
+(** [kronecker a b] is the Kronecker product [a ⊗ b]. *)
+
+(** {1 Solving} *)
+
+val determinant : t -> Aggshap_arith.Rational.t
+(** Fraction-free-ish Gaussian elimination; square matrices only. *)
+
+val inverse : t -> t option
+(** [None] for singular matrices. *)
+
+val solve : t -> Aggshap_arith.Rational.t array -> Aggshap_arith.Rational.t array option
+(** [solve a b] finds [x] with [a x = b]; [None] when [a] is singular.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val rank : t -> int
+
+(** {1 Named constructions from the paper} *)
+
+val hilbert : int -> t
+(** [hilbert n] has entries [1/(i + j - 1)] for 1-based [i, j]
+    (Appendix D.3.1, matrix [N]). *)
+
+val hankel_factorial : int -> t
+(** [hankel_factorial n] has entries [(i + j)!] for 1-based [i, j]
+    (Appendix D.3.1, matrix [M']; invertible by Bacher 2002). *)

@@ -1,0 +1,1 @@
+lib/reductions/avg_reduction.ml: Aggshap_agg Aggshap_arith Aggshap_core Aggshap_cq Aggshap_linalg Aggshap_relational Array List Setcover

@@ -1,0 +1,1 @@
+lib/reductions/lifting.ml: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational Array List String

@@ -1,0 +1,1 @@
+lib/reductions/lifting.mli: Aggshap_agg Aggshap_arith Aggshap_cq Aggshap_relational

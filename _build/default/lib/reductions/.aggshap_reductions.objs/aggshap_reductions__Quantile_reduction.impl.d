@@ -1,0 +1,1 @@
+lib/reductions/quantile_reduction.ml: Aggshap_agg Aggshap_arith Aggshap_core Aggshap_cq Aggshap_relational Array Fun List Setcover

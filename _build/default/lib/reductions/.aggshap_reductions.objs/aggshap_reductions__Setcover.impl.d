@@ -1,0 +1,1 @@
+lib/reductions/setcover.ml: Aggshap_arith Array List Random Stdlib

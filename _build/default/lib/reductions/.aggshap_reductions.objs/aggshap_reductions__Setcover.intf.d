@@ -1,0 +1,1 @@
+lib/reductions/setcover.mli: Aggshap_arith

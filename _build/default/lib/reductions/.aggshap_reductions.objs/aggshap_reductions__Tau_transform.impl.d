@@ -1,0 +1,1 @@
+lib/reductions/tau_transform.ml: Aggshap_agg Aggshap_arith Aggshap_core Aggshap_cq Aggshap_relational Array List String

@@ -1,0 +1,110 @@
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module C = Aggshap_arith.Combinat
+module Matrix = Aggshap_linalg.Matrix
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Parser = Aggshap_cq.Parser
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Agg_query = Aggshap_agg.Agg_query
+
+let q_xyy = Parser.parse_query_exn "Q(x) <- R(x, y), S(y)"
+
+let agg_query = Agg_query.make Aggregate.Avg (Value_fn.relu ~rel:"R" ~pos:0) q_xyy
+
+let target_fact = Fact.of_ints "S" [ 0 ]
+
+let database (sc : Setcover.t) ~q ~r =
+  let n = sc.Setcover.universe and m = Setcover.num_sets sc in
+  let exo = Database.Exogenous in
+  let db = ref Database.empty in
+  let add ?(provenance = Database.Endogenous) f = db := Database.add ~provenance f !db in
+  (* Element i of set Y_j: an always-zero answer -i once j is selected. *)
+  Array.iteri
+    (fun j0 elements ->
+      List.iter (fun i -> add ~provenance:exo (Fact.of_ints "R" [ -i; j0 + 1 ])) elements)
+    sc.Setcover.sets;
+  (* q+1 permanently-present zero answers. *)
+  for i = 1 to q + 1 do
+    add ~provenance:exo (Fact.of_ints "R" [ -n - i; m + 1 ])
+  done;
+  add ~provenance:exo (Fact.of_ints "S" [ m + 1 ]);
+  (* r alternative ways to switch on the positive answer x = 1. *)
+  for j = 1 to r do
+    add ~provenance:exo (Fact.of_ints "R" [ 1; m + 1 + j ]);
+    add (Fact.of_ints "S" [ m + 1 + j ])
+  done;
+  add ~provenance:exo (Fact.of_ints "R" [ 1; 0 ]);
+  (* The players: one S-fact per set, plus the target S(0). *)
+  for j = 1 to m do
+    add (Fact.of_ints "S" [ j ])
+  done;
+  add target_fact;
+  !db
+
+(* Coefficient of Z_{i,j} in the Shapley value of S(0) over D_{q,r}: the
+   probability that exactly a fixed j-subset of {S(1)..S(m)} precedes
+   S(0) (and none of the r extras), times the marginal 1/(i+q+2). *)
+let coefficient ~m ~q ~r ~i ~j =
+  let perm =
+    Q.make (B.mul (C.factorial j) (C.factorial (m + r - j))) (C.factorial (m + r + 1))
+  in
+  Q.mul perm (Q.of_ints 1 (i + q + 2))
+
+let shapley_predicted sc ~q ~r =
+  let n = sc.Setcover.universe and m = Setcover.num_sets sc in
+  let z = Setcover.z_table sc in
+  let acc = ref Q.zero in
+  for i = 0 to n do
+    for j = 0 to m do
+      if not (B.is_zero z.(i).(j)) then
+        acc := Q.add !acc (Q.mul (coefficient ~m ~q ~r ~i ~j) (Q.of_bigint z.(i).(j)))
+    done
+  done;
+  !acc
+
+let system_matrix sc =
+  let n = sc.Setcover.universe and m = Setcover.num_sets sc in
+  let dim = (n + 1) * (m + 1) in
+  Matrix.make dim dim (fun row col ->
+      let q = row / (m + 1) and r = row mod (m + 1) in
+      let i = col / (m + 1) and j = col mod (m + 1) in
+      coefficient ~m ~q ~r ~i ~j)
+
+let kronecker_factors sc =
+  let n = sc.Setcover.universe and m = Setcover.num_sets sc in
+  let hilbert_shifted = Matrix.make (n + 1) (n + 1) (fun q i -> Q.of_ints 1 (q + i + 2)) in
+  let hankel_like =
+    Matrix.make (m + 1) (m + 1) (fun r j ->
+        Q.make (B.mul (C.factorial j) (C.factorial (m + r - j))) (C.factorial (m + r + 1)))
+  in
+  (hilbert_shifted, hankel_like)
+
+type oracle = Database.t -> Fact.t -> Q.t
+
+let naive_oracle db f = Aggshap_core.Naive.shapley agg_query db f
+
+let count_covers_via_shapley ?(oracle = naive_oracle) sc =
+  let n = sc.Setcover.universe and m = Setcover.num_sets sc in
+  let rhs =
+    Array.init
+      ((n + 1) * (m + 1))
+      (fun row ->
+        let q = row / (m + 1) and r = row mod (m + 1) in
+        oracle (database sc ~q ~r) target_fact)
+  in
+  match Matrix.solve (system_matrix sc) rhs with
+  | None -> failwith "Avg_reduction: the system matrix is singular"
+  | Some z ->
+    let cover_count = ref B.zero in
+    Array.iteri
+      (fun col v ->
+        let i = col / (m + 1) in
+        if i = n then begin
+          if not (Q.is_integer v) then
+            failwith "Avg_reduction: recovered a non-integral count (broken oracle?)";
+          cover_count := B.add !cover_count (Q.num v)
+        end)
+      z;
+    !cover_count

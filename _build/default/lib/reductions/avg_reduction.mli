@@ -1,0 +1,53 @@
+(** The #Set-Cover ⇒ Avg-Shapley reduction, executable (Lemma D.3).
+
+    For an instance [(X, 𝒴)] with [n = |X|], [m = |𝒴|], the reduction
+    builds databases [D_{q,r}] ([q ∈ 0..n], [r ∈ 0..m]) for the AggCQ
+    [Avg ∘ τ_ReLU ∘ Q_xyy] with [Q_xyy(x) ← R(x,y), S(y)], asks a Shapley
+    oracle for the value of the fact [S(0)] in each, and recovers the
+    cover counts [Z_{i,j}] by solving the linear system
+
+    {v Shapley_{q,r} = Σ_{i,j} (j!·(m+r−j)!/(m+r+1)!) · Z_{i,j}/(i+q+2) v}
+
+    whose matrix is the Kronecker product of a shifted Hilbert matrix and
+    a matrix column/row-equivalent to the factorial Hankel matrix — hence
+    invertible. (The denominator is [i+q+2]: the gadget keeps [q+1]
+    always-present zero answers plus the covered elements and the single
+    positive answer; the paper's prose says [i+q+1], an off-by-one that
+    does not affect the argument.)
+
+    Running this end-to-end both {e demonstrates} the hardness proof and
+    {e validates} it numerically: the recovered counts must match brute
+    force. *)
+
+val agg_query : Aggshap_agg.Agg_query.t
+(** [Avg ∘ τ_ReLU ∘ Q_xyy]. *)
+
+val database : Setcover.t -> q:int -> r:int -> Aggshap_relational.Database.t
+(** The gadget database [D_{q,r}]. *)
+
+val target_fact : Aggshap_relational.Fact.t
+(** The fact [S(0)] whose Shapley value the oracle reports. *)
+
+val shapley_predicted :
+  Setcover.t -> q:int -> r:int -> Aggshap_arith.Rational.t
+(** The right-hand side of the equation above, evaluated with
+    brute-forced [Z_{i,j}] — used to validate the gadget analysis. *)
+
+val system_matrix : Setcover.t -> Aggshap_linalg.Matrix.t
+(** The [(n+1)(m+1) × (n+1)(m+1)] coefficient matrix [L]; row index
+    [q·(m+1)+r], column index [i·(m+1)+j]. *)
+
+val kronecker_factors : Setcover.t -> Aggshap_linalg.Matrix.t * Aggshap_linalg.Matrix.t
+(** [(N, M)] with [L = N ⊗ M]: [N_{q,i} = 1/(q+i+2)] (shifted Hilbert)
+    and [M_{r,j} = j!(m+r−j)!/(m+r+1)!]. *)
+
+type oracle =
+  Aggshap_relational.Database.t -> Aggshap_relational.Fact.t -> Aggshap_arith.Rational.t
+(** An exact Shapley oracle for {!agg_query}. *)
+
+val naive_oracle : oracle
+
+val count_covers_via_shapley : ?oracle:oracle -> Setcover.t -> Aggshap_arith.Bigint.t
+(** The full pipeline: oracle calls → linear solve → [Σ_j Z_{n,j}].
+    @raise Failure if the recovered solution is not integral (which
+    would indicate a broken oracle). *)

@@ -1,0 +1,137 @@
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Hierarchy = Aggshap_cq.Hierarchy
+module Parser = Aggshap_cq.Parser
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Value = Aggshap_relational.Value
+module Value_fn = Aggshap_agg.Value_fn
+
+type t = {
+  target : Cq.t;
+  x0 : string;
+  y0 : string;
+  phi_r : Cq.atom;
+  phi_s : Cq.atom;
+}
+
+let source_query = Parser.parse_query_exn "Qxyy(x) <- R(x, y), S(y)"
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let analyze q =
+  if not (Hierarchy.is_all_hierarchical q) then
+    Error "the target query is not all-hierarchical"
+  else if Hierarchy.is_q_hierarchical q then
+    Error "the target query is q-hierarchical (nothing to lift to)"
+  else begin
+    (* A q-hierarchy violation: free x0, existential y0 with
+       atoms(x0) ⊆ atoms(y0); usable when some atom has y0 without x0. *)
+    let candidates =
+      List.concat_map
+        (fun x0 ->
+          if not (Cq.is_free q x0) then []
+          else
+            List.filter_map
+              (fun y0 ->
+                if Cq.is_free q y0 then None
+                else if not (subset (Cq.atoms_of q x0) (Cq.atoms_of q y0)) then None
+                else begin
+                  let phi_r =
+                    List.find_opt
+                      (fun a ->
+                        let vs = Cq.atom_vars a in
+                        List.mem x0 vs && List.mem y0 vs)
+                      q.Cq.body
+                  in
+                  let phi_s =
+                    List.find_opt
+                      (fun a ->
+                        let vs = Cq.atom_vars a in
+                        List.mem y0 vs && not (List.mem x0 vs))
+                      q.Cq.body
+                  in
+                  match phi_r, phi_s with
+                  | Some phi_r, Some phi_s -> Some { target = q; x0; y0; phi_r; phi_s }
+                  | _ -> None
+                end)
+              (Cq.vars q))
+        (Cq.vars q)
+    in
+    match candidates with
+    | w :: _ -> Ok w
+    | [] ->
+      Error
+        "no usable witness: every q-hierarchy violation has atoms(x0) = atoms(y0) \
+         (the construction of Lemma D.1 needs an atom with y0 but not x0)"
+  end
+
+let filler = Value.Str "~c"
+
+(* Instantiate an atom under x0 ↦ a, y0 ↦ b, every other variable ↦ c. *)
+let instantiate w (atom : Cq.atom) a b =
+  { Fact.rel = atom.Cq.rel;
+    args =
+      Array.map
+        (function
+          | Cq.Const v -> v
+          | Cq.Var v ->
+            if String.equal v w.x0 then a
+            else if String.equal v w.y0 then b
+            else filler)
+        atom.Cq.terms }
+
+let lift_database w d =
+  let r_facts, s_facts =
+    Database.fold
+      (fun (f : Fact.t) p (rs, ss) ->
+        match f.rel, Array.length f.args with
+        | "R", 2 -> ((f.args.(0), f.args.(1), p) :: rs, ss)
+        | "S", 1 -> (rs, (f.args.(0), p) :: ss)
+        | _ ->
+          invalid_arg
+            ("Lifting.lift_database: unexpected fact " ^ Fact.to_string f))
+      d ([], [])
+  in
+  (* Supporting exogenous facts for every (R,S) join pair of the full
+     database: within any sub-database, an answer exists iff its R- and
+     S-images do. *)
+  let db = ref Database.empty in
+  List.iter
+    (fun (a, b, _) ->
+      if List.exists (fun (b', _) -> Value.equal b b') s_facts then
+        List.iter
+          (fun atom ->
+            if atom != w.phi_r && atom != w.phi_s then
+              db := Database.add ~provenance:Database.Exogenous (instantiate w atom a b) !db)
+          w.target.Cq.body)
+    r_facts;
+  List.iter
+    (fun (a, b, p) -> db := Database.add ~provenance:p (instantiate w w.phi_r a b) !db)
+    r_facts;
+  List.iter
+    (fun (b, p) -> db := Database.add ~provenance:p (instantiate w w.phi_s filler b) !db)
+    s_facts;
+  let h (f : Fact.t) =
+    match f.rel, Array.length f.args with
+    | "R", 2 -> instantiate w w.phi_r f.args.(0) f.args.(1)
+    | "S", 1 -> instantiate w w.phi_s filler f.args.(0)
+    | _ -> invalid_arg ("Lifting: cannot map fact " ^ Fact.to_string f)
+  in
+  (!db, h)
+
+let source_tau ~descr map =
+  Value_fn.custom ~rel:"R" ~descr (fun args -> map args.(0))
+
+let lifted_tau w ~descr map =
+  let pos =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i term ->
+        match term with
+        | Cq.Var v when String.equal v w.x0 && !found < 0 -> found := i
+        | _ -> ())
+      w.phi_r.Cq.terms;
+    !found
+  in
+  Value_fn.custom ~rel:w.phi_r.Cq.rel ~descr (fun args -> map args.(pos))

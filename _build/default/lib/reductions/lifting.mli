@@ -1,0 +1,56 @@
+(** The general lifting reduction of Lemma 5.3 / Lemma D.1, executable.
+
+    Let [Q₀] be a CQ without self-joins that is all-hierarchical but not
+    q-hierarchical, witnessed by a free [x₀] and an existential [y₀] with
+    [atoms(x₀) ⊆ atoms(y₀)] and some atom containing [y₀] but not [x₀].
+    Any database [D] for [Q_xyy(x) ← R(x,y), S(y)] lifts to a database
+    [D₀] for [Q₀] together with a provenance-preserving bijection [h]
+    between endogenous facts such that, for {e every} aggregate function
+    α and every value function τ on the (unary) answers of [Q_xyy],
+
+    {v Shapley(f, α ∘ τ ∘ Q_xyy)[D] = Shapley(h f, α ∘ τ₀ ∘ Q₀)[D₀] v}
+
+    where [τ₀ = τ ∘ τ_id^{pos of x₀}]. This is the bridge that turns the
+    hardness of the minimal query [Q_xyy] (Lemmas 5.4 and E.2) into
+    hardness for the whole class.
+
+    Note: when every atom of [y₀] also contains [x₀] (the equality corner
+    [atoms(x₀) = atoms(y₀)] for all witnesses), the construction — as in
+    the paper — does not apply and {!analyze} reports an error. *)
+
+type t = {
+  target : Aggshap_cq.Cq.t;
+  x0 : string;
+  y0 : string;
+  phi_r : Aggshap_cq.Cq.atom;  (** an atom containing both [x₀] and [y₀] *)
+  phi_s : Aggshap_cq.Cq.atom;  (** an atom containing [y₀] but not [x₀] *)
+}
+
+val analyze : Aggshap_cq.Cq.t -> (t, string) result
+(** Finds a witness pair; fails if the CQ is not (all-hierarchical and
+    not q-hierarchical) with a usable witness. *)
+
+val lift_database :
+  t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Database.t
+  * (Aggshap_relational.Fact.t -> Aggshap_relational.Fact.t)
+(** [lift_database w d] builds [D₀] and the fact map [h]. [d] must
+    contain only facts [R(a,b)] and [S(b)].
+    @raise Invalid_argument otherwise. *)
+
+val source_query : Aggshap_cq.Cq.t
+(** [Q_xyy(x) ← R(x,y), S(y)]. *)
+
+val source_tau :
+  descr:string ->
+  (Aggshap_relational.Value.t -> Aggshap_arith.Rational.t) ->
+  Aggshap_agg.Value_fn.t
+(** τ as a function of the answer value [x], packaged for [Q_xyy]. *)
+
+val lifted_tau :
+  t ->
+  descr:string ->
+  (Aggshap_relational.Value.t -> Aggshap_arith.Rational.t) ->
+  Aggshap_agg.Value_fn.t
+(** The corresponding [τ₀] for the target query, localized on [φ_R]. *)

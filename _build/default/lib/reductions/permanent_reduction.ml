@@ -1,0 +1,97 @@
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module C = Aggshap_arith.Combinat
+module Matrix = Aggshap_linalg.Matrix
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Parser = Aggshap_cq.Parser
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Agg_query = Aggshap_agg.Agg_query
+
+(* Lemma E.2 lists two hard AggCQs; we implement the reduction through
+   the second one, Dup ∘ τ_id¹ ∘ Q_full with Q_full(x,y) ← R(x,y), S(y).
+   With the full head, two selected pairs sharing an element i produce
+   two distinct answers (i, j₁), (i, j₂) with the same τ-value i — a
+   duplicate — which is exactly the mechanism the proof's case analysis
+   relies on (under the projected Q_xyy the shared answer would collapse
+   and no duplicate would arise). *)
+let q_full = Parser.parse_query_exn "Q(x, y) <- R(x, y), S(y)"
+
+let agg_query =
+  Agg_query.make Aggregate.Has_duplicates (Value_fn.id ~rel:"R" ~pos:0) q_full
+
+let target_fact = Fact.of_ints "S" [ 0 ]
+
+let database (sc : Setcover.t) ~r =
+  let m = Setcover.num_sets sc in
+  let exo = Database.Exogenous in
+  let db = ref Database.empty in
+  let add ?(provenance = Database.Endogenous) f = db := Database.add ~provenance f !db in
+  (* Selecting S(j) brings in the answers (i, j) for i ∈ Y_j, valued i;
+     overlapping selections duplicate the shared element's value. *)
+  Array.iteri
+    (fun j0 elements ->
+      List.iter (fun i -> add ~provenance:exo (Fact.of_ints "R" [ i; j0 + 1 ])) elements)
+    sc.Setcover.sets;
+  (* The always-present zero-valued answer (0, -1), and S(0)'s own
+     zero-valued answer (0, 0): adding S(0) creates the duplicate
+     {0, 0} — unless a duplicate already exists. *)
+  add ~provenance:exo (Fact.of_ints "R" [ 0; 0 ]);
+  add ~provenance:exo (Fact.of_ints "R" [ 0; -1 ]);
+  add ~provenance:exo (Fact.of_ints "S" [ -1 ]);
+  (* r alternative zero-valued switches. *)
+  for r' = 1 to r do
+    add ~provenance:exo (Fact.of_ints "R" [ 0; m + r' ]);
+    add (Fact.of_ints "S" [ m + r' ])
+  done;
+  for j = 1 to m do
+    add (Fact.of_ints "S" [ j ])
+  done;
+  add target_fact;
+  !db
+
+let coefficient ~m ~r ~j =
+  Q.make (B.mul (C.factorial j) (C.factorial (m + r - j))) (C.factorial (m + r + 1))
+
+let shapley_predicted sc ~r =
+  let m = Setcover.num_sets sc in
+  let z = Setcover.z_disjoint sc in
+  let acc = ref Q.zero in
+  for j = 0 to m do
+    if not (B.is_zero z.(j)) then
+      acc := Q.add !acc (Q.mul (coefficient ~m ~r ~j) (Q.of_bigint z.(j)))
+  done;
+  !acc
+
+let system_matrix sc =
+  let m = Setcover.num_sets sc in
+  Matrix.make (m + 1) (m + 1) (fun r j -> coefficient ~m ~r ~j)
+
+type oracle = Database.t -> Fact.t -> Q.t
+
+let naive_oracle db f = Aggshap_core.Naive.shapley agg_query db f
+
+let disjoint_counts_via_shapley ?(oracle = naive_oracle) sc =
+  let m = Setcover.num_sets sc in
+  let rhs = Array.init (m + 1) (fun r -> oracle (database sc ~r) target_fact) in
+  match Matrix.solve (system_matrix sc) rhs with
+  | None -> failwith "Permanent_reduction: the system matrix is singular"
+  | Some z ->
+    Array.map
+      (fun v ->
+        if not (Q.is_integer v) then
+          failwith "Permanent_reduction: recovered a non-integral count (broken oracle?)";
+        Q.num v)
+      z
+
+let permanent_via_shapley ?oracle sc =
+  if sc.Setcover.universe mod 2 <> 0 then
+    invalid_arg "Permanent_reduction: universe size must be even";
+  let z = disjoint_counts_via_shapley ?oracle sc in
+  let half = sc.Setcover.universe / 2 in
+  if half < Array.length z then
+    (* A pairwise-disjoint (n/2)-subset of pairs covers all n elements,
+       so Z_{n/2} is exactly the number of perfect matchings. *)
+    z.(half)
+  else B.zero

@@ -1,0 +1,40 @@
+(** The permanent ⇒ Dup-Shapley reduction, executable (Lemma E.2).
+
+    For a pair instance [(X, 𝒴)] (each [Y_j] a 2-element subset — the
+    edges of a graph on X), the gadget databases [D_r] ([r ∈ 0..m]) for
+    [Dup ∘ τ_id¹ ∘ Q_full] with [Q_full(x,y) ← R(x,y), S(y)] (the second
+    hard query of Lemma E.2 — under the projected [Q_xyy] a shared
+    element would collapse to one answer and produce no duplicate) give
+    Shapley values of the fact [S(0)] satisfying
+
+    {v Shapley_r = Σ_j (j!·(m+r−j)!/(m+r+1)!) · Z_j v}
+
+    where [Z_j] counts the pairwise-disjoint [j]-subsets of 𝒴. Solving
+    the (factorial-Hankel-equivalent) system recovers the [Z_j]; for a
+    bipartite pair instance, [Z_{n/2}] is the permanent of the
+    biadjacency matrix. *)
+
+val agg_query : Aggshap_agg.Agg_query.t
+(** [Dup ∘ τ_ReLU ∘ Q_xyy]. *)
+
+val database : Setcover.t -> r:int -> Aggshap_relational.Database.t
+
+val target_fact : Aggshap_relational.Fact.t
+
+val shapley_predicted : Setcover.t -> r:int -> Aggshap_arith.Rational.t
+(** Right-hand side with brute-forced [Z_j], for gadget validation. *)
+
+val system_matrix : Setcover.t -> Aggshap_linalg.Matrix.t
+
+type oracle =
+  Aggshap_relational.Database.t -> Aggshap_relational.Fact.t -> Aggshap_arith.Rational.t
+
+val naive_oracle : oracle
+
+val disjoint_counts_via_shapley :
+  ?oracle:oracle -> Setcover.t -> Aggshap_arith.Bigint.t array
+(** The recovered [Z_0 .. Z_m]. @raise Failure on non-integral output. *)
+
+val permanent_via_shapley : ?oracle:oracle -> Setcover.t -> Aggshap_arith.Bigint.t
+(** [Z_{universe/2}] — the number of perfect matchings of the pair
+    instance. @raise Invalid_argument if the universe size is odd. *)

@@ -1,0 +1,61 @@
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Parser = Aggshap_cq.Parser
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Agg_query = Aggshap_agg.Agg_query
+
+let q_xyy = Parser.parse_query_exn "Q(x) <- R(x, y), S(y)"
+
+let agg_query quantile =
+  Agg_query.make (Aggregate.Quantile quantile) (Value_fn.gt ~rel:"R" ~pos:0 Q.zero) q_xyy
+
+let set_fact i = Fact.of_ints "S" [ i ]
+
+let fraction quantile =
+  let a = B.to_int_exn (Q.num quantile) and b = B.to_int_exn (Q.den quantile) in
+  if a <= 0 || a >= b then invalid_arg "Quantile_reduction: quantile must be in (0,1)";
+  (a, b)
+
+let database (sc : Setcover.t) quantile =
+  let a, b = fraction quantile in
+  let n = sc.Setcover.universe and m = Setcover.num_sets sc in
+  let block = b * (b - a) in
+  let exo = Database.Exogenous in
+  let db = ref Database.empty in
+  let add ?(provenance = Database.Endogenous) f = db := Database.add ~provenance f !db in
+  (* Element j covered by set Y_i contributes the block of positives
+     (j-1)·block+1 .. j·block once S(i) is selected. *)
+  Array.iteri
+    (fun i0 elements ->
+      List.iter
+        (fun j ->
+          for l = 0 to block - 1 do
+            add ~provenance:exo (Fact.of_ints "R" [ (j * block) - l; i0 + 1 ])
+          done)
+        elements)
+    sc.Setcover.sets;
+  (* b·a·n always-present zeros and one always-present positive. *)
+  for l = 1 to b * a * n do
+    add ~provenance:exo (Fact.of_ints "R" [ -l; 0 ])
+  done;
+  add ~provenance:exo (Fact.of_ints "R" [ (n * block) + 1; 0 ]);
+  add ~provenance:exo (Fact.of_ints "S" [ 0 ]);
+  for i = 1 to m do
+    add (set_fact i)
+  done;
+  !db
+
+let cover_game (sc : Setcover.t) =
+  let m = Setcover.num_sets sc in
+  Aggshap_core.Game.make ~n:m (fun mask ->
+      let indices =
+        List.filteri (fun j _ -> mask land (1 lsl j) <> 0) (List.init m Fun.id)
+      in
+      if Setcover.union_size sc indices = sc.Setcover.universe then Q.one else Q.zero)
+
+let shapley_via_gadget sc quantile i =
+  let db = database sc quantile in
+  Aggshap_core.Naive.shapley (agg_query quantile) db (set_fact i)

@@ -1,0 +1,27 @@
+(** The Set-Cover-game ⇒ Quantile-Shapley reduction, executable
+    (Lemma D.4).
+
+    For [q = a/b ∈ (0,1)] the gadget database makes the AggCQ
+    [Qnt_q ∘ τ_{>0} ∘ Q_xyy] simulate the set-cover game: for every
+    coalition [C] of the endogenous facts [S(1..m)],
+    [A(C ∪ Dˣ) = 1] iff the corresponding sets cover all of X, else 0.
+    Hence each [S(i)] has exactly the Shapley value of player [i] in the
+    set-cover game — whose computation is FP^#P-complete. *)
+
+val agg_query : Aggshap_arith.Rational.t -> Aggshap_agg.Agg_query.t
+(** [Qnt_q ∘ τ_{>0} ∘ Q_xyy]; the parameter must be in (0,1). *)
+
+val database :
+  Setcover.t -> Aggshap_arith.Rational.t -> Aggshap_relational.Database.t
+
+val set_fact : int -> Aggshap_relational.Fact.t
+(** [set_fact i] is the endogenous fact [S(i)] standing for set [Y_i]
+    (1-based). *)
+
+val cover_game : Setcover.t -> Aggshap_core.Game.t
+(** The set-cover game [v_sc] itself, for cross-checking. *)
+
+val shapley_via_gadget :
+  Setcover.t -> Aggshap_arith.Rational.t -> int -> Aggshap_arith.Rational.t
+(** Shapley value of set [i] obtained by running the naive solver on the
+    gadget database; must equal [Game.shapley (cover_game sc) (i-1)]. *)

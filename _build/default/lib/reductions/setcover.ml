@@ -1,0 +1,109 @@
+module B = Aggshap_arith.Bigint
+
+type t = {
+  universe : int;
+  sets : int list array;
+}
+
+let make ~universe sets =
+  List.iter
+    (fun s ->
+      if s = [] then invalid_arg "Setcover.make: empty set";
+      List.iter
+        (fun x ->
+          if x < 1 || x > universe then invalid_arg "Setcover.make: element outside X")
+        s)
+    sets;
+  { universe; sets = Array.of_list (List.map (List.sort_uniq Stdlib.compare) sets) }
+
+let random ?(seed = 0) ~universe ~sets ~max_set_size () =
+  let rng = Random.State.make [| seed |] in
+  let one_set () =
+    let size = 1 + Random.State.int rng max_set_size in
+    List.init size (fun _ -> 1 + Random.State.int rng universe)
+    |> List.sort_uniq Stdlib.compare
+  in
+  make ~universe (List.init sets (fun _ -> one_set ()))
+
+let random_pairs ?(seed = 0) ~universe ~sets () =
+  if universe < 2 then invalid_arg "Setcover.random_pairs: universe too small";
+  let rng = Random.State.make [| seed |] in
+  let one_pair () =
+    let x = 1 + Random.State.int rng universe in
+    let rec other () =
+      let y = 1 + Random.State.int rng universe in
+      if y = x then other () else y
+    in
+    [ x; other () ]
+  in
+  make ~universe (List.init sets (fun _ -> one_pair ()))
+
+let num_sets t = Array.length t.sets
+
+let union_size t indices =
+  let seen = Array.make (t.universe + 1) false in
+  List.iter (fun j -> List.iter (fun x -> seen.(x) <- true) t.sets.(j)) indices;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen
+
+let is_pairwise_disjoint t indices =
+  let seen = Array.make (t.universe + 1) false in
+  let ok = ref true in
+  List.iter
+    (fun j ->
+      List.iter
+        (fun x ->
+          if seen.(x) then ok := false;
+          seen.(x) <- true)
+        t.sets.(j))
+    indices;
+  !ok
+
+let indices_of_mask m mask =
+  let rec go j acc = if j >= m then List.rev acc else go (j + 1) (if mask land (1 lsl j) <> 0 then j :: acc else acc) in
+  go 0 []
+
+let fold_subsets t f init =
+  let m = num_sets t in
+  let acc = ref init in
+  for mask = 0 to (1 lsl m) - 1 do
+    acc := f !acc (indices_of_mask m mask)
+  done;
+  !acc
+
+let count_covers t =
+  fold_subsets t
+    (fun acc indices ->
+      if union_size t indices = t.universe then B.succ acc else acc)
+    B.zero
+
+let z_table t =
+  let m = num_sets t in
+  let z = Array.make_matrix (t.universe + 1) (m + 1) B.zero in
+  ignore
+    (fold_subsets t
+       (fun () indices ->
+         let i = union_size t indices and j = List.length indices in
+         z.(i).(j) <- B.succ z.(i).(j))
+       ());
+  z
+
+let z_disjoint t =
+  let m = num_sets t in
+  let z = Array.make (m + 1) B.zero in
+  ignore
+    (fold_subsets t
+       (fun () indices ->
+         if is_pairwise_disjoint t indices then begin
+           let j = List.length indices in
+           z.(j) <- B.succ z.(j)
+         end)
+       ());
+  z
+
+let count_exact_covers t =
+  fold_subsets t
+    (fun acc indices ->
+      if is_pairwise_disjoint t indices && union_size t indices = t.universe then
+        B.succ acc
+      else acc)
+    B.zero

@@ -1,0 +1,44 @@
+(** #Set-Cover instances and brute-force ground truth.
+
+    The hardness proofs of the paper (Lemmas D.3, D.4, E.2) reduce
+    counting problems over a set system [(X, 𝒴)] to Shapley computation.
+    This module provides the instances and the exponential counting
+    baselines that the executable reductions are checked against. *)
+
+type t = {
+  universe : int;  (** X = {1, ..., universe} *)
+  sets : int list array;  (** 𝒴 = sets.(0) .. sets.(m-1), subsets of X *)
+}
+
+val make : universe:int -> int list list -> t
+(** @raise Invalid_argument if a set mentions an element outside X or is
+    empty. *)
+
+val random : ?seed:int -> universe:int -> sets:int -> max_set_size:int -> unit -> t
+
+val random_pairs : ?seed:int -> universe:int -> sets:int -> unit -> t
+(** Random instance whose sets are pairs (for the permanent reduction);
+    the universe size must be even for exact covers to exist. *)
+
+val num_sets : t -> int
+
+val union_size : t -> int list -> int
+(** Number of elements covered by the sets with the given indices
+    (0-based). *)
+
+val is_pairwise_disjoint : t -> int list -> bool
+
+val count_covers : t -> Aggshap_arith.Bigint.t
+(** Number of sub-collections covering all of X ([O(2^m)]). *)
+
+val z_table : t -> Aggshap_arith.Bigint.t array array
+(** [Z.(i).(j)]: number of [j]-subsets of 𝒴 covering exactly [i]
+    elements, [0 ≤ i ≤ universe], [0 ≤ j ≤ m] (Equation 8). *)
+
+val z_disjoint : t -> Aggshap_arith.Bigint.t array
+(** [Z.(j)]: number of [j]-subsets of 𝒴 that are pairwise disjoint
+    (Appendix E.1). *)
+
+val count_exact_covers : t -> Aggshap_arith.Bigint.t
+(** Pairwise-disjoint sub-collections covering all of X; for a pair
+    instance encoding a bipartite graph this is the permanent. *)

@@ -1,0 +1,67 @@
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Value = Aggshap_relational.Value
+module Value_fn = Aggshap_agg.Value_fn
+module Agg_query = Aggshap_agg.Agg_query
+
+(* Positions of [var] in the atom of relation [rel], per Observation F.3. *)
+let positions q ~var =
+  List.map
+    (fun (a : Cq.atom) ->
+      let ps = ref [] in
+      Array.iteri
+        (fun i t -> match t with Cq.Var v when String.equal v var -> ps := i :: !ps | _ -> ())
+        a.Cq.terms;
+      (a.Cq.rel, !ps))
+    q.Cq.body
+
+let transform q ~var gamma d =
+  let pos_table = positions q ~var in
+  let map_fact (f : Fact.t) =
+    match List.assoc_opt f.rel pos_table with
+    | None | Some [] -> f
+    | Some ps ->
+      let args = Array.copy f.args in
+      List.iter
+        (fun i ->
+          if i < Array.length args then begin
+            match Value.as_int args.(i) with
+            | Some n -> args.(i) <- Value.Int (gamma n)
+            | None ->
+              invalid_arg "Tau_transform: non-integer value at a transformed position"
+          end)
+        ps;
+      { f with args }
+  in
+  let d' = Database.fold (fun f p acc -> Database.add ~provenance:p (map_fact f) acc) d Database.empty in
+  (d', map_fact)
+
+(* First position of [var] in the atom containing it, for τ_id. *)
+let tau_id q ~var =
+  let atom =
+    match List.find_opt (fun a -> List.mem var (Cq.atom_vars a)) q.Cq.body with
+    | Some a -> a
+    | None -> invalid_arg ("Tau_transform: variable " ^ var ^ " not in the query")
+  in
+  let pos =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i t ->
+        match t with
+        | Cq.Var v when String.equal v var && !found < 0 -> found := i
+        | _ -> ())
+      atom.Cq.terms;
+    !found
+  in
+  Value_fn.id ~rel:atom.Cq.rel ~pos
+
+let theorem_7_1_lhs alpha q ~var gamma d f =
+  let tau = tau_id q ~var in
+  let a_id = Agg_query.make alpha tau q in
+  (* π for γ_mon + id: strictly increasing whenever γ is monotone. *)
+  let d_plus, pi = transform q ~var (fun n -> gamma n + n) d in
+  Q.sub
+    (Aggshap_core.Naive.shapley a_id d_plus (pi f))
+    (Aggshap_core.Naive.shapley a_id d f)

@@ -1,0 +1,39 @@
+(** The τ-robustness transformation (Theorem 7.1 / Observation F.3).
+
+    For a CQ without self-joins, a head variable [x] and an injective
+    [γ : ℤ → ℤ], rewriting every fact value at the positions where [x]
+    occurs by [γ] turns the AggCQ [α ∘ (γ ∘ τ_id^x) ∘ Q] over [D] into
+    [α ∘ τ_id^x ∘ Q] over [π(D)] — answer bags coincide, hence all
+    Shapley values coincide. Theorem 7.1 combines this with linearity
+    (via [γ + id], monotone) to conclude that hardness with any monotone
+    [γ ∘ τ_id] implies hardness with the plain copying function [τ_id]:
+
+    {v Shapley(f, α∘(γ∘τ_id)∘Q)[D]
+         = Shapley(π f, α∘τ_id∘Q)[π_{γ+id} D] − Shapley(f, α∘τ_id∘Q)[D] v}
+
+    for α ∈ {Min, Max, Avg, Qnt_q} and monotonically increasing γ. *)
+
+val transform :
+  Aggshap_cq.Cq.t ->
+  var:string ->
+  (int -> int) ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Database.t
+  * (Aggshap_relational.Fact.t -> Aggshap_relational.Fact.t)
+(** [transform q ~var gamma d] is [(π(D), π)]. [gamma] must be injective
+    on the values occurring at [var]'s positions; provenance is
+    preserved.
+    @raise Invalid_argument if a transformed position holds a
+    non-integer constant. *)
+
+val theorem_7_1_lhs :
+  Aggshap_agg.Aggregate.t ->
+  Aggshap_cq.Cq.t ->
+  var:string ->
+  (int -> int) ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** [Shapley(f, α∘(γ∘τ_id^var)∘Q)[D]] computed through the right-hand
+    side of Theorem 7.1 — i.e. with two calls to a τ_id-only solver (the
+    exact naive one). Tests compare it against direct computation. *)

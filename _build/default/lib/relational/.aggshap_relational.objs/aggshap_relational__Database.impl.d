@@ -1,0 +1,1 @@
+lib/relational/database.ml: Fact Format List Map String

@@ -1,0 +1,1 @@
+lib/relational/fact.ml: Array Format Hashtbl List Printf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Database Fact Format List Map Printf String

@@ -1,0 +1,65 @@
+type provenance =
+  | Endogenous
+  | Exogenous
+
+module FactMap = Map.Make (Fact)
+
+type t = provenance FactMap.t
+
+let empty = FactMap.empty
+let is_empty = FactMap.is_empty
+let add ?(provenance = Endogenous) fact db = FactMap.add fact provenance db
+let of_list entries = List.fold_left (fun db (f, p) -> add ~provenance:p f db) empty entries
+
+let of_facts ?(provenance = Endogenous) facts =
+  List.fold_left (fun db f -> add ~provenance f db) empty facts
+
+let remove = FactMap.remove
+
+let set_provenance p fact db =
+  if FactMap.mem fact db then FactMap.add fact p db else raise Not_found
+
+let mem = FactMap.mem
+let provenance db fact = FactMap.find_opt fact db
+let union a b = FactMap.union (fun _ _ pb -> Some pb) a b
+let filter = FactMap.filter
+
+let facts db = List.map fst (FactMap.bindings db)
+
+let endogenous db =
+  FactMap.bindings db
+  |> List.filter_map (fun (f, p) -> if p = Endogenous then Some f else None)
+
+let exogenous db =
+  FactMap.bindings db
+  |> List.filter_map (fun (f, p) -> if p = Exogenous then Some f else None)
+
+let size = FactMap.cardinal
+let endo_size db = FactMap.fold (fun _ p n -> if p = Endogenous then n + 1 else n) db 0
+
+let relation db name =
+  FactMap.bindings db
+  |> List.filter_map (fun ((f : Fact.t), _) ->
+      if String.equal f.rel name then Some f else None)
+
+let relations db =
+  FactMap.fold (fun (f : Fact.t) _ acc ->
+      if List.mem f.rel acc then acc else f.rel :: acc)
+    db []
+  |> List.sort String.compare
+
+let restrict_relations names db =
+  FactMap.partition (fun (f : Fact.t) _ -> List.mem f.rel names) db
+
+let fold f db init = FactMap.fold f db init
+let iter f db = FactMap.iter f db
+let equal a b = FactMap.equal ( = ) a b
+
+let pp fmt db =
+  Format.fprintf fmt "@[<v>";
+  FactMap.iter
+    (fun f p ->
+      Format.fprintf fmt "%a%s@," Fact.pp f
+        (match p with Endogenous -> " [endo]" | Exogenous -> " [exo]"))
+    db;
+  Format.fprintf fmt "@]"

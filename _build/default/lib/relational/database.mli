@@ -1,0 +1,63 @@
+(** Databases with endogenous/exogenous provenance.
+
+    Following the paper (Section 2), a database is a finite set of facts,
+    each tagged endogenous (a player in the Shapley game) or exogenous
+    (taken for granted). The structure is persistent; all updates return
+    new databases. *)
+
+type provenance =
+  | Endogenous
+  | Exogenous
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : ?provenance:provenance -> Fact.t -> t -> t
+(** Default provenance is [Endogenous]. Re-adding an existing fact
+    overwrites its provenance. *)
+
+val of_list : (Fact.t * provenance) list -> t
+
+val of_facts : ?provenance:provenance -> Fact.t list -> t
+(** All facts get the same provenance (default [Endogenous]). *)
+
+val remove : Fact.t -> t -> t
+
+val set_provenance : provenance -> Fact.t -> t -> t
+(** @raise Not_found if the fact is absent. *)
+
+val mem : Fact.t -> t -> bool
+
+val provenance : t -> Fact.t -> provenance option
+
+val union : t -> t -> t
+(** Right-biased on provenance for facts present in both. *)
+
+val filter : (Fact.t -> provenance -> bool) -> t -> t
+
+(** {1 Views} *)
+
+val facts : t -> Fact.t list
+(** All facts, in [Fact.compare] order. *)
+
+val endogenous : t -> Fact.t list
+val exogenous : t -> Fact.t list
+val size : t -> int
+val endo_size : t -> int
+
+val relation : t -> string -> Fact.t list
+(** Facts of one relation, both provenances. *)
+
+val relations : t -> string list
+(** Names of relations with at least one fact. *)
+
+val restrict_relations : string list -> t -> t * t
+(** [restrict_relations names db] splits [db] into (facts of the named
+    relations, the rest). *)
+
+val fold : (Fact.t -> provenance -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Fact.t -> provenance -> unit) -> t -> unit
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

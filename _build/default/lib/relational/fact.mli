@@ -1,0 +1,15 @@
+(** Database facts: a relation name applied to a tuple of constants. *)
+
+type t = { rel : string; args : Value.t array }
+
+val make : string -> Value.t list -> t
+
+val of_ints : string -> int list -> t
+(** Convenience for the integer-valued gadget databases. *)
+
+val arity : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

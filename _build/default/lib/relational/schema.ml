@@ -1,0 +1,47 @@
+module StringMap = Map.Make (String)
+
+type t = int StringMap.t
+
+let empty = StringMap.empty
+
+let declare name arity schema =
+  if arity < 0 then invalid_arg "Schema.declare: negative arity";
+  match StringMap.find_opt name schema with
+  | Some a when a <> arity ->
+    invalid_arg
+      (Printf.sprintf "Schema.declare: %s already declared with arity %d (got %d)" name a
+         arity)
+  | _ -> StringMap.add name arity schema
+
+let of_list entries =
+  List.fold_left (fun s (name, arity) -> declare name arity s) empty entries
+
+let arity schema name = StringMap.find_opt name schema
+let mem schema name = StringMap.mem name schema
+let relations schema = StringMap.bindings schema
+
+let merge a b = StringMap.fold declare b a
+
+let check_fact schema (f : Fact.t) =
+  match StringMap.find_opt f.rel schema with
+  | None -> Error (Printf.sprintf "%s: relation %s is not in the schema" (Fact.to_string f) f.rel)
+  | Some a when a <> Fact.arity f ->
+    Error
+      (Printf.sprintf "%s: arity %d does not match %s/%d" (Fact.to_string f) (Fact.arity f)
+         f.rel a)
+  | Some _ -> Ok ()
+
+let check_database schema db =
+  let errors =
+    Database.fold
+      (fun f _ acc -> match check_fact schema f with Ok () -> acc | Error e -> e :: acc)
+      db []
+  in
+  match errors with
+  | [] -> Ok ()
+  | errs -> Error (List.rev errs)
+
+let pp fmt schema =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (name, a) -> Format.fprintf fmt "%s/%d@," name a) (relations schema);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,33 @@
+(** Database schemas: relation names with arities (Section 2).
+
+    A schema is a finite set of relation schemas [R/k] with distinct
+    names. Queries induce schemas (each atom declares its relation's
+    arity), and databases can be validated against them — catching the
+    classic silent mistake of a fact whose arity matches no atom and is
+    therefore treated as a null player. *)
+
+type t
+
+val empty : t
+
+val declare : string -> int -> t -> t
+(** @raise Invalid_argument if the name is already declared with a
+    different arity. *)
+
+val of_list : (string * int) list -> t
+
+val arity : t -> string -> int option
+val mem : t -> string -> bool
+val relations : t -> (string * int) list
+(** Sorted by name. *)
+
+val merge : t -> t -> t
+(** @raise Invalid_argument on conflicting arities. *)
+
+val check_fact : t -> Fact.t -> (unit, string) result
+(** The relation must be declared with the fact's arity. *)
+
+val check_database : t -> Database.t -> (unit, string list) result
+(** All violations, one message per offending fact. *)
+
+val pp : Format.formatter -> t -> unit

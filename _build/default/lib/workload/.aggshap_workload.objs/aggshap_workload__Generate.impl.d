@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Aggshap_cq Aggshap_relational Array List Random

@@ -1,0 +1,1 @@
+lib/workload/generate.mli: Aggshap_cq Aggshap_relational

@@ -1,0 +1,1 @@
+lib/workload/random_cq.ml: Aggshap_cq Array List Printf Random String

@@ -1,0 +1,1 @@
+lib/workload/random_cq.mli: Aggshap_cq

@@ -1,0 +1,26 @@
+module Parser = Aggshap_cq.Parser
+module Hierarchy = Aggshap_cq.Hierarchy
+
+let q_single = Parser.parse_query_exn "Q(x) <- R(x)"
+let q_single_pair = Parser.parse_query_exn "Q(x, y) <- R(x, y)"
+let q1_sq = Parser.parse_query_exn "Q1(x) <- R(x, y), S(x)"
+let q2_sq = Parser.parse_query_exn "Q2(x, y) <- R(x, y), S(x, y, z)"
+let q3_sq = Parser.parse_query_exn "Q3(x, z) <- R(x, y), S(x), T(z)"
+let q4_q = Parser.parse_query_exn "Q4(x, y) <- R(x, y), S(x)"
+let q_xyy = Parser.parse_query_exn "Qxyy(x) <- R(x, y), S(y)"
+let q_xyy_full = Parser.parse_query_exn "Qfull(x, y) <- R(x, y), S(y)"
+let q_exists = Parser.parse_query_exn "Qe(x) <- R(x), S(x, y), T(y)"
+let q_nonhier = Parser.parse_query_exn "Qb() <- R(x), S(x, y), T(y)"
+let q_course = Parser.parse_query_exn "Q(p, s) <- Earns(p, s), Took(p, c), Course(n, c)"
+
+let figure1 =
+  [ ("Q(x) <- R(x)", q_single, Hierarchy.Sq_hierarchical);
+    ("Q1(x) <- R(x,y), S(x)", q1_sq, Hierarchy.Sq_hierarchical);
+    ("Q2(x,y) <- R(x,y), S(x,y,z)", q2_sq, Hierarchy.Sq_hierarchical);
+    ("Q3(x,z) <- R(x,y), S(x), T(z)", q3_sq, Hierarchy.Sq_hierarchical);
+    ("Q4(x,y) <- R(x,y), S(x)", q4_q, Hierarchy.Q_hierarchical);
+    ("Qfull(x,y) <- R(x,y), S(y)", q_xyy_full, Hierarchy.Q_hierarchical);
+    ("Qxyy(x) <- R(x,y), S(y)", q_xyy, Hierarchy.All_hierarchical);
+    ("Qe(x) <- R(x), S(x,y), T(y)", q_exists, Hierarchy.Exists_hierarchical);
+    ("Qb() <- R(x), S(x,y), T(y)", q_nonhier, Hierarchy.General);
+  ]

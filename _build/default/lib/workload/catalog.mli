@@ -1,0 +1,43 @@
+(** The example CQs of Figure 1 and friends — one representative per
+    class, used across tests, examples and benchmarks. *)
+
+val q_single : Aggshap_cq.Cq.t
+(** [Q(x) ← R(x)] — single atom (sq-hierarchical). *)
+
+val q_single_pair : Aggshap_cq.Cq.t
+(** [Q(x, y) ← R(x, y)] — single binary atom (sq-hierarchical). *)
+
+val q1_sq : Aggshap_cq.Cq.t
+(** [Q1(x) ← R(x,y), S(x)] — sq-hierarchical (Section 6). *)
+
+val q2_sq : Aggshap_cq.Cq.t
+(** [Q2(x,y) ← R(x,y), S(x,y,z)] — sq-hierarchical (Section 6). *)
+
+val q3_sq : Aggshap_cq.Cq.t
+(** [Q3(x,z) ← R(x,y), S(x), T(z)] — sq-hierarchical, disconnected
+    (Section 6). *)
+
+val q4_q : Aggshap_cq.Cq.t
+(** [Q4(x,y) ← R(x,y), S(x)] — q-hierarchical but not sq-hierarchical
+    (Section 6). *)
+
+val q_xyy : Aggshap_cq.Cq.t
+(** [Q(x) ← R(x,y), S(y)] — all-hierarchical but not q-hierarchical; the
+    minimal hard query of Section 5.2. *)
+
+val q_xyy_full : Aggshap_cq.Cq.t
+(** [Q(x,y) ← R(x,y), S(y)] — q-hierarchical but not sq-hierarchical;
+    hard for Dup (Theorem 6.1). *)
+
+val q_exists : Aggshap_cq.Cq.t
+(** [Q(x) ← R(x), S(x,y), T(y)] — ∃-hierarchical but not
+    all-hierarchical. *)
+
+val q_nonhier : Aggshap_cq.Cq.t
+(** [Q() ← R(x), S(x,y), T(y)] — not ∃-hierarchical (the RST query). *)
+
+val q_course : Aggshap_cq.Cq.t
+(** Example 2.2: [Q(p,s) ← Earns(p,s), Took(p,c), Course(n,c)]. *)
+
+val figure1 : (string * Aggshap_cq.Cq.t * Aggshap_cq.Hierarchy.cls) list
+(** Name, query and expected class for each catalog entry. *)

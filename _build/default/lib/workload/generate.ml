@@ -1,0 +1,73 @@
+module Cq = Aggshap_cq.Cq
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Value = Aggshap_relational.Value
+
+type config = {
+  tuples_per_relation : int;
+  domain : int;
+  exo_fraction : float;
+}
+
+let default = { tuples_per_relation = 4; domain = 3; exo_fraction = 0.25 }
+
+let arities q =
+  List.map (fun (a : Cq.atom) -> (a.Cq.rel, Array.length a.Cq.terms)) q.Cq.body
+
+let random_fact rng domain rel arity =
+  { Fact.rel; args = Array.init arity (fun _ -> Value.Int (Random.State.int rng domain)) }
+
+let random_database ?seed ?(config = default) q =
+  let rng =
+    match seed with Some s -> Random.State.make [| s |] | None -> Random.State.make_self_init ()
+  in
+  List.fold_left
+    (fun db (rel, arity) ->
+      let rec add db = function
+        | 0 -> db
+        | k ->
+          let f = random_fact rng config.domain rel arity in
+          let provenance =
+            if Random.State.float rng 1.0 < config.exo_fraction then Database.Exogenous
+            else Database.Endogenous
+          in
+          add (Database.add ~provenance f db) (k - 1)
+      in
+      add db config.tuples_per_relation)
+    Database.empty (arities q)
+
+let random_database_sized ?(seed = 0) ?(config = default) q ~endo =
+  (* Grow the per-relation tuple count until enough endogenous facts
+     exist, then demote the surplus to exogenous (a deterministic trim). *)
+  let rec attempt tuples round =
+    (* Grow the domain along with the tuple count: a small constant pool
+       caps the number of distinct facts and could make the target
+       unreachable. *)
+    let cfg = { config with tuples_per_relation = tuples; domain = max config.domain tuples } in
+    let db = random_database ~seed:(seed + (1000 * round)) ~config:cfg q in
+    if Database.endo_size db >= endo then db
+    else if round > 20 then
+      invalid_arg "Generate.random_database_sized: cannot reach requested size"
+    else attempt (tuples + 1 + (tuples / 2)) (round + 1)
+  in
+  let db = attempt (max 1 (endo / List.length q.Cq.body)) 0 in
+  let surplus = ref (Database.endo_size db - endo) in
+  Database.fold
+    (fun f p acc ->
+      if p = Database.Endogenous && !surplus > 0 then begin
+        decr surplus;
+        Database.set_provenance Database.Exogenous f acc
+      end
+      else acc)
+    db db
+
+let chain_database ~rows =
+  let groups = max 1 (int_of_float (sqrt (float_of_int rows))) in
+  let db = ref Database.empty in
+  for i = 0 to rows - 1 do
+    db := Database.add (Fact.of_ints "R" [ i; i mod groups ]) !db
+  done;
+  for j = 0 to groups - 1 do
+    db := Database.add (Fact.of_ints "S" [ j ]) !db
+  done;
+  !db

@@ -1,0 +1,35 @@
+(** Synthetic database generators.
+
+    The paper's results are data-complexity statements, so any data
+    exercises the same code paths; these generators produce joinable
+    databases for a given CQ shape (small shared domains make joins
+    likely) with controllable size and endogenous/exogenous mix. *)
+
+type config = {
+  tuples_per_relation : int;
+  domain : int;  (** constants are drawn from [0 .. domain-1] *)
+  exo_fraction : float;  (** probability that a fact is exogenous *)
+}
+
+val default : config
+
+val random_database :
+  ?seed:int -> ?config:config -> Aggshap_cq.Cq.t -> Aggshap_relational.Database.t
+(** Random facts for every relation of the query. Duplicates collapse,
+    so relations may end up smaller than [tuples_per_relation]. *)
+
+val random_database_sized :
+  ?seed:int ->
+  ?config:config ->
+  Aggshap_cq.Cq.t ->
+  endo:int ->
+  Aggshap_relational.Database.t
+(** Like {!random_database}, but retries/trims to get exactly [endo]
+    endogenous facts (exogenous facts stay random). Used by scaling
+    benchmarks where [endo] is the x-axis. *)
+
+val chain_database :
+  rows:int -> Aggshap_relational.Database.t
+(** The deterministic scaling family for [Q(x) ← R(x,y), S(y)] and
+    [Q(x,y) ← R(x,y), S(y)]: facts [R(i, i mod √rows)] and [S(j)], all
+    endogenous. *)

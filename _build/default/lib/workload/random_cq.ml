@@ -1,0 +1,45 @@
+module Cq = Aggshap_cq.Cq
+
+type config = {
+  max_atoms : int;
+  max_arity : int;
+  num_vars : int;
+  head_probability : float;
+}
+
+let default = { max_atoms = 3; max_arity = 3; num_vars = 4; head_probability = 0.4 }
+
+let generate ?(config = default) ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let num_atoms = 1 + Random.State.int rng config.max_atoms in
+  let var i = Printf.sprintf "v%d" i in
+  let body =
+    List.init num_atoms (fun j ->
+        let arity = 1 + Random.State.int rng config.max_arity in
+        let terms =
+          List.init arity (fun _ -> Cq.var (var (Random.State.int rng config.num_vars)))
+        in
+        Cq.atom (Printf.sprintf "Rel%d" j) terms)
+  in
+  let body_vars =
+    List.sort_uniq String.compare (List.concat_map Cq.atom_vars body)
+  in
+  let head =
+    List.filter (fun _ -> Random.State.float rng 1.0 < config.head_probability) body_vars
+  in
+  Cq.make ~name:"Q" ~head body
+
+let free_position q =
+  let rec scan = function
+    | [] -> None
+    | (a : Cq.atom) :: rest ->
+      let found = ref None in
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Cq.Var v when Cq.is_free q v && !found = None -> found := Some (a.Cq.rel, i)
+          | _ -> ())
+        a.Cq.terms;
+      (match !found with Some _ as r -> r | None -> scan rest)
+  in
+  scan q.Cq.body

@@ -1,0 +1,21 @@
+(** Random conjunctive queries (without self-joins).
+
+    Used by property tests to exercise classification and the solvers on
+    query shapes beyond the fixed catalog. *)
+
+type config = {
+  max_atoms : int;
+  max_arity : int;
+  num_vars : int;  (** size of the variable pool *)
+  head_probability : float;  (** chance that a body variable is free *)
+}
+
+val default : config
+
+val generate : ?config:config -> seed:int -> unit -> Aggshap_cq.Cq.t
+(** A valid CQ: fresh relation names (no self-joins), head variables
+    occurring in the body. *)
+
+val free_position : Aggshap_cq.Cq.t -> (string * int) option
+(** Some atom (relation name) and argument position holding a free
+    variable — a spot where [τ_id] is well-defined on answers. *)

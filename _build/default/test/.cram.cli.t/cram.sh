@@ -1,0 +1,13 @@
+  $ shapctl classify -q "Q(x) <- R(x,y), S(y)"
+  $ shapctl eval -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 -f "R(3, 20)"
+  $ shapctl solve -q "Q(x) <- R(x,y), R(y,x)" -d db.facts -a max
+  $ shapctl classify -q "Q(x) <-"
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0 --score banzhaf
+  $ cat > bad.facts <<'DB'
+  > R(1, 10)
+  > R(7)
+  > S(10)
+  > DB
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d bad.facts -a max -t id:R:0 -f "R(1, 10)"

@@ -1,0 +1,1 @@
+test/test_agg.ml: Aggshap_agg Aggshap_arith Aggshap_relational Aggshap_workload Alcotest List

@@ -1,0 +1,1 @@
+test/test_arith.ml: Aggshap_arith Alcotest List QCheck QCheck_alcotest String

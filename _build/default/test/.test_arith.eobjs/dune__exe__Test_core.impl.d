@@ -1,0 +1,1 @@
+test/test_core.ml: Aggshap_agg Aggshap_arith Aggshap_core Aggshap_cq Aggshap_relational Aggshap_workload Alcotest Array Hashtbl List Option Printf Random

@@ -1,0 +1,1 @@
+test/test_cq.ml: Aggshap_cq Aggshap_relational Aggshap_workload Alcotest Array List String

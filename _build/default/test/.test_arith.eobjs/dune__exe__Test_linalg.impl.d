@@ -1,0 +1,1 @@
+test/test_linalg.ml: Aggshap_arith Aggshap_linalg Alcotest Array List Printf Random

@@ -1,0 +1,1 @@
+test/test_props.ml: Aggshap_agg Aggshap_arith Aggshap_core Aggshap_cq Aggshap_relational Aggshap_workload Alcotest Array Gen Int List QCheck QCheck_alcotest Stdlib String

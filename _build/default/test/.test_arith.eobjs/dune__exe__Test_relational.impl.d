@@ -1,0 +1,1 @@
+test/test_relational.ml: Aggshap_cq Aggshap_relational Alcotest List

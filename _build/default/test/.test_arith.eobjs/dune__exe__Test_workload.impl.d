@@ -1,0 +1,1 @@
+test/test_workload.ml: Aggshap_cq Aggshap_relational Aggshap_workload Alcotest Array Format List Option Printf QCheck QCheck_alcotest Stdlib String

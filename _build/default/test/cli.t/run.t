@@ -1,0 +1,65 @@
+Classification of the minimal hard query (Figure 1, operationally):
+
+  $ shapctl classify -q "Q(x) <- R(x,y), S(y)"
+  query: Q(x) <- R(x, y), S(y)
+  class: all-hierarchical
+  
+  aggregate          frontier               tractable here?
+  sum                exists-hierarchical    yes (polynomial)
+  count              exists-hierarchical    yes (polynomial)
+  count-distinct     all-hierarchical       yes (polynomial)
+  min                all-hierarchical       yes (polynomial)
+  max                all-hierarchical       yes (polynomial)
+  avg                q-hierarchical         no (#P-hard)
+  median             q-hierarchical         no (#P-hard)
+  has-duplicates     sq-hierarchical        no (#P-hard)
+
+Evaluate an aggregate query over the sample database:
+
+  $ shapctl eval -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0
+  max = 3 (~ 3)
+
+Shapley values inside the frontier (polynomial algorithm):
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0
+  class: all-hierarchical; algorithm: min/max (a,k)-table DP
+  R(1, 10)                       1/12 (~ 0.0833333)
+  R(2, 10)                       1/4 (~ 0.25)
+  R(3, 20)                       9/4 (~ 2.25)
+  S(10)                          5/12 (~ 0.416667)
+
+Outside the frontier the solver reports the fallback:
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 -f "R(3, 20)"
+  class: all-hierarchical; algorithm: naive enumeration (exponential)
+  R(3, 20)                       2 (~ 2)
+
+Errors are reported cleanly:
+
+  $ shapctl solve -q "Q(x) <- R(x,y), R(y,x)" -d db.facts -a max
+  shapctl: cannot parse query "Q(x) <- R(x,y), R(y,x)": self-join: a relation name appears in two atoms
+  [1]
+
+  $ shapctl classify -q "Q(x) <-"
+  shapctl: cannot parse query "Q(x) <-": unexpected end of input
+  [1]
+
+Banzhaf values through the same polynomial algorithms:
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0 --score banzhaf
+  R(1, 10)                       1/8
+  R(2, 10)                       3/8
+  R(3, 20)                       19/8
+  S(10)                          5/8
+
+Schema violations are warned about (the fact becomes a null player):
+
+  $ cat > bad.facts <<'DB'
+  > R(1, 10)
+  > R(7)
+  > S(10)
+  > DB
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d bad.facts -a max -t id:R:0 -f "R(1, 10)"
+  class: all-hierarchical; algorithm: min/max (a,k)-table DP
+  R(1, 10)                       1/2 (~ 0.5)
+  shapctl: warning: R(7): arity 1 does not match R/2 (treated as a null player)

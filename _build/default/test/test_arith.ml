@@ -1,0 +1,323 @@
+(* Tests for the arbitrary-precision arithmetic substrate.
+
+   Strategy: unit tests for edge cases, plus qcheck properties that
+   cross-validate every operation against native-int arithmetic on small
+   operands and against algebraic laws on large (string-built) operands. *)
+
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module C = Aggshap_arith.Combinat
+
+let check_b msg expected actual =
+  Alcotest.(check string) msg expected (B.to_string actual)
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg expected (Q.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_basic () =
+  check_b "zero" "0" B.zero;
+  check_b "one" "1" B.one;
+  check_b "minus one" "-1" B.minus_one;
+  check_b "of_int 42" "42" (B.of_int 42);
+  check_b "of_int -42" "-42" (B.of_int (-42));
+  check_b "of_int max_int" (string_of_int max_int) (B.of_int max_int);
+  check_b "of_int min_int" (string_of_int min_int) (B.of_int min_int);
+  Alcotest.(check (option int)) "roundtrip max_int" (Some max_int)
+    (B.to_int_opt (B.of_int max_int));
+  Alcotest.(check (option int)) "roundtrip min_int" (Some min_int)
+    (B.to_int_opt (B.of_int min_int));
+  Alcotest.(check (option int)) "too big for int" None
+    (B.to_int_opt (B.mul (B.of_int max_int) (B.of_int 4)))
+
+let test_bigint_string_roundtrip () =
+  let cases =
+    [ "0"; "1"; "-1"; "999999999999999999999999999999";
+      "-123456789012345678901234567890123456789";
+      "1000000000000000000000000000000000000000000001" ]
+  in
+  List.iter (fun s -> check_b s s (B.of_string s)) cases;
+  check_b "leading plus" "17" (B.of_string "+17");
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty string")
+    (fun () -> ignore (B.of_string ""));
+  Alcotest.check_raises "garbage" (Invalid_argument "Bigint.of_string: invalid character")
+    (fun () -> ignore (B.of_string "12x4"))
+
+let test_bigint_arith_large () =
+  let a = B.of_string "123456789012345678901234567890" in
+  let b = B.of_string "987654321098765432109876543210" in
+  check_b "add" "1111111110111111111011111111100" (B.add a b);
+  check_b "sub" "-864197532086419753208641975320" (B.sub a b);
+  check_b "mul" "121932631137021795226185032733622923332237463801111263526900"
+    (B.mul a b);
+  let q, r = B.divmod b a in
+  check_b "div" "8" q;
+  check_b "rem" "9000000000900000000090" r;
+  (* divmod identity: b = q*a + r *)
+  check_b "divmod identity" (B.to_string b) (B.add (B.mul q a) r)
+
+let test_bigint_divmod_signs () =
+  (* Truncated division: remainder carries the sign of the dividend. *)
+  let dm a b =
+    let q, r = B.divmod (B.of_int a) (B.of_int b) in
+    (B.to_int_exn q, B.to_int_exn r)
+  in
+  Alcotest.(check (pair int int)) "7 / 2" (3, 1) (dm 7 2);
+  Alcotest.(check (pair int int)) "-7 / 2" (-3, -1) (dm (-7) 2);
+  Alcotest.(check (pair int int)) "7 / -2" (-3, 1) (dm 7 (-2));
+  Alcotest.(check (pair int int)) "-7 / -2" (3, -1) (dm (-7) (-2));
+  Alcotest.check_raises "division by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_bigint_pow_gcd () =
+  check_b "2^100" "1267650600228229401496703205376" (B.pow B.two 100);
+  check_b "x^0" "1" (B.pow (B.of_int 17) 0);
+  check_b "0^0" "1" (B.pow B.zero 0);
+  check_b "gcd" "6" (B.gcd (B.of_int 54) (B.of_int (-24)));
+  check_b "gcd with zero" "7" (B.gcd B.zero (B.of_int 7));
+  check_b "gcd big"
+    "9999999999"
+    (B.gcd
+       (B.mul (B.of_string "9999999999") (B.of_string "1000000007"))
+       (B.mul (B.of_string "9999999999") (B.of_string "998244353")))
+
+let test_bigint_compare () =
+  let sorted =
+    List.map B.of_string
+      [ "-100000000000000000000"; "-5"; "0"; "3"; "100000000000000000000" ]
+  in
+  let shuffled = List.rev sorted in
+  Alcotest.(check (list string)) "sort"
+    (List.map B.to_string sorted)
+    (List.map B.to_string (List.sort B.compare shuffled));
+  Alcotest.(check bool) "is_even 0" true (B.is_even B.zero);
+  Alcotest.(check bool) "is_even 7" false (B.is_even (B.of_int 7));
+  Alcotest.(check bool) "is_even -4" true (B.is_even (B.of_int (-4)))
+
+let test_bigint_to_float () =
+  Alcotest.(check (float 1e-9)) "to_float small" 42.0 (B.to_float (B.of_int 42));
+  let big = B.pow (B.of_int 10) 30 in
+  Alcotest.(check (float 1e20)) "to_float big" 1e30 (B.to_float big)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let arb_small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+(* Big operands built from random digit strings, sign included. *)
+let arb_big =
+  let gen =
+    QCheck.Gen.(
+      let* neg = bool in
+      let* ndigits = int_range 1 60 in
+      let* digits = list_size (return ndigits) (int_range 0 9) in
+      let s = String.concat "" (List.map string_of_int digits) in
+      let s = if neg then "-" ^ s else s in
+      return (B.of_string s))
+  in
+  QCheck.make gen ~print:B.to_string
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let bigint_props =
+  [ prop "of_int/add agrees with native" 1000
+      QCheck.(pair arb_small_int arb_small_int)
+      (fun (a, b) -> B.equal (B.add (B.of_int a) (B.of_int b)) (B.of_int (a + b)));
+    prop "of_int/mul agrees with native" 1000
+      QCheck.(pair arb_small_int arb_small_int)
+      (fun (a, b) -> B.equal (B.mul (B.of_int a) (B.of_int b)) (B.of_int (a * b)));
+    prop "of_int/divmod agrees with native" 1000
+      QCheck.(pair arb_small_int arb_small_int)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q, r = B.divmod (B.of_int a) (B.of_int b) in
+        B.to_int_exn q = a / b && B.to_int_exn r = a mod b);
+    prop "string roundtrip" 500 arb_big (fun a -> B.equal a (B.of_string (B.to_string a)));
+    prop "add commutative" 500 QCheck.(pair arb_big arb_big)
+      (fun (a, b) -> B.equal (B.add a b) (B.add b a));
+    prop "mul commutative" 300 QCheck.(pair arb_big arb_big)
+      (fun (a, b) -> B.equal (B.mul a b) (B.mul b a));
+    prop "mul distributes over add" 300 QCheck.(triple arb_big arb_big arb_big)
+      (fun (a, b, c) ->
+        B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    prop "sub inverse of add" 500 QCheck.(pair arb_big arb_big)
+      (fun (a, b) -> B.equal (B.sub (B.add a b) b) a);
+    prop "divmod reconstruction" 500 QCheck.(pair arb_big arb_big)
+      (fun (a, b) ->
+        QCheck.assume (not (B.is_zero b));
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul q b) r)
+        && B.compare (B.abs r) (B.abs b) < 0
+        && (B.is_zero r || B.sign r = B.sign a));
+    prop "gcd divides both" 300 QCheck.(pair arb_big arb_big)
+      (fun (a, b) ->
+        QCheck.assume (not (B.is_zero a) || not (B.is_zero b));
+        let g = B.gcd a b in
+        B.is_zero (B.rem a g) && B.is_zero (B.rem b g));
+    prop "compare consistent with sub" 500 QCheck.(pair arb_big arb_big)
+      (fun (a, b) -> B.compare a b = B.sign (B.sub a b));
+    prop "neg involutive" 500 arb_big (fun a -> B.equal a (B.neg (B.neg a)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rational unit tests                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rational_basic () =
+  check_q "normalization" "2/3" (Q.of_ints 4 6);
+  check_q "negative den" "-2/3" (Q.of_ints 4 (-6));
+  check_q "zero" "0" (Q.of_ints 0 5);
+  check_q "integer display" "7" (Q.of_ints 14 2);
+  check_q "add" "5/6" (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "sub" "1/6" (Q.sub (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "mul" "1/6" (Q.mul (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "div" "3/2" (Q.div (Q.of_ints 1 2) (Q.of_ints 1 3));
+  check_q "pow neg" "9/4" (Q.pow (Q.of_ints 2 3) (-2));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero))
+
+let test_rational_floor_ceil () =
+  let fl a b = B.to_int_exn (Q.floor (Q.of_ints a b)) in
+  let ce a b = B.to_int_exn (Q.ceil (Q.of_ints a b)) in
+  Alcotest.(check int) "floor 7/2" 3 (fl 7 2);
+  Alcotest.(check int) "floor -7/2" (-4) (fl (-7) 2);
+  Alcotest.(check int) "floor 6/2" 3 (fl 6 2);
+  Alcotest.(check int) "ceil 7/2" 4 (ce 7 2);
+  Alcotest.(check int) "ceil -7/2" (-3) (ce (-7) 2);
+  Alcotest.(check int) "ceil -6/2" (-3) (ce (-6) 2)
+
+let test_rational_string () =
+  check_q "of_string int" "5" (Q.of_string "5");
+  check_q "of_string frac" "-5/7" (Q.of_string "-5/7");
+  check_q "of_string unnormalized" "1/2" (Q.of_string "2/4")
+
+let arb_rat =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range (-10000) 10000 in
+      let* d = int_range 1 10000 in
+      return (Q.of_ints n d))
+  in
+  QCheck.make gen ~print:Q.to_string
+
+let rational_props =
+  [ prop "add assoc" 500 QCheck.(triple arb_rat arb_rat arb_rat)
+      (fun (a, b, c) -> Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)));
+    prop "mul inverse" 500 arb_rat
+      (fun a ->
+        QCheck.assume (not (Q.is_zero a));
+        Q.equal Q.one (Q.mul a (Q.inv a)));
+    prop "distributivity" 500 QCheck.(triple arb_rat arb_rat arb_rat)
+      (fun (a, b, c) -> Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "compare antisymmetric" 500 QCheck.(pair arb_rat arb_rat)
+      (fun (a, b) -> Q.compare a b = -Q.compare b a);
+    prop "floor <= x < floor+1" 500 arb_rat
+      (fun a ->
+        let f = Q.of_bigint (Q.floor a) in
+        Q.compare f a <= 0 && Q.compare a (Q.add f Q.one) < 0);
+    prop "to_float close" 500 arb_rat
+      (fun a ->
+        let f = Q.to_float a in
+        abs_float (f -. (B.to_float (Q.num a) /. B.to_float (Q.den a))) < 1e-9);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Combinat                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_factorial () =
+  check_b "0!" "1" (C.factorial 0);
+  check_b "1!" "1" (C.factorial 1);
+  check_b "10!" "3628800" (C.factorial 10);
+  check_b "25!" "15511210043330985984000000" (C.factorial 25);
+  (* Memoization across descending calls. *)
+  check_b "5! after 25!" "120" (C.factorial 5)
+
+let test_binomial () =
+  check_b "C(0,0)" "1" (C.binomial 0 0);
+  check_b "C(5,2)" "10" (C.binomial 5 2);
+  check_b "C(5,7)" "0" (C.binomial 5 7);
+  check_b "C(5,-1)" "0" (C.binomial 5 (-1));
+  check_b "C(100,50)" "100891344545564193334812497256" (C.binomial 100 50)
+
+let test_shapley_coefficient () =
+  (* For n players the coefficients over all positions of one player and
+     all coalition sizes sum to 1: sum_k C(n-1,k) q_k = 1. *)
+  let n = 12 in
+  let total =
+    List.init n (fun k ->
+        Q.mul
+          (Q.of_bigint (C.binomial (n - 1) k))
+          (C.shapley_coefficient ~players:n ~before:k))
+    |> Q.sum
+  in
+  check_q "sum_k C(n-1,k) q_k = 1" "1" total;
+  check_q "q_0 = 1/n" "1/12" (C.shapley_coefficient ~players:12 ~before:0)
+
+let test_harmonic () =
+  check_q "H(0)" "0" (C.harmonic 0);
+  check_q "H(1)" "1" (C.harmonic 1);
+  check_q "H(4)" "25/12" (C.harmonic 4);
+  check_q "H(3) after H(4)" "11/6" (C.harmonic 3)
+
+let test_misc_combinat () =
+  Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ] (C.divisors 12);
+  Alcotest.(check (list int)) "divisors 1" [ 1 ] (C.divisors 1);
+  Alcotest.(check (list int)) "divisors 13" [ 1; 13 ] (C.divisors 13);
+  Alcotest.(check int) "compositions2 count" 6 (List.length (C.compositions2 5));
+  check_b "falling factorial" "60" (C.falling_factorial 5 3);
+  check_b "falling factorial k=0" "1" (C.falling_factorial 5 0)
+
+let combinat_props =
+  [ prop "pascal identity" 200
+      QCheck.(pair (int_range 1 60) (int_range 0 60))
+      (fun (n, k) ->
+        B.equal (C.binomial n k)
+          (B.add (C.binomial (n - 1) k) (C.binomial (n - 1) (k - 1))));
+    prop "binomial symmetry" 200
+      QCheck.(pair (int_range 0 60) (int_range 0 60))
+      (fun (n, k) ->
+        QCheck.assume (k <= n);
+        B.equal (C.binomial n k) (C.binomial n (n - k)));
+    prop "coefficients sum to one" 50 (QCheck.int_range 1 30)
+      (fun n ->
+        let total =
+          List.init n (fun k ->
+              Q.mul
+                (Q.of_bigint (C.binomial (n - 1) k))
+                (C.shapley_coefficient ~players:n ~before:k))
+          |> Q.sum
+        in
+        Q.equal total Q.one);
+  ]
+
+let () =
+  Alcotest.run "arith"
+    [ ( "bigint",
+        [ Alcotest.test_case "basic" `Quick test_bigint_basic;
+          Alcotest.test_case "string roundtrip" `Quick test_bigint_string_roundtrip;
+          Alcotest.test_case "large arithmetic" `Quick test_bigint_arith_large;
+          Alcotest.test_case "divmod signs" `Quick test_bigint_divmod_signs;
+          Alcotest.test_case "pow and gcd" `Quick test_bigint_pow_gcd;
+          Alcotest.test_case "compare" `Quick test_bigint_compare;
+          Alcotest.test_case "to_float" `Quick test_bigint_to_float;
+        ] );
+      ("bigint properties", bigint_props);
+      ( "rational",
+        [ Alcotest.test_case "basic" `Quick test_rational_basic;
+          Alcotest.test_case "floor/ceil" `Quick test_rational_floor_ceil;
+          Alcotest.test_case "strings" `Quick test_rational_string;
+        ] );
+      ("rational properties", rational_props);
+      ( "combinat",
+        [ Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "shapley coefficient" `Quick test_shapley_coefficient;
+          Alcotest.test_case "harmonic" `Quick test_harmonic;
+          Alcotest.test_case "misc" `Quick test_misc_combinat;
+        ] );
+      ("combinat properties", combinat_props);
+    ]

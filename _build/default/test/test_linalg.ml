@@ -1,0 +1,110 @@
+(* Tests for exact rational linear algebra. *)
+
+module Q = Aggshap_arith.Rational
+module B = Aggshap_arith.Bigint
+module M = Aggshap_linalg.Matrix
+
+let qi = Q.of_int
+
+let m_of_ints rows = M.of_lists (List.map (List.map qi) rows)
+
+let check_mat msg expected actual =
+  if not (M.equal expected actual) then
+    Alcotest.failf "%s:@.expected @[%a@]@.got @[%a@]" msg M.pp expected M.pp actual
+
+let test_basic_ops () =
+  let a = m_of_ints [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = m_of_ints [ [ 5; 6 ]; [ 7; 8 ] ] in
+  check_mat "add" (m_of_ints [ [ 6; 8 ]; [ 10; 12 ] ]) (M.add a b);
+  check_mat "sub" (m_of_ints [ [ -4; -4 ]; [ -4; -4 ] ]) (M.sub a b);
+  check_mat "mul" (m_of_ints [ [ 19; 22 ]; [ 43; 50 ] ]) (M.mul a b);
+  check_mat "transpose" (m_of_ints [ [ 1; 3 ]; [ 2; 4 ] ]) (M.transpose a);
+  check_mat "scale" (m_of_ints [ [ 2; 4 ]; [ 6; 8 ] ]) (M.scale (qi 2) a);
+  check_mat "identity mul" a (M.mul a (M.identity 2));
+  Alcotest.(check string) "determinant" "-2" (Q.to_string (M.determinant a));
+  Alcotest.(check int) "rank" 2 (M.rank a);
+  Alcotest.(check int) "rank singular" 1 (M.rank (m_of_ints [ [ 1; 2 ]; [ 2; 4 ] ]))
+
+let test_inverse_solve () =
+  let a = m_of_ints [ [ 2; 1 ]; [ 7; 4 ] ] in
+  (match M.inverse a with
+   | None -> Alcotest.fail "invertible matrix reported singular"
+   | Some inv -> check_mat "a * a^-1 = I" (M.identity 2) (M.mul a inv));
+  Alcotest.(check bool) "singular has no inverse" true
+    (M.inverse (m_of_ints [ [ 1; 2 ]; [ 2; 4 ] ]) = None);
+  let b = [| qi 3; qi 10 |] in
+  (match M.solve a b with
+   | None -> Alcotest.fail "solve failed"
+   | Some x ->
+     let back = M.mul_vec a x in
+     Array.iteri
+       (fun i v ->
+         if not (Q.equal v b.(i)) then Alcotest.fail "solve does not satisfy the system")
+       back)
+
+let test_random_inverse_roundtrip () =
+  let rng = Random.State.make [| 23 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int rng 5 in
+    let a = M.make n n (fun _ _ -> qi (Random.State.int rng 11 - 5)) in
+    match M.inverse a with
+    | None -> Alcotest.(check string) "det zero" "0" (Q.to_string (M.determinant a))
+    | Some inv ->
+      check_mat "inverse roundtrip" (M.identity n) (M.mul a inv);
+      check_mat "inverse roundtrip (left)" (M.identity n) (M.mul inv a)
+  done
+
+let test_kronecker () =
+  let a = m_of_ints [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = m_of_ints [ [ 0; 5 ]; [ 6; 7 ] ] in
+  let k = M.kronecker a b in
+  Alcotest.(check int) "dims" 4 (M.rows k);
+  Alcotest.(check string) "entry (0,1)" "5" (Q.to_string (M.get k 0 1));
+  Alcotest.(check string) "entry (2,0)" "0" (Q.to_string (M.get k 2 0));
+  Alcotest.(check string) "entry (3,3)" "28" (Q.to_string (M.get k 3 3));
+  (* det(A ⊗ B) = det(A)^n det(B)^m. *)
+  let det_k = M.determinant k in
+  let expected = Q.mul (Q.pow (M.determinant a) 2) (Q.pow (M.determinant b) 2) in
+  Alcotest.(check string) "kronecker determinant" (Q.to_string expected) (Q.to_string det_k)
+
+let test_hilbert_hankel () =
+  (* Both are invertible for every size (Choi 1983; Bacher 2002) — the
+     fact the hardness proof of Lemma D.3 rests on. *)
+  for n = 1 to 6 do
+    Alcotest.(check bool)
+      (Printf.sprintf "hilbert %d invertible" n)
+      true
+      (not (Q.is_zero (M.determinant (M.hilbert n))));
+    Alcotest.(check bool)
+      (Printf.sprintf "hankel %d invertible" n)
+      true
+      (not (Q.is_zero (M.determinant (M.hankel_factorial n))))
+  done;
+  (* Spot check: the 3×3 Hilbert determinant is 1/2160. *)
+  Alcotest.(check string) "hilbert 3 det" "1/2160" (Q.to_string (M.determinant (M.hilbert 3)));
+  (* Kronecker product of invertibles is invertible. *)
+  let k = M.kronecker (M.hilbert 3) (M.hankel_factorial 2) in
+  Alcotest.(check bool) "hilbert ⊗ hankel invertible" true
+    (not (Q.is_zero (M.determinant k)))
+
+let test_dimension_guards () =
+  let a = m_of_ints [ [ 1; 2 ] ] in
+  Alcotest.(check bool) "mul mismatch" true
+    (try ignore (M.mul a a); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "determinant non-square" true
+    (try ignore (M.determinant a); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "ragged input" true
+    (try ignore (M.of_lists [ [ Q.one ]; [ Q.one; Q.one ] ]); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "linalg"
+    [ ( "matrix",
+        [ Alcotest.test_case "basic operations" `Quick test_basic_ops;
+          Alcotest.test_case "inverse and solve" `Quick test_inverse_solve;
+          Alcotest.test_case "random inverse roundtrip" `Quick test_random_inverse_roundtrip;
+          Alcotest.test_case "kronecker" `Quick test_kronecker;
+          Alcotest.test_case "hilbert and hankel" `Quick test_hilbert_hankel;
+          Alcotest.test_case "guards" `Quick test_dimension_guards;
+        ] );
+    ]

@@ -1,0 +1,343 @@
+(* Tests for the executable hardness reductions: each gadget's predicted
+   Shapley value must match the naive solver on the gadget database, and
+   each end-to-end pipeline must recover the brute-force counts. *)
+
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module Database = Aggshap_relational.Database
+module Setcover = Aggshap_reductions.Setcover
+module Avg_red = Aggshap_reductions.Avg_reduction
+module Qnt_red = Aggshap_reductions.Quantile_reduction
+module Perm_red = Aggshap_reductions.Permanent_reduction
+module Game = Aggshap_core.Game
+
+let check_b msg expected actual =
+  Alcotest.(check string) msg (B.to_string expected) (B.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Set-cover instances and brute force                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sc_small = Setcover.make ~universe:3 [ [ 1; 2 ]; [ 2; 3 ]; [ 3 ] ]
+
+let test_setcover_brute_force () =
+  (* Covers of {1,2,3} from {12, 23, 3}: {12,23}, {12,3}, {12,23,3}. *)
+  check_b "count_covers" (B.of_int 3) (Setcover.count_covers sc_small);
+  Alcotest.(check int) "union_size" 3 (Setcover.union_size sc_small [ 0; 1 ]);
+  Alcotest.(check bool) "disjoint" true (Setcover.is_pairwise_disjoint sc_small [ 0 ]);
+  Alcotest.(check bool) "not disjoint" false
+    (Setcover.is_pairwise_disjoint sc_small [ 0; 1 ]);
+  let z = Setcover.z_table sc_small in
+  (* Z_{i,j} sums to 2^m over all cells. *)
+  let total = Array.fold_left (Array.fold_left B.add) B.zero z in
+  check_b "z table total" (B.of_int 8) total;
+  check_b "Z_{0,0}" B.one z.(0).(0);
+  check_b "Z_{3,2}" (B.of_int 2) z.(3).(2)
+
+let test_exact_covers () =
+  (* Perfect matchings of the 4-cycle 1-2-3-4: two. *)
+  let c4 = Setcover.make ~universe:4 [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 1 ] ] in
+  check_b "perfect matchings of C4" (B.of_int 2) (Setcover.count_exact_covers c4);
+  let z = Setcover.z_disjoint c4 in
+  check_b "Z_0" B.one z.(0);
+  check_b "Z_1" (B.of_int 4) z.(1);
+  check_b "Z_2" (B.of_int 2) z.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Avg reduction (Lemma D.3)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_avg_gadget_equation () =
+  (* The derived Shapley equation must match the naive solver on every
+     D_{q,r} of a small instance. *)
+  let sc = Setcover.make ~universe:2 [ [ 1 ]; [ 1; 2 ] ] in
+  for q = 0 to sc.Setcover.universe do
+    for r = 0 to Setcover.num_sets sc do
+      let db = Avg_red.database sc ~q ~r in
+      let actual = Avg_red.naive_oracle db Avg_red.target_fact in
+      let predicted = Avg_red.shapley_predicted sc ~q ~r in
+      if not (Q.equal predicted actual) then
+        Alcotest.failf "avg gadget (q=%d, r=%d): predicted=%s naive=%s" q r
+          (Q.to_string predicted) (Q.to_string actual)
+    done
+  done
+
+let test_avg_system_is_kronecker () =
+  let sc = sc_small in
+  let l = Avg_red.system_matrix sc in
+  let n_factor, m_factor = Avg_red.kronecker_factors sc in
+  Alcotest.(check bool) "L = N ⊗ M" true
+    (Aggshap_linalg.Matrix.equal l (Aggshap_linalg.Matrix.kronecker n_factor m_factor));
+  Alcotest.(check bool) "L invertible" true
+    (not (Q.is_zero (Aggshap_linalg.Matrix.determinant l)))
+
+let test_avg_pipeline () =
+  let instances =
+    [ Setcover.make ~universe:2 [ [ 1 ]; [ 1; 2 ] ];
+      sc_small;
+      Setcover.random ~seed:5 ~universe:3 ~sets:3 ~max_set_size:2 ();
+    ]
+  in
+  List.iter
+    (fun sc ->
+      check_b "covers via shapley" (Setcover.count_covers sc)
+        (Avg_red.count_covers_via_shapley sc))
+    instances
+
+(* ------------------------------------------------------------------ *)
+(* Quantile reduction (Lemma D.4)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_gadget_simulates_game () =
+  (* A(C ∪ Dˣ) must equal v_sc(C) for every coalition. *)
+  let sc = sc_small in
+  List.iter
+    (fun quantile ->
+      let a = Qnt_red.agg_query quantile in
+      let db = Qnt_red.database sc quantile in
+      let m = Setcover.num_sets sc in
+      let exo = Database.filter (fun _ p -> p = Database.Exogenous) db in
+      for mask = 0 to (1 lsl m) - 1 do
+        let indices =
+          List.filteri (fun j _ -> mask land (1 lsl j) <> 0) (List.init m Fun.id)
+        in
+        let coalition =
+          List.fold_left
+            (fun acc i -> Database.add (Qnt_red.set_fact (i + 1)) acc)
+            exo indices
+        in
+        let value = Aggshap_agg.Agg_query.eval a coalition in
+        let expected =
+          if Setcover.union_size sc indices = sc.Setcover.universe then Q.one else Q.zero
+        in
+        if not (Q.equal value expected) then
+          Alcotest.failf "quantile %s gadget: coalition %d gives %s, expected %s"
+            (Q.to_string quantile) mask (Q.to_string value) (Q.to_string expected)
+      done)
+    [ Q.half; Q.of_ints 1 3; Q.of_ints 3 4 ]
+
+let test_quantile_shapley_matches_game () =
+  let sc = Setcover.make ~universe:2 [ [ 1 ]; [ 2 ]; [ 1; 2 ] ] in
+  let game = Qnt_red.cover_game sc in
+  for i = 1 to Setcover.num_sets sc do
+    let via_gadget = Qnt_red.shapley_via_gadget sc Q.half i in
+    let direct = Game.shapley game (i - 1) in
+    if not (Q.equal via_gadget direct) then
+      Alcotest.failf "quantile shapley for set %d: gadget=%s game=%s" i
+        (Q.to_string via_gadget) (Q.to_string direct)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Permanent reduction (Lemma E.2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let c4 = Setcover.make ~universe:4 [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 1 ] ]
+
+let test_permanent_gadget_equation () =
+  let sc = Setcover.make ~universe:3 [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ] ] in
+  for r = 0 to Setcover.num_sets sc do
+    let db = Perm_red.database sc ~r in
+    let actual = Perm_red.naive_oracle db Perm_red.target_fact in
+    let predicted = Perm_red.shapley_predicted sc ~r in
+    if not (Q.equal predicted actual) then
+      Alcotest.failf "permanent gadget (r=%d): predicted=%s naive=%s" r
+        (Q.to_string predicted) (Q.to_string actual)
+  done
+
+let test_permanent_pipeline () =
+  let z = Perm_red.disjoint_counts_via_shapley c4 in
+  let expected = Setcover.z_disjoint c4 in
+  Array.iteri (fun j v -> check_b (Printf.sprintf "Z_%d" j) expected.(j) v) z;
+  check_b "permanent of C4" (B.of_int 2) (Perm_red.permanent_via_shapley c4);
+  (* K_{2,2} as pairs {row i, col j}: elements 1,2 rows; 3,4 cols. *)
+  let k22 = Setcover.make ~universe:4 [ [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ] ] in
+  check_b "permanent of all-ones 2x2" (B.of_int 2) (Perm_red.permanent_via_shapley k22);
+  check_b "brute force agrees" (Setcover.count_exact_covers k22)
+    (Perm_red.permanent_via_shapley k22)
+
+(* ------------------------------------------------------------------ *)
+(* Lifting reduction (Lemma 5.3 / D.1)                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Lifting = Aggshap_reductions.Lifting
+module Aggregate = Aggshap_agg.Aggregate
+module Agg_query = Aggshap_agg.Agg_query
+module Generate = Aggshap_workload.Generate
+module Naive = Aggshap_core.Naive
+module Value = Aggshap_relational.Value
+module Fact = Aggshap_relational.Fact
+
+let lift_targets =
+  [ "Qxyy itself", "Q0(x) <- R0(x, y), S0(y)";
+    "chain of three", "Q0(x) <- R0(x, y), S0(y), T0(y)";
+    "wider heads", "Q0(x, w) <- R0(x, y, w), S0(y, w)";
+  ]
+
+let relu_map v =
+  match Value.as_int v with
+  | Some n when n > 0 -> Q.of_int n
+  | Some _ -> Q.zero
+  | None -> Q.zero
+
+let mod2_map v =
+  match Value.as_int v with
+  | Some n -> Q.of_int (((n mod 2) + 2) mod 2)
+  | None -> Q.zero
+
+let test_lifting_analyze () =
+  List.iter
+    (fun (name, qs) ->
+      match Lifting.analyze (Aggshap_cq.Parser.parse_query_exn qs) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" name msg)
+    lift_targets;
+  (* q-hierarchical targets are rejected. *)
+  (match Lifting.analyze (Aggshap_cq.Parser.parse_query_exn "Q(x,y) <- R(x,y), S(y)") with
+   | Ok _ -> Alcotest.fail "q-hierarchical target accepted"
+   | Error _ -> ());
+  (* The equality corner is reported, not mis-handled. *)
+  (match Lifting.analyze (Aggshap_cq.Parser.parse_query_exn "Q(x) <- R(x,y)") with
+   | Ok _ -> Alcotest.fail "equality-corner target accepted"
+   | Error _ -> ())
+
+let test_lifting_preserves_shapley () =
+  let config = { Generate.tuples_per_relation = 3; domain = 3; exo_fraction = 0.25 } in
+  List.iter
+    (fun (name, qs) ->
+      let w =
+        match Lifting.analyze (Aggshap_cq.Parser.parse_query_exn qs) with
+        | Ok w -> w
+        | Error msg -> Alcotest.failf "%s: %s" name msg
+      in
+      let combos =
+        [ (Aggregate.Avg, relu_map, "relu");
+          (Aggregate.Max, relu_map, "relu");
+          (Aggregate.Has_duplicates, mod2_map, "mod2");
+        ]
+      in
+      for seed = 0 to 3 do
+        let d = Generate.random_database ~seed ~config Lifting.source_query in
+        if Database.endo_size d >= 1 && Database.endo_size d <= 8 then begin
+          let d0, h = Lifting.lift_database w d in
+          Alcotest.(check int)
+            (name ^ ": endo preserved")
+            (Database.endo_size d) (Database.endo_size d0);
+          List.iter
+            (fun (alpha, map, descr) ->
+              let a_src = Agg_query.make alpha (Lifting.source_tau ~descr map) Lifting.source_query in
+              let a_tgt = Agg_query.make alpha (Lifting.lifted_tau w ~descr map) w.Lifting.target in
+              List.iter
+                (fun f ->
+                  let src = Naive.shapley a_src d f in
+                  let tgt = Naive.shapley a_tgt d0 (h f) in
+                  if not (Q.equal src tgt) then
+                    Alcotest.failf "%s (%s, seed %d): %s src=%s lifted=%s" name descr seed
+                      (Fact.to_string f) (Q.to_string src) (Q.to_string tgt))
+                (Database.endogenous d))
+            combos
+        end
+      done)
+    lift_targets
+
+(* ------------------------------------------------------------------ *)
+(* τ-robustness (Theorem 7.1 / Observation F.3)                        *)
+(* ------------------------------------------------------------------ *)
+
+module Tau_transform = Aggshap_reductions.Tau_transform
+module Value_fn = Aggshap_agg.Value_fn
+module Catalog = Aggshap_workload.Catalog
+
+let gamma n = (3 * n) + ((n * n * n) / 4)
+(* Monotonically increasing (and injective) on the small non-negative
+   integers the generator produces. *)
+
+let test_obs_f3 () =
+  (* Shapley(f, α∘(γ∘τ_id)∘Q)[D] = Shapley(π f, α∘τ_id∘Q)[π D]. *)
+  let q = Catalog.q_xyy_full in
+  let tau_gamma =
+    Value_fn.custom ~rel:"R" ~descr:"gamma∘id" (fun args ->
+        match Value.as_int args.(0) with
+        | Some n -> Q.of_int (gamma n)
+        | None -> Q.zero)
+  in
+  let tau_id = Value_fn.id ~rel:"R" ~pos:0 in
+  let config = { Generate.tuples_per_relation = 3; domain = 3; exo_fraction = 0.25 } in
+  List.iter
+    (fun alpha ->
+      let a_gamma = Agg_query.make alpha tau_gamma q in
+      let a_id = Agg_query.make alpha tau_id q in
+      for seed = 0 to 3 do
+        let d = Generate.random_database ~seed ~config q in
+        if Database.endo_size d >= 1 && Database.endo_size d <= 9 then begin
+          let d', pi = Tau_transform.transform q ~var:"x" gamma d in
+          List.iter
+            (fun f ->
+              let direct = Naive.shapley a_gamma d f in
+              let via_pi = Naive.shapley a_id d' (pi f) in
+              if not (Q.equal direct via_pi) then
+                Alcotest.failf "obs F.3 (%s, seed %d): %s direct=%s via π=%s"
+                  (Aggregate.to_string alpha) seed (Fact.to_string f) (Q.to_string direct)
+                  (Q.to_string via_pi))
+            (Database.endogenous d)
+        end
+      done)
+    [ Aggregate.Max; Aggregate.Avg; Aggregate.Median ]
+
+let test_theorem_7_1 () =
+  let q = Catalog.q_xyy_full in
+  let tau_gamma =
+    Value_fn.custom ~rel:"R" ~descr:"gamma∘id" (fun args ->
+        match Value.as_int args.(0) with
+        | Some n -> Q.of_int (gamma n)
+        | None -> Q.zero)
+  in
+  let config = { Generate.tuples_per_relation = 3; domain = 3; exo_fraction = 0.25 } in
+  List.iter
+    (fun alpha ->
+      let a_gamma = Agg_query.make alpha tau_gamma q in
+      for seed = 0 to 3 do
+        let d = Generate.random_database ~seed ~config q in
+        if Database.endo_size d >= 1 && Database.endo_size d <= 9 then
+          List.iter
+            (fun f ->
+              let direct = Naive.shapley a_gamma d f in
+              let via_identity = Tau_transform.theorem_7_1_lhs alpha q ~var:"x" gamma d f in
+              if not (Q.equal direct via_identity) then
+                Alcotest.failf "thm 7.1 (%s, seed %d): %s direct=%s identity=%s"
+                  (Aggregate.to_string alpha) seed (Fact.to_string f) (Q.to_string direct)
+                  (Q.to_string via_identity))
+            (Database.endogenous d)
+      done)
+    [ Aggregate.Max; Aggregate.Avg; Aggregate.Median ]
+
+let () =
+  Alcotest.run "reductions"
+    [ ( "set cover",
+        [ Alcotest.test_case "brute force" `Quick test_setcover_brute_force;
+          Alcotest.test_case "exact covers" `Quick test_exact_covers;
+        ] );
+      ( "avg (Lemma D.3)",
+        [ Alcotest.test_case "gadget equation" `Quick test_avg_gadget_equation;
+          Alcotest.test_case "system is Hilbert ⊗ Hankel" `Quick test_avg_system_is_kronecker;
+          Alcotest.test_case "end-to-end pipeline" `Slow test_avg_pipeline;
+        ] );
+      ( "quantile (Lemma D.4)",
+        [ Alcotest.test_case "gadget simulates the game" `Quick
+            test_quantile_gadget_simulates_game;
+          Alcotest.test_case "shapley matches the game" `Quick
+            test_quantile_shapley_matches_game;
+        ] );
+      ( "permanent (Lemma E.2)",
+        [ Alcotest.test_case "gadget equation" `Quick test_permanent_gadget_equation;
+          Alcotest.test_case "end-to-end pipeline" `Slow test_permanent_pipeline;
+        ] );
+      ( "lifting (Lemma 5.3/D.1)",
+        [ Alcotest.test_case "witness analysis" `Quick test_lifting_analyze;
+          Alcotest.test_case "Shapley values preserved" `Slow test_lifting_preserves_shapley;
+        ] );
+      ( "tau robustness (Thm 7.1)",
+        [ Alcotest.test_case "Observation F.3: π relocates γ into the data" `Quick
+            test_obs_f3;
+          Alcotest.test_case "Theorem 7.1 identity" `Quick test_theorem_7_1;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests for the workload generators and qcheck properties of the
+   database structure itself. *)
+
+module Cq = Aggshap_cq.Cq
+module Hierarchy = Aggshap_cq.Hierarchy
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Value = Aggshap_relational.Value
+module Catalog = Aggshap_workload.Catalog
+module Generate = Aggshap_workload.Generate
+module Random_cq = Aggshap_workload.Random_cq
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let test_catalog_wellformed () =
+  List.iter
+    (fun (name, q, _) ->
+      match Cq.validate q with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" name msg)
+    Catalog.figure1;
+  Alcotest.(check int) "catalog covers all five classes" 5
+    (List.length
+       (List.sort_uniq Stdlib.compare (List.map (fun (_, _, c) -> c) Catalog.figure1)))
+
+let test_random_database_shape () =
+  let q = Catalog.q_xyy in
+  let db = Generate.random_database ~seed:3 q in
+  (* Only relations of the query, with matching arities. *)
+  List.iter
+    (fun (f : Fact.t) ->
+      match f.rel with
+      | "R" -> Alcotest.(check int) "R arity" 2 (Fact.arity f)
+      | "S" -> Alcotest.(check int) "S arity" 1 (Fact.arity f)
+      | other -> Alcotest.failf "unexpected relation %s" other)
+    (Database.facts db);
+  (* Deterministic under a fixed seed. *)
+  let db' = Generate.random_database ~seed:3 q in
+  Alcotest.(check bool) "seeded determinism" true (Database.equal db db')
+
+let test_random_database_sized () =
+  let q = Catalog.q_xyy_full in
+  List.iter
+    (fun endo ->
+      let db = Generate.random_database_sized ~seed:1 q ~endo in
+      Alcotest.(check int) (Printf.sprintf "exactly %d endogenous" endo) endo
+        (Database.endo_size db))
+    [ 1; 4; 9; 16 ]
+
+let test_chain_database () =
+  let db = Generate.chain_database ~rows:16 in
+  Alcotest.(check int) "R facts" 16 (List.length (Database.relation db "R"));
+  Alcotest.(check int) "S facts" 4 (List.length (Database.relation db "S"));
+  Alcotest.(check int) "all endogenous" (Database.size db) (Database.endo_size db);
+  (* Every R fact joins: its group is an S value. *)
+  let answers = Aggshap_cq.Eval.answers Catalog.q_xyy db in
+  Alcotest.(check int) "all rows are answers" 16 (List.length answers)
+
+let test_random_cq_validity () =
+  for seed = 0 to 300 do
+    let q = Random_cq.generate ~seed () in
+    match Cq.validate q with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "seed %d: %s (%s)" seed msg (Cq.to_string q)
+  done
+
+let test_random_cq_free_position () =
+  for seed = 0 to 100 do
+    let q = Random_cq.generate ~seed () in
+    match Random_cq.free_position q with
+    | Some (rel, pos) -> begin
+      match Cq.find_atom q rel with
+      | None -> Alcotest.failf "seed %d: relation %s not in query" seed rel
+      | Some atom -> begin
+        match atom.Cq.terms.(pos) with
+        | Cq.Var v ->
+          if not (Cq.is_free q v) then Alcotest.failf "seed %d: %s not free" seed v
+        | Cq.Const _ -> Alcotest.failf "seed %d: constant position" seed
+      end
+    end
+    | None ->
+      if Cq.free_vars q <> [] then
+        Alcotest.failf "seed %d: free vars exist but no position found" seed
+  done
+
+(* qcheck: database algebra. *)
+
+let arb_db =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 0 12 in
+      let* entries =
+        list_size (return n)
+          (let* rel = oneofl [ "R"; "S"; "T" ] in
+           let* a = int_range 0 3 in
+           let* b = int_range 0 3 in
+           let* exo = bool in
+           return
+             ( { Fact.rel; args = [| Value.Int a; Value.Int b |] },
+               if exo then Database.Exogenous else Database.Endogenous ))
+      in
+      return (Database.of_list entries))
+  in
+  QCheck.make gen ~print:(fun db -> Format.asprintf "%a" Database.pp db)
+
+let db_props =
+  [ prop "size = endo + exo" 300 arb_db (fun db ->
+        Database.size db
+        = List.length (Database.endogenous db) + List.length (Database.exogenous db));
+    prop "restrict_relations partitions" 300 arb_db (fun db ->
+        let rs, rest = Database.restrict_relations [ "R" ] db in
+        Database.size rs + Database.size rest = Database.size db
+        && Database.equal (Database.union rs rest) db);
+    prop "remove then add is identity on members" 300 arb_db (fun db ->
+        match Database.facts db with
+        | [] -> true
+        | f :: _ ->
+          let p = Option.get (Database.provenance db f) in
+          Database.equal db (Database.add ~provenance:p f (Database.remove f db)));
+    prop "filter endo + filter exo = whole" 300 arb_db (fun db ->
+        let endo = Database.filter (fun _ p -> p = Database.Endogenous) db in
+        let exo = Database.filter (fun _ p -> p = Database.Exogenous) db in
+        Database.equal (Database.union endo exo) db);
+    prop "relations sorted and complete" 300 arb_db (fun db ->
+        let rels = Database.relations db in
+        List.sort String.compare rels = rels
+        && List.for_all (fun (f : Fact.t) -> List.mem f.rel rels) (Database.facts db));
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [ ( "generators",
+        [ Alcotest.test_case "catalog well-formed" `Quick test_catalog_wellformed;
+          Alcotest.test_case "random database shape" `Quick test_random_database_shape;
+          Alcotest.test_case "sized generation" `Quick test_random_database_sized;
+          Alcotest.test_case "chain database" `Quick test_chain_database;
+          Alcotest.test_case "random CQ validity" `Quick test_random_cq_validity;
+          Alcotest.test_case "free positions" `Quick test_random_cq_free_position;
+        ] );
+      ("database properties", db_props);
+    ]
