@@ -4,7 +4,7 @@
    experiment here validates a theorem's observable footprint — the
    polynomial/exponential runtime split at each tractability frontier,
    the agreement of closed forms and reductions with brute force — and
-   prints one table per experiment (E1..E12). A final section runs one
+   prints one table per experiment (E1..E13). A final section runs one
    Bechamel micro-benchmark per experiment.
 
    Usage: bench/main.exe [--quick]   (--quick shrinks the sweeps) *)
@@ -352,6 +352,76 @@ let e12 () =
         (pp_time (Some t)))
     graphs
 
+(* E13: the batch engine — all-facts shapley_all, sequential (seed path)
+   vs shared-DP caching vs domain-parallel, on the scaling families. *)
+let e13 () =
+  header "E13 (batch engine): all-facts shapley_all — seq vs cached vs parallel";
+  let jobs = max 2 (Core.Pool.default_jobs ()) in
+  Printf.printf
+    "Parallel runs use %d worker domains (recommended for this machine: %d);\n\
+     all variants must return bit-identical rational values (column 'same').\n\
+     c-spd = seq / cached (jobs=1); p-spd = seq / (par+cache). On a\n\
+     single-core host p-spd only measures domain overhead.\n" jobs
+    (Core.Pool.default_jobs ());
+  let run_family ~title ~sizes ~make_db ~make_agg ~seed_all =
+    Printf.printf "\n-- %s --\n" title;
+    Printf.printf "%6s %8s %10s %10s %10s %10s %7s %7s %6s  %s\n" "rows" "players"
+      "seq" "cached" "par" "par+cache" "c-spd" "p-spd" "same" "cache";
+    List.iter
+      (fun rows ->
+        let db = make_db rows in
+        let a = make_agg () in
+        let seq, t_seq = time (fun () -> seed_all a db) in
+        let (cached, stats_c), t_cached =
+          time (fun () -> Core.Batch.shapley_all ~jobs:1 ~cache:true a db)
+        in
+        let (par, _), t_par =
+          time (fun () -> Core.Batch.shapley_all ~jobs ~cache:false a db)
+        in
+        let (parc, _), t_parc =
+          time (fun () -> Core.Batch.shapley_all ~jobs ~cache:true a db)
+        in
+        let same =
+          List.for_all
+            (fun other ->
+              List.length other = List.length seq
+              && List.for_all2
+                   (fun (f1, v1) (f2, v2) -> Fact.equal f1 f2 && Q.equal v1 v2)
+                   seq other)
+            [ cached; par; parc ]
+        in
+        let cache_s =
+          match stats_c.Core.Batch.cache with
+          | Some m -> Core.Memo.stats_to_string m
+          | None -> "-"
+        in
+        Printf.printf "%6d %8d %10s %10s %10s %10s %6.2fx %6.2fx %6s  %s\n" rows
+          (Database.endo_size db) (pp_time (Some t_seq)) (pp_time (Some t_cached))
+          (pp_time (Some t_par)) (pp_time (Some t_parc))
+          (t_seq /. t_cached) (t_seq /. t_parc)
+          (if same then "ok" else "MISMATCH")
+          cache_s)
+      sizes
+  in
+  run_family
+    ~title:"Max on Qxyy(x) <- R(x,y), S(y)  (q_xyy family, min/max table DP)"
+    ~sizes:(if quick then [ 12; 40 ] else [ 20; 60; 120; 200 ])
+    ~make_db:xyy_db
+    ~make_agg:(fun () -> Agg_query.make Aggregate.Max (vid "R" 0) Catalog.q_xyy)
+    ~seed_all:Core.Minmax.shapley_all;
+  run_family
+    ~title:"CDist on Qxyy(x) <- R(x,y), S(y)  (q_xyy family, per-value Boolean DP)"
+    ~sizes:(if quick then [ 12; 40 ] else [ 20; 60; 100 ])
+    ~make_db:xyy_db
+    ~make_agg:(fun () -> Agg_query.make Aggregate.Count_distinct (vmod "R" 0) Catalog.q_xyy)
+    ~seed_all:Core.Cdist.shapley_all;
+  run_family
+    ~title:"Has-duplicates on Q1(x) <- R(x,y), S(x)  (q1 family, P0/P1 DP)"
+    ~sizes:(if quick then [ 10; 30 ] else [ 40; 100; 160 ])
+    ~make_db:q1_db
+    ~make_agg:(fun () -> Agg_query.make Aggregate.Has_duplicates (vmod "R" 0) Catalog.q1_sq)
+    ~seed_all:Core.Dup.shapley_all
+
 (* A1: ablation — Boolean membership via the direct DP vs the compiled
    d-tree backend (Remark 4.5). *)
 let a1 () =
@@ -508,6 +578,7 @@ let () =
   e10 ();
   e11 ();
   e12 ();
+  e13 ();
   a1 ();
   a2 ();
   run_bechamel ();

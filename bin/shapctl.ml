@@ -122,12 +122,15 @@ let parse_fallback = function
     `Monte_carlo (int_of_string (String.sub s 3 (String.length s - 3)))
   | s -> die "unknown fallback %S (use naive, fail, or mc:SAMPLES)" s
 
-let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s =
+let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache =
   let q = parse_query_arg query_s in
   let db = read_database db_path in
   warn_schema q db;
   let a = make_agg_query agg_s tau_s q in
   let fallback = parse_fallback fallback_s in
+  (match jobs with
+   | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
+   | _ -> ());
   if score_s = "banzhaf" then begin
     (try
        List.iter
@@ -169,7 +172,7 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s =
          print_outcome f outcome
      end
      | None ->
-       let results, report = Solver.shapley_all ~fallback a db in
+       let results, report = Solver.shapley_all ~fallback ?jobs ~cache a db in
        Printf.printf "class: %s; algorithm: %s\n" (Hierarchy.cls_to_string report.Solver.cls)
          report.Solver.algorithm;
        List.iter (fun (f, o) -> print_outcome f o) results
@@ -214,6 +217,17 @@ let fallback_arg =
          ~doc:"What to do outside the tractability frontier: naive (exact, \
                exponential), mc:SAMPLES (Monte Carlo), or fail.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the all-facts batch (default: the \
+               recommended domain count of the machine; 1 disables \
+               parallelism). Results are identical for every N.")
+
+let cache_arg =
+  Arg.(value & opt bool true & info [ "cache" ] ~docv:"BOOL"
+         ~doc:"Share dynamic-programming tables across the per-fact batch \
+               loop (default true). Results are identical either way.")
+
 let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify a CQ and print its per-aggregate tractability")
@@ -227,7 +241,7 @@ let eval_cmd =
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute Shapley values of endogenous facts")
-    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg)
+    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ cache_arg)
 
 let main_cmd =
   Cmd.group

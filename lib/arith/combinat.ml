@@ -1,24 +1,50 @@
 (* Memoized combinatorics. The memo tables grow geometrically and are
-   shared across the whole process; all entries are immutable bignums. *)
+   shared across the whole process; all entries are immutable bignums.
 
-let factorial_table = ref [| Bigint.one |]
-let factorial_filled = ref 1
+   The tables must be safe to consult from several domains at once (the
+   batch engine fans Shapley computations across cores): each table is a
+   published snapshot read atomically, and growth happens under a mutex
+   by building a fresh array and publishing it whole. Filled prefixes of
+   published snapshots are never mutated afterwards. *)
+
+type 'a snapshot = { data : 'a array; filled : int }
+
+type 'a table = {
+  lock : Mutex.t;
+  state : 'a snapshot Atomic.t;
+}
+
+let make_table seed =
+  { lock = Mutex.create (); state = Atomic.make { data = [| seed |]; filled = 1 } }
+
+(* [extend data i] computes entry [i]; entries [< i] are already valid. *)
+let lookup t ~extend n =
+  let snap = Atomic.get t.state in
+  if n < snap.filled then snap.data.(n)
+  else begin
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        let snap = Atomic.get t.state in
+        if n < snap.filled then snap.data.(n)
+        else begin
+          let cap = max (n + 1) (2 * Array.length snap.data) in
+          let data = Array.make cap snap.data.(0) in
+          Array.blit snap.data 0 data 0 snap.filled;
+          for i = snap.filled to n do
+            data.(i) <- extend data i
+          done;
+          Atomic.set t.state { data; filled = n + 1 };
+          data.(n)
+        end)
+  end
+
+let factorial_table = make_table Bigint.one
 
 let factorial n =
   if n < 0 then invalid_arg "Combinat.factorial: negative argument";
-  if n >= Array.length !factorial_table then begin
-    let cap = max (n + 1) (2 * Array.length !factorial_table) in
-    let table = Array.make cap Bigint.one in
-    Array.blit !factorial_table 0 table 0 !factorial_filled;
-    factorial_table := table
-  end;
-  if n >= !factorial_filled then begin
-    for i = !factorial_filled to n do
-      !factorial_table.(i) <- Bigint.mul_int !factorial_table.(i - 1) i
-    done;
-    factorial_filled := n + 1
-  end;
-  !factorial_table.(n)
+  lookup factorial_table n ~extend:(fun data i -> Bigint.mul_int data.(i - 1) i)
 
 let binomial n k =
   if n < 0 then invalid_arg "Combinat.binomial: negative n";
@@ -34,24 +60,12 @@ let shapley_coefficient ~players ~before =
     (Bigint.mul (factorial before) (factorial (players - before - 1)))
     (factorial players)
 
-let harmonic_table : Rational.t array ref = ref [| Rational.zero |]
-let harmonic_filled = ref 1
+let harmonic_table = make_table Rational.zero
 
 let harmonic n =
   if n < 0 then invalid_arg "Combinat.harmonic: negative argument";
-  if n >= Array.length !harmonic_table then begin
-    let cap = max (n + 1) (2 * Array.length !harmonic_table) in
-    let table = Array.make cap Rational.zero in
-    Array.blit !harmonic_table 0 table 0 !harmonic_filled;
-    harmonic_table := table
-  end;
-  if n >= !harmonic_filled then begin
-    for i = !harmonic_filled to n do
-      !harmonic_table.(i) <- Rational.add !harmonic_table.(i - 1) (Rational.of_ints 1 i)
-    done;
-    harmonic_filled := n + 1
-  end;
-  !harmonic_table.(n)
+  lookup harmonic_table n ~extend:(fun data i ->
+      Rational.add data.(i - 1) (Rational.of_ints 1 i))
 
 let falling_factorial n k =
   let rec go acc i = if i >= k then acc else go (Bigint.mul_int acc (n - i)) (i + 1) in

@@ -1,7 +1,9 @@
 (** Combinatorial quantities used throughout the Shapley computations.
 
     All functions memoize internally (growable tables), so repeated calls
-    with arguments up to the same bound are amortized O(1). *)
+    with arguments up to the same bound are amortized O(1). The memo
+    tables are domain-safe: lookups and growth may happen concurrently
+    from several domains. *)
 
 val factorial : int -> Bigint.t
 (** [factorial n] is [n!]. @raise Invalid_argument on negative [n]. *)

@@ -63,12 +63,27 @@ let combine_cross_counted t (c : Count_dp.t) =
   in
   { n = t.n + c.Count_dp.n; entries }
 
+type memo = {
+  self : vtable Memo.t;
+  bool : Boolean_dp.memo;
+  count : Count_dp.memo;
+}
+
+let create_memo () =
+  { self = Memo.create ();
+    bool = Boolean_dp.create_memo ();
+    count = Count_dp.create_memo () }
+
+let memo_stats m =
+  Memo.merge_stats (Memo.stats m.self)
+    (Memo.merge_stats (Boolean_dp.memo_stats m.bool) (Count_dp.memo_stats m.count))
+
 (* Boolean sub-query containing the τ-relation: at most one answer, whose
    τ-value is read off the homomorphism support (all supporting R-facts
    must agree — otherwise τ is not localized on this database). *)
-let boolean_valued tau a q db =
+let boolean_valued ?memo tau a q db =
   let n = Database.endo_size db in
-  let sat = Boolean_dp.counts q db in
+  let sat = Boolean_dp.counts ?memo:(Option.map (fun m -> m.bool) memo) q db in
   let unsat = Tables.complement n sat in
   let r_facts =
     List.filter
@@ -90,9 +105,18 @@ let boolean_valued tau a q db =
     { n; entries = LMap.empty |> add_entry lvec sat |> add_entry (0, 0, 0) unsat }
 
 (* The table for the sub-query containing the τ-relation, for a fixed
-   reference value [a]. *)
-let rec valued_table tau a q db =
-  if Cq.is_boolean q then boolean_valued tau a q db
+   reference value [a]. The memo key carries the reference value on top
+   of the block key (the same sub-instance is revisited once per
+   realizable τ-value); τ itself stays outside the key, so a memo is
+   only sound for one value function — {!Batch} creates one per run. *)
+let rec valued_table ?memo tau a q db =
+  Memo.find_or_compute
+    (Option.map (fun m -> m.self) memo)
+    ~key:(fun () -> Q.to_string a ^ "\x01" ^ Decompose.block_key q db)
+    (fun () -> valued_table_uncached ?memo tau a q db)
+
+and valued_table_uncached ?memo tau a q db =
+  if Cq.is_boolean q then boolean_valued ?memo tau a q db
   else begin
     match Decompose.connected_components q with
     | [] -> assert false
@@ -103,7 +127,8 @@ let rec valued_table tau a q db =
         let t =
           List.fold_left
             (fun acc (v, block) ->
-              combine_vtables vec_add acc (valued_table tau a (Cq.substitute q x v) block))
+              combine_vtables vec_add acc
+                (valued_table ?memo tau a (Cq.substitute q x v) block))
             neutral_union blocks
         in
         pad_vtable (Database.endo_size dropped) t
@@ -118,11 +143,12 @@ let rec valued_table tau a q db =
       (match with_r with
        | [ c0 ] ->
          let db0, _ = Database.restrict_relations (Cq.relations c0) db in
-         let t0 = valued_table tau a c0 db0 in
+         let t0 = valued_table ?memo tau a c0 db0 in
+         let count_memo = Option.map (fun m -> m.count) memo in
          List.fold_left
            (fun acc c ->
              let db_c, _ = Database.restrict_relations (Cq.relations c) db in
-             combine_cross_counted acc (Count_dp.answer_counts c db_c))
+             combine_cross_counted acc (Count_dp.answer_counts ?memo:count_memo c db_c))
            t0 without_r
        | _ -> invalid_arg "Avg_quantile: τ-relation must occur in exactly one component")
   end
@@ -154,7 +180,7 @@ let quantile_weight q (l_lt, l_eq, l_gt) =
     Q.div_int (Q.of_int (hit i1 + hit i2)) 2
   end
 
-let sum_k (a : Agg_query.t) db =
+let sum_k_memo ?memo (a : Agg_query.t) db =
   check a;
   let weight =
     match Aggregate.quantile_of a.alpha with
@@ -167,7 +193,7 @@ let sum_k (a : Agg_query.t) db =
   let n = Database.endo_size db in
   List.fold_left
     (fun acc v ->
-      let t = pad_vtable pad (valued_table a.tau v a.query db_rel) in
+      let t = pad_vtable pad (valued_table ?memo a.tau v a.query db_rel) in
       LMap.fold
         (fun lvec counts acc ->
           let w = weight lvec in
@@ -176,5 +202,12 @@ let sum_k (a : Agg_query.t) db =
         t.entries acc)
     (Tables.zeros_rat n) values
 
-let shapley a db f = Sumk.shapley_of sum_k a db f
+let sum_k a db = sum_k_memo a db
+
+let shapley ?memo a db f = Sumk.shapley_of (fun a db -> sum_k_memo ?memo a db) a db f
+
+let batch_worker ?memo a db =
+  check a;
+  fun f -> shapley ?memo a db f
+
 let shapley_all a db = Sumk.shapley_all_of sum_k a db

@@ -14,6 +14,14 @@
     under union) and cross products multiply ℓ by the τ-free side's
     answer count, provided by {!Count_dp}. *)
 
+type memo
+(** Shared cache of (a,k,ℓ)-tables plus the Boolean and answer-count
+    sub-tables; see {!Memo}. Create one per batch run over a fixed
+    [(query, τ, aggregate)]. *)
+
+val create_memo : unit -> memo
+val memo_stats : memo -> Memo.stats
+
 val sum_k :
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
@@ -21,11 +29,28 @@ val sum_k :
 (** @raise Invalid_argument if the aggregate is not Avg/Median/Quantile
     or the CQ is not q-hierarchical. *)
 
+val sum_k_memo :
+  ?memo:memo ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** {!sum_k} with sub-table sharing across calls. *)
+
 val shapley :
+  ?memo:memo ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
   Aggshap_arith.Rational.t
+
+val batch_worker :
+  ?memo:memo ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Per-fact worker for the batch engine; safe to call from several
+    domains when sharing a [memo]. *)
 
 val shapley_all :
   Aggshap_agg.Agg_query.t ->

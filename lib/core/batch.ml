@@ -1,0 +1,46 @@
+module Q = Aggshap_arith.Rational
+module Agg_query = Aggshap_agg.Agg_query
+module Aggregate = Aggshap_agg.Aggregate
+module Database = Aggshap_relational.Database
+
+type stats = {
+  jobs : int;
+  cache : Memo.stats option;
+}
+
+let stats_to_string s =
+  Printf.sprintf "jobs=%d, cache=%s" s.jobs
+    (match s.cache with None -> "off" | Some m -> Memo.stats_to_string m)
+
+(* One worker per tractable aggregate family. The memo (when caching is
+   on) lives exactly as long as this batch run, so the τ-outside-the-key
+   caveat of the per-algorithm memos is satisfied by construction. *)
+let make_worker ~cache (a : Agg_query.t) db =
+  match a.alpha with
+  | Aggregate.Sum | Aggregate.Count ->
+    let memo = if cache then Some (Sum_count.create_memo ()) else None in
+    (Sum_count.batch_worker ?memo a db,
+     fun () -> Option.map Sum_count.memo_stats memo)
+  | Aggregate.Count_distinct ->
+    let memo = if cache then Some (Cdist.create_memo ()) else None in
+    (Cdist.batch_worker ?memo a db, fun () -> Option.map Cdist.memo_stats memo)
+  | Aggregate.Min | Aggregate.Max ->
+    let memo = if cache then Some (Minmax.create_memo ()) else None in
+    (Minmax.batch_worker ?memo a db, fun () -> Option.map Minmax.memo_stats memo)
+  | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ ->
+    let memo = if cache then Some (Avg_quantile.create_memo ()) else None in
+    (Avg_quantile.batch_worker ?memo a db,
+     fun () -> Option.map Avg_quantile.memo_stats memo)
+  | Aggregate.Has_duplicates ->
+    let memo = if cache then Some (Dup.create_memo ()) else None in
+    (Dup.batch_worker ?memo a db, fun () -> Option.map Dup.memo_stats memo)
+
+let shapley_all ?jobs ?(cache = true) (a : Agg_query.t) db =
+  if not (Frontier.within a.alpha a.query) then
+    invalid_arg "Batch.shapley_all: query is outside the tractability frontier";
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let worker, stats_of = make_worker ~cache a db in
+  let results = Pool.map ~jobs (fun f -> (f, worker f)) (Database.endogenous db) in
+  (results, { jobs; cache = stats_of () })
+
+let map ?jobs f facts = Pool.map ?jobs (fun x -> (x, f x)) facts

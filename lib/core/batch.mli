@@ -1,0 +1,48 @@
+(** Batch Shapley evaluation: all endogenous facts of one aggregate
+    query, with shared-DP caching and domain-parallel fan-out.
+
+    The per-fact algorithms rerun the full Figure-2 dynamic program for
+    every fact, yet a fact only perturbs the hierarchy block it lives in:
+    sibling sub-trees produce identical tables across the whole loop
+    (Livshits et al. make the same observation for Boolean CQs, and the
+    experimental follow-up work shows all-facts batches are the workload
+    that matters). This module exploits both directions at once:
+
+    - a {!Memo}-backed cache of DP tables keyed by
+      [(sub-query, block fingerprint)], shared by every fact — and by
+      every domain — of one batch run;
+    - a {!Pool} of OCaml 5 domains fanning the per-fact outer loop across
+      cores, with deterministic, input-ordered results.
+
+    Results are bit-identical to the sequential, uncached per-fact path:
+    every value is an exact rational and caching only reuses tables that
+    would have been recomputed equal. *)
+
+type stats = {
+  jobs : int;  (** worker domains actually used *)
+  cache : Memo.stats option;  (** [None] when caching was off *)
+}
+
+val stats_to_string : stats -> string
+
+val shapley_all :
+  ?jobs:int ->
+  ?cache:bool ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list * stats
+(** [shapley_all ?jobs ?cache a db] computes the exact Shapley value of
+    every endogenous fact, in [Database.endogenous] order. [jobs]
+    defaults to {!Pool.default_jobs}[ ()] ([1] runs sequentially in the
+    calling domain); [cache] (default [true]) shares DP tables across
+    facts and domains.
+    @raise Invalid_argument if the query is outside the aggregate's
+    tractability frontier (use {!Solver.shapley_all} for fallbacks). *)
+
+val map :
+  ?jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('a * 'b) list
+(** Domain-parallel tagged map with deterministic ordering — the
+    building block {!Solver} uses to fan fallback solvers across cores. *)

@@ -4,13 +4,27 @@ module Cq = Aggshap_cq.Cq
 module Decompose = Aggshap_cq.Decompose
 module Database = Aggshap_relational.Database
 
+type memo = Tables.counts Memo.t
+
+let create_memo () = Memo.create ()
+let memo_stats = Memo.stats
+
 (* [go q db]: satisfaction counts, assuming every fact of [db] matches
    some atom of [q]. The recursion mirrors Figure 2: ground atoms are
    base cases, disconnected queries multiply (conjunction over disjoint
    fact sets), and a connected query partitions by a root variable —
    for Boolean satisfaction, the query holds iff {e some} block holds,
-   so the blocks' complements convolve. *)
-let rec go q db =
+   so the blocks' complements convolve.
+
+   With [?memo] every sub-instance table is cached under its block key:
+   across a per-fact batch loop only the blocks touched by the current
+   fact miss, the sibling blocks hit. *)
+let rec go ?memo q db =
+  Memo.find_or_compute memo
+    ~key:(fun () -> Decompose.block_key q db)
+    (fun () -> go_uncached ?memo q db)
+
+and go_uncached ?memo q db =
   match Decompose.connected_components q with
   | [] -> Tables.full (Database.endo_size db)
   | [ _single ] ->
@@ -25,7 +39,7 @@ let rec go q db =
         let false_counts =
           List.fold_left
             (fun acc (a, block) ->
-              let t = go (Cq.substitute q x a) block in
+              let t = go ?memo (Cq.substitute q x a) block in
               let f = Tables.complement (Database.endo_size block) t in
               Tables.convolve acc f)
             [| B.one |] blocks
@@ -38,7 +52,7 @@ let rec go q db =
     List.fold_left
       (fun acc comp ->
         let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
-        Tables.convolve acc (go comp db_c))
+        Tables.convolve acc (go ?memo comp db_c))
       [| B.one |] comps
 
 (* A ground connected component is a single variable-free atom. *)
@@ -63,13 +77,13 @@ and ground_case q db =
      | None -> Tables.zeros (Database.endo_size db))
   | _ -> invalid_arg "Boolean_dp: ground component with several atoms"
 
-let counts q db =
+let counts ?memo q db =
   let db_rel, db_pad = Decompose.relevant q db in
-  Tables.pad (Database.endo_size db_pad) (go q db_rel)
+  Tables.pad (Database.endo_size db_pad) (go ?memo q db_rel)
 
-let score ?coefficients q db f =
+let score ?coefficients ?memo q db f =
   Sumk.score_of_db_fn ?coefficients
-    (fun db -> Tables.to_rationals (counts q db))
+    (fun db -> Tables.to_rationals (counts ?memo q db))
     db f
 
-let shapley q db f = score q db f
+let shapley ?memo q db f = score ?memo q db f

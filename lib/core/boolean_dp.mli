@@ -8,12 +8,22 @@
     of expectation), of the CDist reduction (Lemma 4.3), and of the
     Boolean sub-trees of all other dynamic programs. *)
 
-val counts : Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> Tables.counts
+type memo
+(** A shared cache of sub-instance tables, keyed by
+    {!Aggshap_cq.Decompose.block_key}. Safe to share across domains;
+    create one per batch run. *)
+
+val create_memo : unit -> memo
+val memo_stats : memo -> Memo.stats
+
+val counts : ?memo:memo -> Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> Tables.counts
 (** The head of [q] is ignored (the query is evaluated as Boolean). The
-    result has length [endo_size db + 1].
+    result has length [endo_size db + 1]. With [?memo], sub-instance
+    tables are reused across calls.
     @raise Invalid_argument if the Boolean query is not hierarchical. *)
 
 val shapley :
+  ?memo:memo ->
   Aggshap_cq.Cq.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
@@ -24,6 +34,7 @@ val shapley :
 
 val score :
   ?coefficients:Sumk.coefficients ->
+  ?memo:memo ->
   Aggshap_cq.Cq.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->

@@ -25,22 +25,38 @@ let restrict_to_value (a : Agg_query.t) db v =
 let distinct_values (a : Agg_query.t) db =
   List.sort_uniq Q.compare (List.map snd (Agg_query.answer_values a db))
 
+type memo = Boolean_dp.memo
+
+let create_memo = Boolean_dp.create_memo
+let memo_stats = Boolean_dp.memo_stats
+
 (* Null players may be dropped for both the Shapley and the Banzhaf
    coefficients, so the per-value decomposition supports both. *)
-let score ?coefficients a db f =
-  check a;
+let score_restricted ?coefficients ?memo (a : Agg_query.t) restricted db f =
   (match Database.provenance db f with
    | Some Database.Endogenous -> ()
    | _ -> invalid_arg "Cdist.shapley: fact must be endogenous");
   List.fold_left
-    (fun acc v ->
-      let db_v = restrict_to_value a db v in
+    (fun acc db_v ->
       if Database.mem f db_v then
-        Q.add acc (Boolean_dp.score ?coefficients a.query db_v f)
+        Q.add acc (Boolean_dp.score ?coefficients ?memo a.query db_v f)
       else acc)
-    Q.zero (distinct_values a db)
+    Q.zero restricted
 
-let shapley a db f = score a db f
+let restricted_dbs (a : Agg_query.t) db =
+  List.map (restrict_to_value a db) (distinct_values a db)
+
+let score ?coefficients ?memo a db f =
+  check a;
+  score_restricted ?coefficients ?memo a (restricted_dbs a db) db f
+
+let shapley ?memo a db f = score ?memo a db f
+
+let batch_worker ?memo a db =
+  check a;
+  let restricted = restricted_dbs a db in
+  fun f -> score_restricted ?memo a restricted db f
 
 let shapley_all a db =
-  List.map (fun f -> (f, shapley a db f)) (Database.endogenous db)
+  let worker = batch_worker a db in
+  List.map (fun f -> (f, worker f)) (Database.endogenous db)

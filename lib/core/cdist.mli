@@ -10,7 +10,15 @@
     with the convention that the summand is 0 when [f ∉ D_a]. Each
     summand is a Boolean hierarchical membership game. *)
 
+type memo
+(** Shared cache of Boolean sub-tables across the per-value games; see
+    {!Memo}. Create one per batch run over a fixed [(query, τ)]. *)
+
+val create_memo : unit -> memo
+val memo_stats : memo -> Memo.stats
+
 val shapley :
+  ?memo:memo ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
@@ -18,8 +26,19 @@ val shapley :
 (** @raise Invalid_argument if the aggregate is not [Count_distinct], the
     CQ is not all-hierarchical, or the fact is not endogenous. *)
 
+val batch_worker :
+  ?memo:memo ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** [batch_worker ?memo a db] hoists the per-value restricted databases
+    out of the per-fact loop; the returned closure is safe to call from
+    several domains. *)
+
 val score :
   ?coefficients:Sumk.coefficients ->
+  ?memo:memo ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->

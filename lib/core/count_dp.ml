@@ -43,10 +43,26 @@ let combine op t1 t2 =
 let pad_table p t =
   if p = 0 then t else { n = t.n + p; entries = IntMap.map (Tables.pad p) t.entries }
 
-let rec table q db =
+type memo = {
+  self : t Memo.t;
+  bool : Boolean_dp.memo;
+}
+
+let create_memo () = { self = Memo.create (); bool = Boolean_dp.create_memo () }
+
+let memo_stats m =
+  Memo.merge_stats (Memo.stats m.self) (Boolean_dp.memo_stats m.bool)
+
+let rec table ?memo q db =
+  Memo.find_or_compute
+    (Option.map (fun m -> m.self) memo)
+    ~key:(fun () -> Decompose.block_key q db)
+    (fun () -> table_uncached ?memo q db)
+
+and table_uncached ?memo q db =
   if Cq.is_boolean q then begin
     let n = Database.endo_size db in
-    let sat = Boolean_dp.counts q db in
+    let sat = Boolean_dp.counts ?memo:(Option.map (fun m -> m.bool) memo) q db in
     let unsat = Tables.complement n sat in
     let entries = IntMap.empty |> add_entry 1 sat |> add_entry 0 unsat in
     { n; entries }
@@ -61,7 +77,7 @@ let rec table q db =
         let t =
           List.fold_left
             (fun acc (a, block) ->
-              combine ( + ) acc (table (Cq.substitute q x a) block))
+              combine ( + ) acc (table ?memo (Cq.substitute q x a) block))
             neutral_union blocks
         in
         pad_table (Database.endo_size dropped) t
@@ -72,10 +88,10 @@ let rec table q db =
       List.fold_left
         (fun acc comp ->
           let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
-          combine ( * ) acc (table comp db_c))
+          combine ( * ) acc (table ?memo comp db_c))
         neutral_cross comps
   end
 
-let answer_counts q db =
+let answer_counts ?memo q db =
   let db_rel, db_pad = Decompose.relevant q db in
-  pad_table (Database.endo_size db_pad) (table q db_rel)
+  pad_table (Database.endo_size db_pad) (table ?memo q db_rel)

@@ -16,7 +16,14 @@ type t = {
       (** answer count ℓ ↦ per-k counts; the entries sum to [full n] *)
 }
 
-val answer_counts : Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> t
+type memo
+(** Shared cache of sub-instance tables (including the Boolean
+    sub-tables); see {!Memo}. *)
+
+val create_memo : unit -> memo
+val memo_stats : memo -> Memo.stats
+
+val answer_counts : ?memo:memo -> Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> t
 (** @raise Invalid_argument if the CQ is not q-hierarchical. *)
 
 val get : t -> int -> Tables.counts

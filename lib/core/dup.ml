@@ -54,15 +54,26 @@ let head_tuple_of_fact q (f : Fact.t) =
       Some (Array.of_list (List.map (fun x -> f.args.(position x)) q.Cq.head))
     end
 
+type memo = {
+  self : Tables.counts Memo.t;
+  count : Count_dp.memo;
+}
+
+let create_memo () = { self = Memo.create (); count = Count_dp.create_memo () }
+
+let memo_stats m =
+  Memo.merge_stats (Memo.stats m.self) (Count_dp.memo_stats m.count)
+
 (* Counts of k-subsets with at most one answer. *)
-let at_most_one q db =
-  let t = Count_dp.answer_counts q db in
+let at_most_one ?memo q db =
+  let t = Count_dp.answer_counts ?memo q db in
   Tables.add (Count_dp.get t 0) (Count_dp.get t 1)
 
 (* Figure 5: NoDup counts for a connected sq-hierarchical CQ containing
    the τ-relation. The bag is duplicate-free iff every τ-value class of
-   facts yields at most one answer. *)
-let connected_dup_counts tau q db =
+   facts yields at most one answer. The memo key omits τ, so a memo is
+   only sound across calls sharing one value function. *)
+let connected_dup_counts ?memo tau q db =
   let n = Database.endo_size db in
   let aq = Agg_query.make Aggregate.Has_duplicates tau q in
   let answer_values =
@@ -85,9 +96,11 @@ let connected_dup_counts tau q db =
       db
       (QMap.empty, 0)
   in
+  let count_memo = Option.map (fun m -> m.count) memo in
   let nodup =
     QMap.fold
-      (fun _ class_db acc -> Tables.convolve acc (at_most_one q class_db))
+      (fun _ class_db acc ->
+        Tables.convolve acc (at_most_one ?memo:count_memo q class_db))
       classes [| B.one |]
   in
   let nodup = Tables.pad padding nodup in
@@ -95,10 +108,16 @@ let connected_dup_counts tau q db =
 
 (* Appendix E.2.3: cross product with the τ-relation in the connected
    component [q1]. *)
-let rec dup_counts tau q db =
+let rec dup_counts ?memo tau q db =
+  Memo.find_or_compute
+    (Option.map (fun m -> m.self) memo)
+    ~key:(fun () -> Decompose.block_key q db)
+    (fun () -> dup_counts_uncached ?memo tau q db)
+
+and dup_counts_uncached ?memo tau q db =
   match Decompose.connected_components q with
   | [] -> invalid_arg "Dup: τ-relation vanished from the query"
-  | [ _ ] -> connected_dup_counts tau q db
+  | [ _ ] -> connected_dup_counts ?memo tau q db
   | comps ->
     let rel = tau.Value_fn.rel in
     let q1 =
@@ -113,13 +132,14 @@ let rec dup_counts tau q db =
     let db1, _ = Database.restrict_relations (Cq.relations q1) db in
     let db2, _ = Database.restrict_relations other_rels db in
     let n1 = Database.endo_size db1 and n2 = Database.endo_size db2 in
-    let t1 = Count_dp.answer_counts q1 db1 in
-    let t2 = Count_dp.answer_counts q2 db2 in
+    let count_memo = Option.map (fun m -> m.count) memo in
+    let t1 = Count_dp.answer_counts ?memo:count_memo q1 db1 in
+    let t2 = Count_dp.answer_counts ?memo:count_memo q2 db2 in
     let nonempty1 = Tables.sub (Tables.full n1) (Count_dp.get t1 0) in
     let many2 =
       Tables.sub (Tables.full n2) (Tables.add (Count_dp.get t2 0) (Count_dp.get t2 1))
     in
-    let dup1 = dup_counts tau q1 db1 in
+    let dup1 = dup_counts ?memo tau q1 db1 in
     Tables.add
       (Tables.convolve nonempty1 many2)
       (Tables.convolve dup1 (Count_dp.get t2 1))
@@ -131,11 +151,20 @@ let check (a : Agg_query.t) =
   if not (Hierarchy.is_sq_hierarchical a.query) then
     invalid_arg ("Dup: query is not sq-hierarchical: " ^ Cq.to_string a.query)
 
-let sum_k (a : Agg_query.t) db =
+let sum_k_memo ?memo (a : Agg_query.t) db =
   check a;
   let db_rel, db_pad = Decompose.relevant a.query db in
-  let counts = Tables.pad (Database.endo_size db_pad) (dup_counts a.tau a.query db_rel) in
+  let counts =
+    Tables.pad (Database.endo_size db_pad) (dup_counts ?memo a.tau a.query db_rel)
+  in
   Tables.to_rationals counts
 
-let shapley a db f = Sumk.shapley_of sum_k a db f
+let sum_k a db = sum_k_memo a db
+
+let shapley ?memo a db f = Sumk.shapley_of (fun a db -> sum_k_memo ?memo a db) a db f
+
+let batch_worker ?memo a db =
+  check a;
+  fun f -> shapley ?memo a db f
+
 let shapley_all a db = Sumk.shapley_all_of sum_k a db

@@ -11,6 +11,13 @@
     nonempty and [Q₂] has ≥ 2 answers, or [Q₁] has duplicates and [Q₂]
     exactly one (Appendix E.2.3). *)
 
+type memo
+(** Shared cache of Dup tables and answer-count sub-tables; see {!Memo}.
+    Create one per batch run over a fixed [(query, τ)]. *)
+
+val create_memo : unit -> memo
+val memo_stats : memo -> Memo.stats
+
 val sum_k :
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
@@ -18,11 +25,28 @@ val sum_k :
 (** @raise Invalid_argument if the aggregate is not [Has_duplicates] or
     the CQ is not sq-hierarchical. *)
 
+val sum_k_memo :
+  ?memo:memo ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** {!sum_k} with sub-table sharing across calls. *)
+
 val shapley :
+  ?memo:memo ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
   Aggshap_arith.Rational.t
+
+val batch_worker :
+  ?memo:memo ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Per-fact worker for the batch engine; safe to call from several
+    domains when sharing a [memo]. *)
 
 val shapley_all :
   Aggshap_agg.Agg_query.t ->

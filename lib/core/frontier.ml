@@ -1,0 +1,10 @@
+module Hierarchy = Aggshap_cq.Hierarchy
+module Aggregate = Aggshap_agg.Aggregate
+
+let frontier = function
+  | Aggregate.Sum | Aggregate.Count -> Hierarchy.Exists_hierarchical
+  | Aggregate.Min | Aggregate.Max | Aggregate.Count_distinct -> Hierarchy.All_hierarchical
+  | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ -> Hierarchy.Q_hierarchical
+  | Aggregate.Has_duplicates -> Hierarchy.Sq_hierarchical
+
+let within alpha q = Hierarchy.cls_leq (Hierarchy.classify q) (frontier alpha)

@@ -1,0 +1,16 @@
+(** The tractability frontier of each aggregate function — the largest
+    class of self-join-free CQs for which the Shapley value is
+    polynomial-time for every localized value function (Figure 1):
+
+    - Sum, Count → ∃-hierarchical (Theorem 3.1),
+    - Min, Max, CDist → all-hierarchical (Theorem 4.1),
+    - Avg, Median, Quantile → q-hierarchical (Theorem 5.1),
+    - Has-duplicates → sq-hierarchical (Theorem 6.1).
+
+    Shared by {!Batch} (which sits below {!Solver} in the dependency
+    order) and re-exported by {!Solver}. *)
+
+val frontier : Aggshap_agg.Aggregate.t -> Aggshap_cq.Hierarchy.cls
+
+val within : Aggshap_agg.Aggregate.t -> Aggshap_cq.Cq.t -> bool
+(** Is the Shapley value polynomial-time for this aggregate and CQ? *)

@@ -1,0 +1,34 @@
+(** Thread-safe memoization of dynamic-programming tables.
+
+    The Figure-2 dynamic programs recompute, for every endogenous fact,
+    the tables of every sub-instance [(sub-query, block)] — but a fact
+    only perturbs the block it lives in, so sibling blocks under the same
+    hierarchy root produce identical tables across the whole per-fact
+    loop (observed for Boolean CQs by Livshits et al.). A ['v t] caches
+    those tables under the {!Aggshap_cq.Decompose.block_key} of the
+    sub-instance and is safe to share across domains.
+
+    A memo table is only sound while the inputs outside its key (the
+    value function τ, the reference value for quantile tables) stay
+    fixed, so create a fresh one per batch run — {!Batch} does. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+}
+
+val no_stats : stats
+val merge_stats : stats -> stats -> stats
+val stats_to_string : stats -> string
+
+type 'v t
+
+val create : unit -> 'v t
+
+val stats : 'v t -> stats
+
+val find_or_compute : 'v t option -> key:(unit -> string) -> (unit -> 'v) -> 'v
+(** [find_or_compute memo ~key compute] returns the cached value for
+    [key ()], computing and caching it on a miss. With [None] it just
+    runs [compute] (and never evaluates the key). The cached value must
+    be an immutable, pure function of the key. *)

@@ -85,9 +85,27 @@ let ground_base tau (atom : Cq.atom) db =
      | Database.Endogenous ->
        { n = 1; empty = [| B.one; B.zero |]; by_value = QMap.singleton v [| B.zero; B.one |] })
 
+type memo = {
+  self : table Memo.t;
+  bool : Boolean_dp.memo;
+}
+
+let create_memo () = { self = Memo.create (); bool = Boolean_dp.create_memo () }
+
+let memo_stats m =
+  Memo.merge_stats (Memo.stats m.self) (Boolean_dp.memo_stats m.bool)
+
 (* The table for a sub-query containing the τ-relation. Assumes every
-   fact of [db] matches some atom of [q]. *)
-let rec valued_table tau q db =
+   fact of [db] matches some atom of [q]. The memo key does not mention
+   τ, so a memo is only sound across calls sharing one value function —
+   {!Batch} creates a fresh one per run. *)
+let rec valued_table ?memo tau q db =
+  Memo.find_or_compute
+    (Option.map (fun m -> m.self) memo)
+    ~key:(fun () -> Decompose.block_key q db)
+    (fun () -> valued_table_uncached ?memo tau q db)
+
+and valued_table_uncached ?memo tau q db =
   match Decompose.connected_components q with
   | [] -> invalid_arg "Minmax: τ-relation vanished from the query"
   | [ _ ] ->
@@ -105,7 +123,7 @@ let rec valued_table tau q db =
         let t =
           List.fold_left
             (fun acc (a, block) ->
-              combine_union acc (valued_table tau (Cq.substitute q x a) block))
+              combine_union acc (valued_table ?memo tau (Cq.substitute q x a) block))
             neutral blocks
         in
         pad_table (Database.endo_size dropped) t
@@ -118,11 +136,13 @@ let rec valued_table tau q db =
     (match with_r with
      | [ c0 ] ->
        let db0, _ = Database.restrict_relations (Cq.relations c0) db in
-       let t0 = valued_table tau c0 db0 in
+       let t0 = valued_table ?memo tau c0 db0 in
+       let bool_memo = Option.map (fun m -> m.bool) memo in
        List.fold_left
          (fun acc c ->
            let db_c, _ = Database.restrict_relations (Cq.relations c) db in
-           combine_cross acc (Database.endo_size db_c, Boolean_dp.counts c db_c))
+           combine_cross acc
+             (Database.endo_size db_c, Boolean_dp.counts ?memo:bool_memo c db_c))
          t0 without_r
      | _ -> invalid_arg "Minmax: τ-relation must occur in exactly one component")
 
@@ -130,16 +150,17 @@ let check (a : Agg_query.t) =
   if not (Hierarchy.is_all_hierarchical a.query) then
     invalid_arg ("Minmax: query is not all-hierarchical: " ^ Cq.to_string a.query)
 
-let max_table (a : Agg_query.t) db =
+let max_table ?memo (a : Agg_query.t) db =
   let db_rel, db_pad = Decompose.relevant a.query db in
-  pad_table (Database.endo_size db_pad) (valued_table a.tau a.query db_rel)
+  pad_table (Database.endo_size db_pad) (valued_table ?memo a.tau a.query db_rel)
 
-let max_sum_k a db =
-  let t = max_table a db in
+let sum_of_table t =
   QMap.fold
     (fun v counts acc -> Tables.add_rat acc (Tables.scale_to v counts))
     t.by_value
     (Tables.zeros_rat t.n)
+
+let max_sum_k ?memo a db = sum_of_table (max_table ?memo a db)
 
 let negate_tau (a : Agg_query.t) =
   { a with
@@ -149,13 +170,93 @@ let negate_tau (a : Agg_query.t) =
         ~descr:("neg(" ^ a.tau.Value_fn.descr ^ ")")
         (fun args -> Q.neg (Value_fn.apply a.tau args)) }
 
-let sum_k (a : Agg_query.t) db =
+let sum_k_memo ?memo (a : Agg_query.t) db =
   check a;
   match a.alpha with
-  | Aggregate.Max -> max_sum_k a db
-  | Aggregate.Min -> Array.map Q.neg (max_sum_k (negate_tau a) db)
+  | Aggregate.Max -> max_sum_k ?memo a db
+  | Aggregate.Min -> Array.map Q.neg (max_sum_k ?memo (negate_tau a) db)
   | other ->
     invalid_arg ("Minmax: aggregate " ^ Aggregate.to_string other ^ " is not min/max")
 
-let shapley a db f = Sumk.shapley_of sum_k a db f
+let sum_k a db = sum_k_memo a db
+
+let shapley ?memo a db f = Sumk.shapley_of (fun a db -> sum_k_memo ?memo a db) a db f
+
+(* Batch path for Max. A fact only perturbs its own top-level hierarchy
+   block, so the combined table of all the OTHER blocks is shared across
+   the whole per-fact loop: two prefix/suffix sweeps precompute it for
+   every block, and each fact then pays one [combine_union] instead of a
+   full fold over the root partition. Exactness of the arithmetic (and
+   commutativity/associativity of [combine_union]) makes the recombined
+   table identical to the one the sequential path folds up. Facts outside
+   every block (irrelevant or dropped by the partition) take the plain
+   memoized path. *)
+let max_batch_worker ?memo (a : Agg_query.t) db =
+  let q = a.query and tau = a.tau in
+  let plain f = Sumk.shapley_of (fun a db -> sum_k_memo ?memo a db) a db f in
+  match Decompose.connected_components q with
+  | [ _ ] when (not (Decompose.is_ground q)) && Decompose.choose_root q <> None ->
+    let x = Option.get (Decompose.choose_root q) in
+    let db_rel, db_pad = Decompose.relevant q db in
+    let pad0 = Database.endo_size db_pad in
+    let blocks, _dropped = Decompose.partition q x db_rel in
+    let blocks = Array.of_list blocks in
+    let g = Array.length blocks in
+    let table_of v block = valued_table ?memo tau (Cq.substitute q x v) block in
+    let tables = Array.map (fun (v, block) -> table_of v block) blocks in
+    let pre = Array.make (g + 1) neutral in
+    for i = 0 to g - 1 do
+      pre.(i + 1) <- combine_union pre.(i) tables.(i)
+    done;
+    let suf = Array.make (g + 1) neutral in
+    for i = g - 1 downto 0 do
+      suf.(i) <- combine_union tables.(i) suf.(i + 1)
+    done;
+    let siblings = Array.init g (fun i -> combine_union pre.(i) suf.(i + 1)) in
+    let n = Database.endo_size db in
+    (* The sum_k vector of a variant of [db] in which only block [i] (or
+       its membership in the root partition) may have changed. *)
+    let variant_vector db_rel' i =
+      let v, _ = blocks.(i) in
+      let blocks', dropped' = Decompose.partition q x db_rel' in
+      let t =
+        match
+          List.find_opt
+            (fun (v', _) -> Aggshap_relational.Value.equal v v')
+            blocks'
+        with
+        | Some (_, block') -> combine_union siblings.(i) (table_of v block')
+        | None -> siblings.(i)
+      in
+      sum_of_table (pad_table (Database.endo_size dropped' + pad0) t)
+    in
+    fun f ->
+      (match Database.provenance db f with
+       | Some Database.Endogenous -> ()
+       | _ -> invalid_arg "Sumk: fact must be endogenous");
+      let idx = ref (-1) in
+      Array.iteri
+        (fun i (_, block) -> if !idx < 0 && Database.mem f block then idx := i)
+        blocks;
+      if !idx < 0 then plain f
+      else begin
+        let i = !idx in
+        let with_f =
+          variant_vector (Database.set_provenance Database.Exogenous f db_rel) i
+        in
+        let without_f = variant_vector (Database.remove f db_rel) i in
+        Sumk.score_of_vectors ~players:n with_f without_f
+      end
+  | _ -> plain
+
+let batch_worker ?memo (a : Agg_query.t) db =
+  check a;
+  match a.alpha with
+  | Aggregate.Max -> max_batch_worker ?memo a db
+  | Aggregate.Min ->
+    let worker = max_batch_worker ?memo (negate_tau a) db in
+    fun f -> Q.neg (worker f)
+  | other ->
+    invalid_arg ("Minmax: aggregate " ^ Aggregate.to_string other ^ " is not min/max")
+
 let shapley_all a db = Sumk.shapley_all_of sum_k a db

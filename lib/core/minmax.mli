@@ -8,6 +8,13 @@
     not contain the τ-relation only need nonempty/empty counts, which the
     Boolean DP provides. Min reduces to Max by negating τ. *)
 
+type memo
+(** Shared cache of (a,k)-tables and Boolean sub-tables; see {!Memo}.
+    Create one per batch run over a fixed [(query, τ, aggregate)]. *)
+
+val create_memo : unit -> memo
+val memo_stats : memo -> Memo.stats
+
 val sum_k :
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
@@ -15,11 +22,31 @@ val sum_k :
 (** [sum_k a db] for [a.alpha ∈ {Min, Max}] over an all-hierarchical CQ.
     @raise Invalid_argument otherwise. *)
 
+val sum_k_memo :
+  ?memo:memo ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_arith.Rational.t array
+(** {!sum_k} with sub-table sharing across calls. *)
+
 val shapley :
+  ?memo:memo ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
   Aggshap_arith.Rational.t
+
+val batch_worker :
+  ?memo:memo ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** Per-fact worker for the batch engine; safe to call from several
+    domains when sharing a [memo]. Beyond the [memo], the worker
+    precombines the tables of all top-level hierarchy blocks with
+    prefix/suffix sweeps, so each fact only recombines the one block it
+    perturbs — results stay bit-identical to {!shapley}. *)
 
 val shapley_all :
   Aggshap_agg.Agg_query.t ->

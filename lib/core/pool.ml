@@ -1,0 +1,36 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> List.map f xs
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let jobs = min jobs n in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try results.(i) <- Some (f arr.(i))
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)

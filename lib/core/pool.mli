@@ -1,0 +1,18 @@
+(** A small OCaml 5 [Domain]-based worker pool for per-fact fan-out.
+
+    Work items are claimed from a shared atomic counter, so the pool load
+    balances across items of uneven cost (the per-fact DP cost varies
+    with the block the fact lives in), while results keep the input
+    order — parallel runs are observationally identical to sequential
+    ones for pure workers. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed by [jobs] domains
+    (default {!default_jobs}; values [<= 1] run sequentially in the
+    calling domain, without spawning). The result order is the input
+    order regardless of scheduling. [f] must be safe to call from
+    several domains at once. If any call raises, one such exception is
+    re-raised after all domains have drained. *)

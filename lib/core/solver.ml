@@ -15,23 +15,21 @@ type report = {
   algorithm : string;
 }
 
-let frontier = function
-  | Aggregate.Sum | Aggregate.Count -> Hierarchy.Exists_hierarchical
-  | Aggregate.Min | Aggregate.Max | Aggregate.Count_distinct -> Hierarchy.All_hierarchical
-  | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ -> Hierarchy.Q_hierarchical
-  | Aggregate.Has_duplicates -> Hierarchy.Sq_hierarchical
-
-let within_frontier alpha q =
-  Hierarchy.cls_leq (Hierarchy.classify q) (frontier alpha)
+let frontier = Frontier.frontier
+let within_frontier = Frontier.within
 
 let frontier_algorithm (a : Agg_query.t) =
   match a.alpha with
-  | Aggregate.Sum | Aggregate.Count -> ("sum/count via linearity + Boolean DP", Sum_count.shapley)
-  | Aggregate.Count_distinct -> ("count-distinct via per-value Boolean DP", Cdist.shapley)
-  | Aggregate.Min | Aggregate.Max -> ("min/max (a,k)-table DP", Minmax.shapley)
+  | Aggregate.Sum | Aggregate.Count ->
+    ("sum/count via linearity + Boolean DP", fun a db f -> Sum_count.shapley a db f)
+  | Aggregate.Count_distinct ->
+    ("count-distinct via per-value Boolean DP", fun a db f -> Cdist.shapley a db f)
+  | Aggregate.Min | Aggregate.Max ->
+    ("min/max (a,k)-table DP", fun a db f -> Minmax.shapley a db f)
   | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ ->
-    ("avg/quantile (a,k,l)-table DP", Avg_quantile.shapley)
-  | Aggregate.Has_duplicates -> ("has-duplicates P0/P1 DP", Dup.shapley)
+    ("avg/quantile (a,k,l)-table DP", fun a db f -> Avg_quantile.shapley a db f)
+  | Aggregate.Has_duplicates ->
+    ("has-duplicates P0/P1 DP", fun a db f -> Dup.shapley a db f)
 
 let make_report (a : Agg_query.t) algorithm =
   let cls = Hierarchy.classify a.query in
@@ -72,12 +70,13 @@ let banzhaf (a : Agg_query.t) db f =
   else begin
     let players, game = Naive.game a db in
     let index =
-      let found = ref (-1) in
-      Array.iteri
-        (fun i g -> if Aggshap_relational.Fact.equal f g then found := i)
-        players;
-      if !found < 0 then invalid_arg "Solver.banzhaf: fact is not endogenous";
-      !found
+      let n = Array.length players in
+      let rec find i =
+        if i >= n then invalid_arg "Solver.banzhaf: fact is not endogenous"
+        else if Aggshap_relational.Fact.equal f players.(i) then i
+        else find (i + 1)
+      in
+      find 0
     in
     Game.banzhaf game index
   end
@@ -87,17 +86,20 @@ let shapley_exact a db f =
   | Exact v, _ -> v
   | Estimate _, _ -> assert false
 
-let shapley_all ?(fallback = `Naive) a db =
-  let results =
-    List.map (fun f -> (f, fst (shapley ~fallback a db f))) (Database.endogenous db)
-  in
-  let report =
-    if within_frontier a.alpha a.query then make_report a (fst (frontier_algorithm a))
-    else
+let shapley_all ?(fallback = `Naive) ?jobs ?(cache = true) (a : Agg_query.t) db =
+  if within_frontier a.alpha a.query then begin
+    let results, _stats = Batch.shapley_all ?jobs ~cache a db in
+    let report = make_report a (fst (frontier_algorithm a)) in
+    (List.map (fun (f, v) -> (f, Exact v)) results, report)
+  end
+  else begin
+    let results = Batch.map ?jobs (fun f -> fst (shapley ~fallback a db f)) (Database.endogenous db) in
+    let report =
       make_report a
         (match fallback with
          | `Naive -> "naive enumeration (exponential)"
          | `Monte_carlo _ -> "Monte-Carlo permutation sampling"
          | `Fail -> "none")
-  in
-  (results, report)
+    in
+    (results, report)
+  end

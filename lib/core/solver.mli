@@ -62,6 +62,16 @@ val shapley_exact :
 
 val shapley_all :
   ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  ?jobs:int ->
+  ?cache:bool ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   (Aggshap_relational.Fact.t * outcome) list * report
+(** Shapley values of {e all} endogenous facts, in [Database.endogenous]
+    order. Within the frontier this runs the {!Batch} engine: the
+    per-fact loop fans out over [jobs] domains (default
+    {!Pool.default_jobs}[ ()]; [1] is fully sequential) and DP tables are
+    shared across facts when [cache] is [true] (the default). Outside the
+    frontier the fallback solver is fanned across the same pool. Results
+    are bit-identical for every [jobs]/[cache] combination (except
+    [`Monte_carlo] estimates, which draw independent samples). *)

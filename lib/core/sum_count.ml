@@ -27,29 +27,37 @@ let weighted_answers (a : Agg_query.t) db =
   | Aggregate.Count -> List.map (fun (t, _) -> (t, Q.one)) answers
   | _ -> answers
 
-let score ?coefficients a db f =
+type memo = Boolean_dp.memo
+
+let create_memo = Boolean_dp.create_memo
+let memo_stats = Boolean_dp.memo_stats
+
+(* The membership games, one per answer, with their weights — the part
+   of the computation shared by every fact. *)
+let membership_games (a : Agg_query.t) db =
+  List.filter_map
+    (fun (t, weight) ->
+      if Q.is_zero weight then None
+      else Some (membership_query a.query t, weight))
+    (weighted_answers a db)
+
+let score ?coefficients ?memo a db f =
   check a;
   List.fold_left
-    (fun acc (t, weight) ->
-      if Q.is_zero weight then acc
-      else
-        Q.add acc
-          (Q.mul weight (Boolean_dp.score ?coefficients (membership_query a.query t) db f)))
-    Q.zero (weighted_answers a db)
+    (fun acc (mq, weight) ->
+      Q.add acc (Q.mul weight (Boolean_dp.score ?coefficients ?memo mq db f)))
+    Q.zero (membership_games a db)
 
-let shapley a db f = score a db f
+let shapley ?memo a db f = score ?memo a db f
+
+let batch_worker ?memo a db =
+  check a;
+  let games = membership_games a db in
+  fun f ->
+    List.fold_left
+      (fun acc (mq, weight) -> Q.add acc (Q.mul weight (Boolean_dp.shapley ?memo mq db f)))
+      Q.zero games
 
 let shapley_all a db =
-  check a;
-  let answers = weighted_answers a db in
-  List.map
-    (fun f ->
-      ( f,
-        List.fold_left
-          (fun acc (t, weight) ->
-            if Q.is_zero weight then acc
-            else
-              Q.add acc
-                (Q.mul weight (Boolean_dp.shapley (membership_query a.query t) db f)))
-          Q.zero answers ))
-    (Database.endogenous db)
+  let worker = batch_worker a db in
+  List.map (fun f -> (f, worker f)) (Database.endogenous db)

@@ -10,13 +10,31 @@
     [t], which {!Boolean_dp} solves. [Count] is [Sum] with τ ≡ 1 per
     answer. *)
 
+type memo
+(** Shared cache of Boolean sub-tables across the membership games; see
+    {!Memo}. Create one per batch run over a fixed [(query, τ)]. *)
+
+val create_memo : unit -> memo
+val memo_stats : memo -> Memo.stats
+
 val shapley :
+  ?memo:memo ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
   Aggshap_arith.Rational.t
 (** @raise Invalid_argument if the aggregate is not [Sum] or [Count], if
     the CQ is not ∃-hierarchical, or the fact is not endogenous. *)
+
+val batch_worker :
+  ?memo:memo ->
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  Aggshap_relational.Fact.t ->
+  Aggshap_arith.Rational.t
+(** [batch_worker ?memo a db] hoists the per-query work (answer
+    enumeration, grounding) out of the per-fact loop; the returned
+    closure is safe to call from several domains. *)
 
 val shapley_all :
   Aggshap_agg.Agg_query.t ->
@@ -25,6 +43,7 @@ val shapley_all :
 
 val score :
   ?coefficients:Sumk.coefficients ->
+  ?memo:memo ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->

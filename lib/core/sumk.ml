@@ -17,22 +17,25 @@ let banzhaf_coefficients : coefficients =
  fun ~players ~before:_ ->
   Q.inv (Q.of_bigint (Aggshap_arith.Bigint.pow Aggshap_arith.Bigint.two (players - 1)))
 
-let score_of_db_fn ?(coefficients = shapley_coefficients) sum_k db f =
+let score_of_vectors ?(coefficients = shapley_coefficients) ~players with_f without_f =
+  if Array.length with_f <> players || Array.length without_f <> players then
+    invalid_arg "Sumk: sum_k vector has the wrong length";
+  let acc = ref Q.zero in
+  for k = 0 to players - 1 do
+    let diff = Q.sub with_f.(k) without_f.(k) in
+    if not (Q.is_zero diff) then
+      acc := Q.add !acc (Q.mul (coefficients ~players ~before:k) diff)
+  done;
+  !acc
+
+let score_of_db_fn ?coefficients sum_k db f =
   (match Database.provenance db f with
    | Some Database.Endogenous -> ()
    | _ -> invalid_arg "Sumk: fact must be endogenous");
   let n = Database.endo_size db in
   let with_f = sum_k (Database.set_provenance Database.Exogenous f db) in
   let without_f = sum_k (Database.remove f db) in
-  if Array.length with_f <> n || Array.length without_f <> n then
-    invalid_arg "Sumk: sum_k vector has the wrong length";
-  let acc = ref Q.zero in
-  for k = 0 to n - 1 do
-    let diff = Q.sub with_f.(k) without_f.(k) in
-    if not (Q.is_zero diff) then
-      acc := Q.add !acc (Q.mul (coefficients ~players:n ~before:k) diff)
-  done;
-  !acc
+  score_of_vectors ?coefficients ~players:n with_f without_f
 
 let shapley_of_db_fn sum_k db f = score_of_db_fn sum_k db f
 

@@ -42,6 +42,19 @@ val banzhaf_of :
   Aggshap_relational.Fact.t ->
   Aggshap_arith.Rational.t
 
+val score_of_vectors :
+  ?coefficients:coefficients ->
+  players:int ->
+  Aggshap_arith.Rational.t array ->
+  Aggshap_arith.Rational.t array ->
+  Aggshap_arith.Rational.t
+(** [score_of_vectors ~players with_f without_f] applies the coefficient
+    formula to precomputed [sum_k] vectors of [D] with [f] exogenous and
+    [D] without [f] ([players] is the endogenous count {e including}
+    [f]; both vectors have that length). The building block for batch
+    workers that share table prefixes across facts.
+    @raise Invalid_argument on a length mismatch. *)
+
 val score_of_db_fn :
   ?coefficients:coefficients ->
   (Aggshap_relational.Database.t -> Aggshap_arith.Rational.t array) ->

@@ -97,6 +97,38 @@ let root_values q x db =
     let inter = List.fold_left (fun acc a -> ValueSet.inter acc (per_atom a)) init rest in
     ValueSet.elements inter
 
+(* Injective serialization of a database block: facts arrive in
+   [Fact.compare] order, every value is tagged and length-prefixed, so
+   two blocks collide iff they are equal as provenance-tagged fact sets.
+   Together with [Cq.to_string] (canonical — it backs [Cq.equal]) this
+   keys the DP-table caches of the batch engine. *)
+let fingerprint db =
+  let buf = Buffer.create 128 in
+  Database.iter
+    (fun (f : Aggshap_relational.Fact.t) p ->
+      Buffer.add_string buf f.rel;
+      Buffer.add_char buf '(';
+      Array.iter
+        (fun v ->
+          (match v with
+           | Value.Int n ->
+             Buffer.add_char buf 'i';
+             Buffer.add_string buf (string_of_int n)
+           | Value.Str s ->
+             Buffer.add_char buf 's';
+             Buffer.add_string buf (string_of_int (String.length s));
+             Buffer.add_char buf ':';
+             Buffer.add_string buf s);
+          Buffer.add_char buf ',')
+        f.args;
+      Buffer.add_char buf ')';
+      Buffer.add_char buf
+        (match p with Database.Endogenous -> '+' | Database.Exogenous -> '@'))
+    db;
+  Buffer.contents buf
+
+let block_key q db = Cq.to_string q ^ "\x00" ^ fingerprint db
+
 let partition q x db =
   let values = root_values q x db in
   let block a =

@@ -34,6 +34,17 @@ val relevant : Cq.t -> Aggshap_relational.Database.t -> Aggshap_relational.Datab
 val root_values : Cq.t -> string -> Aggshap_relational.Database.t -> Aggshap_relational.Value.t list
 (** Values the root variable can take: those realized in every atom. *)
 
+val fingerprint : Aggshap_relational.Database.t -> string
+(** Injective serialization of a database block (facts in [Fact.compare]
+    order, values tagged and length-prefixed, provenance marked): two
+    databases share a fingerprint iff they are equal. Used to key the
+    shared DP-table caches of the batch engine. *)
+
+val block_key : Cq.t -> Aggshap_relational.Database.t -> string
+(** [Cq.to_string q] (canonical) paired with [fingerprint db] — the memo
+    key under which a dynamic program may cache its table for the
+    sub-instance [(q, db)]. *)
+
 val partition :
   Cq.t ->
   string ->

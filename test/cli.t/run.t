@@ -63,3 +63,23 @@ Schema violations are warned about (the fact becomes a null player):
   class: all-hierarchical; algorithm: min/max (a,k)-table DP
   R(1, 10)                       1/2 (~ 0.5)
   shapctl: warning: R(7): arity 1 does not match R/2 (treated as a null player)
+
+The batch engine returns identical values for every jobs/cache setting:
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0 --jobs 4
+  class: all-hierarchical; algorithm: min/max (a,k)-table DP
+  R(1, 10)                       1/12 (~ 0.0833333)
+  R(2, 10)                       1/4 (~ 0.25)
+  R(3, 20)                       9/4 (~ 2.25)
+  S(10)                          5/12 (~ 0.416667)
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0 --jobs 1 --cache false
+  class: all-hierarchical; algorithm: min/max (a,k)-table DP
+  R(1, 10)                       1/12 (~ 0.0833333)
+  R(2, 10)                       1/4 (~ 0.25)
+  R(3, 20)                       9/4 (~ 2.25)
+  S(10)                          5/12 (~ 0.416667)
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0 --jobs 0
+  shapctl: --jobs must be at least 1 (got 0)
+  [1]
