@@ -5,6 +5,8 @@
                tractability frontier for every aggregate function
      eval      evaluate an aggregate query on a database file
      solve     compute Shapley values (all endogenous facts, or one)
+     fuzz      differential-testing oracle: random AggCQ trials
+               cross-validated against naive enumeration
 
    The value function is given as COLON-separated spec:
      id:REL:POS | relu:REL:POS | gt:REL:POS:BOUND | const:REL:VALUE *)
@@ -41,6 +43,18 @@ let read_database path =
   | Ok db -> db
   | Error msg -> die "cannot parse database %s: %s" path msg
 
+let parse_pos spec s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> n
+  | Some _ | None ->
+    die "malformed position %S in value function spec %S (expected a non-negative integer)" s spec
+
+let parse_rational what spec s =
+  match Q.of_string s with
+  | q -> q
+  | exception (Invalid_argument _ | Division_by_zero) ->
+    die "malformed %s %S in %S (expected an integer or P/Q rational)" what s spec
+
 let parse_tau_spec q spec =
   let check_rel rel =
     if not (List.mem rel (Cq.relations q)) then
@@ -48,11 +62,13 @@ let parse_tau_spec q spec =
     rel
   in
   match String.split_on_char ':' spec with
-  | [ "id"; rel; pos ] -> Value_fn.id ~rel:(check_rel rel) ~pos:(int_of_string pos)
-  | [ "relu"; rel; pos ] -> Value_fn.relu ~rel:(check_rel rel) ~pos:(int_of_string pos)
+  | [ "id"; rel; pos ] -> Value_fn.id ~rel:(check_rel rel) ~pos:(parse_pos spec pos)
+  | [ "relu"; rel; pos ] -> Value_fn.relu ~rel:(check_rel rel) ~pos:(parse_pos spec pos)
   | [ "gt"; rel; pos; bound ] ->
-    Value_fn.gt ~rel:(check_rel rel) ~pos:(int_of_string pos) (Q.of_string bound)
-  | [ "const"; rel; value ] -> Value_fn.const ~rel:(check_rel rel) (Q.of_string value)
+    Value_fn.gt ~rel:(check_rel rel) ~pos:(parse_pos spec pos)
+      (parse_rational "bound" spec bound)
+  | [ "const"; rel; value ] ->
+    Value_fn.const ~rel:(check_rel rel) (parse_rational "value" spec value)
   | _ -> die "cannot parse value function spec %S" spec
 
 let default_tau q =
@@ -115,19 +131,39 @@ let run_eval query_s db_path agg_s tau_s =
 (* solve                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let parse_fallback = function
-  | "naive" -> `Naive
-  | "fail" -> `Fail
-  | s when String.length s > 3 && String.sub s 0 3 = "mc:" ->
-    `Monte_carlo (int_of_string (String.sub s 3 (String.length s - 3)))
-  | s -> die "unknown fallback %S (use naive, fail, or mc:SAMPLES)" s
+(* mc:SAMPLES or mc:SAMPLES:SEED. Returns the fallback and the optional
+   Monte-Carlo seed. *)
+let parse_fallback s =
+  let mc_usage = "use naive, fail, or mc:SAMPLES[:SEED]" in
+  let positive_int what p =
+    match int_of_string_opt p with
+    | Some n when n > 0 -> n
+    | Some _ | None ->
+      die "malformed %s %S in fallback %S (expected a positive integer; %s)" what p s mc_usage
+  in
+  match s with
+  | "naive" -> (`Naive, None)
+  | "fail" -> (`Fail, None)
+  | _ when String.length s > 3 && String.sub s 0 3 = "mc:" -> begin
+    match String.split_on_char ':' (String.sub s 3 (String.length s - 3)) with
+    | [ samples ] -> (`Monte_carlo (positive_int "sample count" samples), None)
+    | [ samples; seed ] ->
+      let seed =
+        match int_of_string_opt seed with
+        | Some n -> n
+        | None -> die "malformed seed %S in fallback %S (expected an integer; %s)" seed s mc_usage
+      in
+      (`Monte_carlo (positive_int "sample count" samples), Some seed)
+    | _ -> die "cannot parse fallback %S (%s)" s mc_usage
+  end
+  | _ -> die "unknown fallback %S (%s)" s mc_usage
 
 let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache =
   let q = parse_query_arg query_s in
   let db = read_database db_path in
   warn_schema q db;
   let a = make_agg_query agg_s tau_s q in
-  let fallback = parse_fallback fallback_s in
+  let fallback, mc_seed = parse_fallback fallback_s in
   (match jobs with
    | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
    | _ -> ());
@@ -166,19 +202,52 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache =
        match Parser.parse_fact s with
        | Error msg -> die "cannot parse fact %S: %s" s msg
        | Ok (f, _) ->
-         let outcome, report = Solver.shapley ~fallback a db f in
+         let outcome, report = Solver.shapley ~fallback ?mc_seed a db f in
          Printf.printf "class: %s; algorithm: %s\n" (Hierarchy.cls_to_string report.Solver.cls)
            report.Solver.algorithm;
          print_outcome f outcome
      end
      | None ->
-       let results, report = Solver.shapley_all ~fallback ?jobs ~cache a db in
+       let results, report = Solver.shapley_all ~fallback ?mc_seed ?jobs ~cache a db in
        Printf.printf "class: %s; algorithm: %s\n" (Hierarchy.cls_to_string report.Solver.cls)
          report.Solver.algorithm;
        List.iter (fun (f, o) -> print_outcome f o) results
    with Invalid_argument msg -> die "%s" msg);
   0
   end
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_fuzz seed trials max_endo jobs max_failures verbose =
+  if trials < 1 then die "--trials must be at least 1 (got %d)" trials;
+  if max_endo < 1 then die "--max-endo must be at least 1 (got %d)" max_endo;
+  (match jobs with Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j | _ -> ());
+  if max_failures < 1 then die "--max-failures must be at least 1 (got %d)" max_failures;
+  let module Fuzz = Aggshap_check.Fuzz in
+  let module Trial = Aggshap_check.Trial in
+  let module Oracle = Aggshap_check.Oracle in
+  let config =
+    { Fuzz.seed; trials; max_endo;
+      par_jobs = Option.value jobs ~default:Fuzz.default.Fuzz.par_jobs;
+      max_failures }
+  in
+  Printf.printf "fuzz: seed=%d trials=%d max-endo=%d\n%!" seed trials max_endo;
+  let on_trial i t = if verbose then Printf.printf "trial %d: %s\n%!" i (Trial.to_string t) in
+  let report = Fuzz.run ~on_trial config in
+  List.iter
+    (fun { Fuzz.trial; failure; shrunk; shrunk_failure } ->
+      Printf.printf "\nFAILURE on %s\n  %s\n" (Trial.to_string trial)
+        (Oracle.failure_to_string failure);
+      Printf.printf "shrunk to %s\n  %s\nreproducer:\n%s" (Trial.to_string shrunk)
+        (Oracle.failure_to_string shrunk_failure)
+        (Trial.to_script shrunk))
+    report.Fuzz.failures;
+  let n_failures = List.length report.Fuzz.failures in
+  Printf.printf "fuzz: %d trials, %d failure%s\n" report.Fuzz.ran n_failures
+    (if n_failures = 1 then "" else "s");
+  if n_failures = 0 then 0 else 1
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
@@ -215,7 +284,8 @@ let score_arg =
 let fallback_arg =
   Arg.(value & opt string "naive" & info [ "fallback" ] ~docv:"MODE"
          ~doc:"What to do outside the tractability frontier: naive (exact, \
-               exponential), mc:SAMPLES (Monte Carlo), or fail.")
+               exponential), mc:SAMPLES or mc:SAMPLES:SEED (Monte Carlo; \
+               a seed makes the estimates reproducible), or fail.")
 
 let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
@@ -243,10 +313,39 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Compute Shapley values of endogenous facts")
     Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ cache_arg)
 
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Master seed; every trial derives deterministically from it.")
+
+let trials_arg =
+  Arg.(value & opt int 100 & info [ "n"; "trials" ] ~docv:"N"
+         ~doc:"Number of random trials to run.")
+
+let max_endo_arg =
+  Arg.(value & opt int 8 & info [ "max-endo" ] ~docv:"K"
+         ~doc:"Cap on endogenous facts per trial (the naive oracle costs \
+               $(b,2^K) evaluations).")
+
+let max_failures_arg =
+  Arg.(value & opt int 3 & info [ "max-failures" ] ~docv:"N"
+         ~doc:"Stop after collecting this many shrunk failures.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every trial as it runs.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential-testing oracle: random aggregate queries and \
+             databases, cross-validating the polynomial DPs against naive \
+             enumeration, the Shapley axioms, and every engine \
+             configuration; failures are shrunk to a minimal reproducer.")
+    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ verbose_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "shapctl" ~version:"1.0.0"
        ~doc:"Shapley values for aggregate conjunctive queries")
-    [ classify_cmd; eval_cmd; solve_cmd ]
+    [ classify_cmd; eval_cmd; solve_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,44 @@
+(** The seeded fuzzing driver behind [shapctl fuzz].
+
+    Trial [i] of a run with master seed [s] is generated from the
+    derived seed [trial_seed s i], so any failing trial can be replayed
+    in isolation and a fixed-seed corpus replays bit-identically. *)
+
+type config = {
+  seed : int;  (** master seed *)
+  trials : int;
+  max_endo : int;  (** endogenous-fact cap per trial (naive-oracle cost) *)
+  par_jobs : int;  (** pool width for the parallel equivalence checks *)
+  max_failures : int;  (** stop after this many (shrunk) failures *)
+}
+
+val default : config
+(** [{ seed = 0; trials = 100; max_endo = 8; par_jobs = 2; max_failures = 3 }] *)
+
+type failure_report = {
+  trial : Trial.t;  (** the trial as generated *)
+  failure : Oracle.failure;  (** what it violated *)
+  shrunk : Trial.t;  (** the 1-minimal reproducer *)
+  shrunk_failure : Oracle.failure;  (** the violation the reproducer shows *)
+}
+
+type report = {
+  ran : int;  (** trials executed (≤ [trials] when failures stop the run) *)
+  failures : failure_report list;
+}
+
+val trial_seed : master:int -> int -> int
+(** The derived seed of the [i]-th trial. *)
+
+val parse_corpus : string -> int list
+(** Parses the contents of a fixed-seed corpus file: one trial seed per
+    line, [#] comments and blank lines ignored.
+    @raise Invalid_argument on a malformed line. *)
+
+val run_one : ?max_endo:int -> ?par_jobs:int -> seed:int -> unit -> Trial.t * Oracle.failure option
+(** Generate and check a single trial from a derived seed. *)
+
+val run : ?on_trial:(int -> Trial.t -> unit) -> config -> report
+(** Runs [config.trials] trials. Each failure is minimized with
+    {!Shrink.minimize} before being recorded; the run stops early once
+    [config.max_failures] failures have been collected. *)

@@ -1,0 +1,24 @@
+(** The differential-testing oracle: every check a trial must pass.
+
+    For a trial within the aggregate's tractability frontier the oracle
+    cross-validates the polynomial dynamic program against the
+    {!Aggshap_core.Naive} enumeration and checks the game-theoretic
+    axioms; outside the frontier it checks the fallback plumbing
+    (deterministic seeded Monte-Carlo, up-front [`Fail]). In both cases
+    it checks that every engine configuration — cache on/off, one worker
+    vs a pool, batch vs per-fact loop — returns identical exact values. *)
+
+type failure = {
+  check : string;  (** short name of the violated check *)
+  detail : string;  (** human-readable disagreement *)
+}
+
+val failure_to_string : failure -> string
+
+val run : ?par_jobs:int -> Trial.t -> failure option
+(** First failing check of the trial, or [None] when all pass.
+    [par_jobs] (default [2]) is the pool width used by the parallel
+    engine-equivalence checks; pass [1] to keep the whole run in the
+    calling domain (required while {!Aggshap_core.Tables.fault} is set).
+    Exceptions escaping the system under test are reported as an
+    ["exception"] failure rather than propagated. *)

@@ -1,0 +1,62 @@
+module Cq = Aggshap_cq.Cq
+module Database = Aggshap_relational.Database
+
+(* Dropping an atom narrows the head to the variables that still occur
+   and discards the facts of the removed relation. The τ-atom must stay:
+   the value function would otherwise dangle. *)
+let drop_atom (t : Trial.t) rel =
+  if String.equal rel (Trial.tau_rel t.tau) then None
+  else begin
+    let body = List.filter (fun (a : Cq.atom) -> not (String.equal a.Cq.rel rel)) t.query.Cq.body in
+    if body = [] then None
+    else begin
+      let remaining_vars = List.concat_map Cq.atom_vars body in
+      let head = List.filter (fun v -> List.mem v remaining_vars) t.query.Cq.head in
+      match Cq.make ~name:t.query.Cq.name ~head body with
+      | q ->
+        let db, _ = Database.restrict_relations (Cq.relations q) t.db in
+        Some { t with query = q; db }
+      | exception Invalid_argument _ -> None
+    end
+  end
+
+(* Greedy descent: accept the first candidate that still fails, restart
+   from it; stop when no single removal keeps the trial failing. *)
+let rec descend check candidates_of t f =
+  let rec scan = function
+    | [] -> (t, f)
+    | candidate :: rest -> (
+      match candidate t with
+      | None -> scan rest
+      | Some t' -> (
+        match check t' with
+        | Some f' -> descend check candidates_of t' f'
+        | None -> scan rest))
+  in
+  scan (candidates_of t)
+
+let fact_candidates (t : Trial.t) =
+  List.map
+    (fun fact (t : Trial.t) -> Some { t with db = Database.remove fact t.db })
+    (Database.facts t.db)
+
+let atom_candidates (t : Trial.t) =
+  List.map
+    (fun (a : Cq.atom) (t : Trial.t) -> drop_atom t a.Cq.rel)
+    t.query.Cq.body
+
+let minimize check t f =
+  (* Facts first (cheap, large search space), then atoms, then facts
+     again in case an atom removal unlocked more: iterate to fixpoint. *)
+  let step (t, f) =
+    let t, f = descend check fact_candidates t f in
+    descend check atom_candidates t f
+  in
+  let rec fixpoint (t, f) =
+    let t', f' = step (t, f) in
+    if Database.size t'.Trial.db = Database.size t.Trial.db
+       && List.length t'.Trial.query.Cq.body = List.length t.Trial.query.Cq.body
+    then (t', f')
+    else fixpoint (t', f')
+  in
+  fixpoint (t, f)

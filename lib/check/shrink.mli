@@ -1,0 +1,16 @@
+(** Greedy minimizer for failing trials.
+
+    Repeatedly removes database facts, then query atoms (never the atom
+    the value function is localized on), keeping a removal whenever the
+    trial still fails the oracle; iterates to a fixpoint. The result is
+    1-minimal: removing any single remaining fact or atom makes the
+    failure disappear. *)
+
+val minimize :
+  (Trial.t -> Oracle.failure option) ->
+  Trial.t ->
+  Oracle.failure ->
+  Trial.t * Oracle.failure
+(** [minimize check t f] assumes [check t = Some f] and returns the
+    minimized trial together with the failure it still exhibits (which
+    may differ from [f] as the instance shrinks). *)

@@ -1,0 +1,142 @@
+module Q = Aggshap_arith.Rational
+module Cq = Aggshap_cq.Cq
+module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Agg_query = Aggshap_agg.Agg_query
+module Game = Aggshap_core.Game
+module Random_cq = Aggshap_workload.Random_cq
+module Generate = Aggshap_workload.Generate
+
+type tau_spec =
+  | Const of string * Q.t
+  | Id of string * int
+  | Relu of string * int
+  | Gt of string * int * Q.t
+
+let tau_rel = function
+  | Const (rel, _) | Id (rel, _) | Relu (rel, _) | Gt (rel, _, _) -> rel
+
+let tau_to_value_fn = function
+  | Const (rel, c) -> Value_fn.const ~rel c
+  | Id (rel, pos) -> Value_fn.id ~rel ~pos
+  | Relu (rel, pos) -> Value_fn.relu ~rel ~pos
+  | Gt (rel, pos, b) -> Value_fn.gt ~rel ~pos b
+
+let tau_to_cli = function
+  | Const (rel, c) -> Printf.sprintf "const:%s:%s" rel (Q.to_string c)
+  | Id (rel, pos) -> Printf.sprintf "id:%s:%d" rel pos
+  | Relu (rel, pos) -> Printf.sprintf "relu:%s:%d" rel pos
+  | Gt (rel, pos, b) -> Printf.sprintf "gt:%s:%d:%s" rel pos (Q.to_string b)
+
+type t = {
+  seed : int;
+  query : Cq.t;
+  db : Database.t;
+  alpha : Aggregate.t;
+  tau : tau_spec;
+}
+
+let agg_query t = Agg_query.make t.alpha (tau_to_value_fn t.tau) t.query
+
+(* All (relation, position) pairs whose term is a free variable: τ placed
+   there is a function of the answer tuple, hence localized on every
+   database. *)
+let free_positions q =
+  List.concat_map
+    (fun (a : Cq.atom) ->
+      List.concat
+        (List.mapi
+           (fun i t ->
+             match t with
+             | Cq.Var v when Cq.is_free q v -> [ (a.Cq.rel, i) ]
+             | _ -> [])
+           (Array.to_list a.Cq.terms)))
+    q.Cq.body
+
+let aggregates =
+  [ Aggregate.Sum; Aggregate.Count; Aggregate.Count_distinct; Aggregate.Min;
+    Aggregate.Max; Aggregate.Avg; Aggregate.Median;
+    Aggregate.Quantile (Q.of_ints 1 4); Aggregate.Has_duplicates ]
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let cap_endo max_endo db =
+  let endo = Database.endogenous db in
+  let surplus = List.length endo - max_endo in
+  if surplus <= 0 then db
+  else
+    (* Demote the tail of the (deterministically ordered) endogenous list. *)
+    List.fold_left
+      (fun acc f -> Database.set_provenance Database.Exogenous f acc)
+      db
+      (List.filteri (fun i _ -> i >= max_endo) endo)
+
+let generate ?(max_endo = 8) ~seed () =
+  let max_endo = min max_endo Game.max_players in
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  (* Vary the head probability across the whole range so every hierarchy
+     class (and both sides of every frontier) shows up. *)
+  let head_probability = pick rng [ 0.0; 0.3; 0.6; 1.0 ] in
+  let q_config =
+    { Random_cq.max_atoms = 3; max_arity = 2; num_vars = 3; head_probability }
+  in
+  let query =
+    Random_cq.generate ~config:q_config ~seed:(Random.State.bits rng) ()
+  in
+  let db_config =
+    { Generate.tuples_per_relation = 2 + Random.State.int rng 3;
+      domain = 2 + Random.State.int rng 2;
+      exo_fraction = 0.25 }
+  in
+  let db =
+    cap_endo max_endo
+      (Generate.random_database ~seed:(Random.State.bits rng) ~config:db_config query)
+  in
+  let alpha = pick rng aggregates in
+  let tau =
+    let const () =
+      Const (List.hd (Cq.relations query), pick rng [ Q.one; Q.of_int 2; Q.minus_one ])
+    in
+    match free_positions query with
+    | [] -> const ()
+    | frees -> (
+      let rel, pos = pick rng frees in
+      match Random.State.int rng 5 with
+      | 0 -> const ()
+      | 1 -> Relu (rel, pos)
+      | 2 -> Gt (rel, pos, Q.of_int (Random.State.int rng 3))
+      | _ -> Id (rel, pos))
+  in
+  { seed; query; db; alpha; tau }
+
+let db_lines db =
+  List.map
+    (fun f ->
+      match Database.provenance db f with
+      | Some Database.Exogenous -> Fact.to_string f ^ " @exo"
+      | _ -> Fact.to_string f)
+    (Database.facts db)
+
+let to_string t =
+  Printf.sprintf "seed %d: %s | %s | tau %s | %d facts (%d endogenous)" t.seed
+    (Cq.to_string t.query)
+    (Aggregate.to_string t.alpha)
+    (tau_to_cli t.tau) (Database.size t.db) (Database.endo_size t.db)
+
+let to_script t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "cat > repro.facts <<'EOF'\n";
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (db_lines t.db);
+  Buffer.add_string buf "EOF\n";
+  Buffer.add_string buf
+    (Printf.sprintf "shapctl solve -q '%s' -d repro.facts -a %s -t %s\n"
+       (Cq.to_string t.query)
+       (Aggregate.to_string t.alpha)
+       (tau_to_cli t.tau));
+  Buffer.contents buf

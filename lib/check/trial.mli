@@ -1,0 +1,43 @@
+(** One differential-testing trial: a random aggregate conjunctive query
+    with a database small enough for the {!Aggshap_core.Naive} oracle.
+
+    Every trial is fully determined by its seed, and every component is
+    restricted to what the [shapctl] command line can express, so a
+    failing trial prints as a ready-to-run reproducer. *)
+
+(** A value function expressible as a [shapctl --tau] spec. *)
+type tau_spec =
+  | Const of string * Aggshap_arith.Rational.t  (** [const:REL:VALUE] *)
+  | Id of string * int  (** [id:REL:POS] *)
+  | Relu of string * int  (** [relu:REL:POS] *)
+  | Gt of string * int * Aggshap_arith.Rational.t  (** [gt:REL:POS:BOUND] *)
+
+val tau_rel : tau_spec -> string
+val tau_to_value_fn : tau_spec -> Aggshap_agg.Value_fn.t
+val tau_to_cli : tau_spec -> string
+
+type t = {
+  seed : int;  (** the seed this trial was generated from *)
+  query : Aggshap_cq.Cq.t;
+  db : Aggshap_relational.Database.t;
+  alpha : Aggshap_agg.Aggregate.t;
+  tau : tau_spec;
+}
+
+val agg_query : t -> Aggshap_agg.Agg_query.t
+
+val generate : ?max_endo:int -> seed:int -> unit -> t
+(** Draws a query (via {!Aggshap_workload.Random_cq}), a joinable
+    database (via {!Aggshap_workload.Generate}), an aggregate, and a
+    localized value function. [Id]/[Relu]/[Gt] specs are placed only at
+    argument positions holding a {e free} variable, which guarantees τ is
+    localized on every database. At most [max_endo] (default [8], capped
+    at {!Aggshap_core.Game.max_players}) facts stay endogenous; the
+    surplus is demoted to exogenous so the naive oracle stays cheap. *)
+
+val to_string : t -> string
+(** One-line description (query, aggregate, τ, database sizes). *)
+
+val to_script : t -> string
+(** A ready-to-run shell reproducer: writes the database with a heredoc
+    and invokes [shapctl solve] with the trial's query, aggregate and τ. *)

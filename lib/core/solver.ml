@@ -36,7 +36,15 @@ let make_report (a : Agg_query.t) algorithm =
   let front = frontier a.alpha in
   { cls; frontier = front; within_frontier = Hierarchy.cls_leq cls front; algorithm }
 
-let shapley ?(fallback = `Naive) (a : Agg_query.t) db f =
+let frontier_error (a : Agg_query.t) =
+  invalid_arg
+    (Printf.sprintf
+       "Solver.shapley: %s is outside the tractability frontier (%s) of %s"
+       (Aggshap_cq.Cq.to_string a.query)
+       (Hierarchy.cls_to_string (frontier a.alpha))
+       (Aggregate.to_string a.alpha))
+
+let shapley ?(fallback = `Naive) ?mc_seed (a : Agg_query.t) db f =
   if within_frontier a.alpha a.query then begin
     let name, solve = frontier_algorithm a in
     (Exact (solve a db f), make_report a name)
@@ -45,14 +53,9 @@ let shapley ?(fallback = `Naive) (a : Agg_query.t) db f =
     match fallback with
     | `Naive -> (Exact (Naive.shapley a db f), make_report a "naive enumeration (exponential)")
     | `Monte_carlo samples ->
-      (Estimate (Monte_carlo.shapley ~samples a db f), make_report a "Monte-Carlo permutation sampling")
-    | `Fail ->
-      invalid_arg
-        (Printf.sprintf
-           "Solver.shapley: %s is outside the tractability frontier (%s) of %s"
-           (Aggshap_cq.Cq.to_string a.query)
-           (Hierarchy.cls_to_string (frontier a.alpha))
-           (Aggregate.to_string a.alpha))
+      (Estimate (Monte_carlo.shapley ?seed:mc_seed ~samples a db f),
+       make_report a "Monte-Carlo permutation sampling")
+    | `Fail -> frontier_error a
   end
 
 let banzhaf (a : Agg_query.t) db f =
@@ -86,20 +89,36 @@ let shapley_exact a db f =
   | Exact v, _ -> v
   | Estimate _, _ -> assert false
 
-let shapley_all ?(fallback = `Naive) ?jobs ?(cache = true) (a : Agg_query.t) db =
+(* Derive a distinct, deterministic Monte-Carlo seed for the [i]-th fact
+   of a batch, so that seeded [mc:] runs are reproducible for every
+   [jobs] setting (the pool preserves input order). *)
+let per_fact_seed mc_seed i =
+  Option.map (fun s -> s + ((i + 1) * 0x9e3779b9)) mc_seed
+
+let shapley_all ?(fallback = `Naive) ?mc_seed ?jobs ?(cache = true) (a : Agg_query.t) db =
   if within_frontier a.alpha a.query then begin
     let results, _stats = Batch.shapley_all ?jobs ~cache a db in
     let report = make_report a (fst (frontier_algorithm a)) in
     (List.map (fun (f, v) -> (f, Exact v)) results, report)
   end
   else begin
-    let results = Batch.map ?jobs (fun f -> fst (shapley ~fallback a db f)) (Database.endogenous db) in
+    (* [`Fail] must raise before any worker domain is spawned: letting
+       the pool fan out and every worker raise mid-batch reported the
+       algorithm as "none" while workers died one by one. *)
+    (match fallback with `Fail -> frontier_error a | `Naive | `Monte_carlo _ -> ());
+    let indexed = List.mapi (fun i f -> (i, f)) (Database.endogenous db) in
+    let results =
+      Batch.map ?jobs
+        (fun (i, f) -> fst (shapley ~fallback ?mc_seed:(per_fact_seed mc_seed i) a db f))
+        indexed
+      |> List.map (fun ((_, f), o) -> (f, o))
+    in
     let report =
       make_report a
         (match fallback with
          | `Naive -> "naive enumeration (exponential)"
          | `Monte_carlo _ -> "Monte-Carlo permutation sampling"
-         | `Fail -> "none")
+         | `Fail -> assert false)
     in
     (results, report)
   end

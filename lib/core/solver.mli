@@ -33,13 +33,15 @@ val within_frontier : Aggshap_agg.Aggregate.t -> Aggshap_cq.Cq.t -> bool
 
 val shapley :
   ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  ?mc_seed:int ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
   outcome * report
 (** Computes the Shapley value of an endogenous fact. Within the frontier
     the matching polynomial algorithm runs; outside, [fallback] decides
-    (default [`Naive]).
+    (default [`Naive]). [mc_seed] makes a [`Monte_carlo] fallback
+    reproducible (it is ignored by the exact paths).
     @raise Invalid_argument outside the frontier with [`Fail], or if the
     fact is not endogenous. *)
 
@@ -62,6 +64,7 @@ val shapley_exact :
 
 val shapley_all :
   ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  ?mc_seed:int ->
   ?jobs:int ->
   ?cache:bool ->
   Aggshap_agg.Agg_query.t ->
@@ -72,6 +75,10 @@ val shapley_all :
     per-fact loop fans out over [jobs] domains (default
     {!Pool.default_jobs}[ ()]; [1] is fully sequential) and DP tables are
     shared across facts when [cache] is [true] (the default). Outside the
-    frontier the fallback solver is fanned across the same pool. Results
-    are bit-identical for every [jobs]/[cache] combination (except
-    [`Monte_carlo] estimates, which draw independent samples). *)
+    frontier the fallback solver is fanned across the same pool; with
+    [`Fail] the frontier error is raised up-front, before any worker
+    domain is spawned. [mc_seed] seeds a [`Monte_carlo] fallback: each
+    fact gets a distinct seed derived deterministically from [mc_seed]
+    and its position, so estimates are reproducible for every [jobs]
+    value. Exact results are bit-identical for every [jobs]/[cache]
+    combination. *)

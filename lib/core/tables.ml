@@ -27,6 +27,8 @@ let sub a b =
 
 let complement n c = sub (full n) c
 
+let fault : [ `None | `Convolve_off_by_one ] ref = ref `None
+
 let convolve a b =
   let la = Array.length a and lb = Array.length b in
   let out = Array.make (la + lb - 1) B.zero in
@@ -37,6 +39,11 @@ let convolve a b =
           out.(i + j) <- B.add out.(i + j) (B.mul a.(i) b.(j))
       done
   done;
+  (match !fault with
+   | `None -> ()
+   | `Convolve_off_by_one ->
+     if la > 1 && lb > 1 then
+       out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one);
   out
 
 let pad p c = if p = 0 then c else convolve c (full p)

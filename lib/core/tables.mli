@@ -34,6 +34,14 @@ val convolve : counts -> counts -> counts
     [Σ_{k1+k2=k} a.(k1) * b.(k2)] — the table of a conjunction over two
     disjoint fact sets. *)
 
+val fault : [ `None | `Convolve_off_by_one ] ref
+(** Test-only fault injection for the differential-testing oracle
+    ({!Aggshap_check}): [`Convolve_off_by_one] makes {!convolve} corrupt
+    its top entry whenever both operands are non-trivial, simulating an
+    off-by-one in a DP [combine] step. Every frontier DP funnels through
+    {!convolve}, so the oracle must flag the corruption. Not
+    domain-safe; only toggle it around sequential ([jobs = 1]) runs. *)
+
 val pad : int -> counts -> counts
 (** [pad p c] extends the underlying fact set by [p] endogenous null
     players: [result.(k) = Σ_j c.(k-j) * C(p, j)]. *)

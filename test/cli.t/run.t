@@ -83,3 +83,56 @@ The batch engine returns identical values for every jobs/cache setting:
   $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:0 --jobs 0
   shapctl: --jobs must be at least 1 (got 0)
   [1]
+
+Malformed value-function specs die with a clean message instead of an
+uncaught int_of_string/of_string exception:
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t id:R:abc
+  shapctl: malformed position "abc" in value function spec "id:R:abc" (expected a non-negative integer)
+  [1]
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t gt:R:0:xyz
+  shapctl: malformed bound "xyz" in "gt:R:0:xyz" (expected an integer or P/Q rational)
+  [1]
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a max -t const:R:1/0
+  shapctl: malformed value "1/0" in "const:R:1/0" (expected an integer or P/Q rational)
+  [1]
+
+So do malformed fallback specs:
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:abc
+  shapctl: malformed sample count "abc" in fallback "mc:abc" (expected a positive integer; use naive, fail, or mc:SAMPLES[:SEED])
+  [1]
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:0
+  shapctl: malformed sample count "0" in fallback "mc:0" (expected a positive integer; use naive, fail, or mc:SAMPLES[:SEED])
+  [1]
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:100:x
+  shapctl: malformed seed "x" in fallback "mc:100:x" (expected an integer; use naive, fail, or mc:SAMPLES[:SEED])
+  [1]
+
+A seeded Monte-Carlo fallback is reproducible, run to run and for every
+jobs setting:
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:100:7 --jobs 1 > mc_a.out
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:100:7 --jobs 3 > mc_b.out
+  $ diff mc_a.out mc_b.out
+
+The fail fallback on an all-facts batch raises up-front (one clean
+error, not a pool of dying workers reporting algorithm "none"):
+
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback fail
+  shapctl: Solver.shapley: Q(x) <- R(x, y), S(y) is outside the tractability frontier (q-hierarchical) of avg
+  [1]
+
+The differential-testing oracle replays a fixed seed deterministically:
+
+  $ shapctl fuzz --seed 42 --trials 25
+  fuzz: seed=42 trials=25 max-endo=8
+  fuzz: 25 trials, 0 failures
+
+  $ shapctl fuzz --trials 0
+  shapctl: --trials must be at least 1 (got 0)
+  [1]

@@ -1,0 +1,132 @@
+(* The differential-testing oracle itself: the fixed-seed corpus must
+   replay clean, the shrinker must produce runnable minimal reproducers,
+   and a deliberately injected DP fault must be caught. *)
+
+module Q = Aggshap_arith.Rational
+module Database = Aggshap_relational.Database
+module Tables = Aggshap_core.Tables
+module Cq = Aggshap_cq.Cq
+module Check = Aggshap_check
+module Trial = Aggshap_check.Trial
+module Oracle = Aggshap_check.Oracle
+module Shrink = Aggshap_check.Shrink
+module Fuzz = Aggshap_check.Fuzz
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let corpus = lazy (Fuzz.parse_corpus (read_file "fuzz.corpus"))
+
+let test_corpus_parses () =
+  let seeds = Lazy.force corpus in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length seeds >= 100);
+  Alcotest.(check bool) "seeds are distinct" true
+    (List.length (List.sort_uniq Int.compare seeds) = List.length seeds)
+
+(* Every corpus seed replays with zero oracle disagreements — the
+   regression net for the six DP families and the batch engine. *)
+let test_corpus_replays_clean () =
+  List.iter
+    (fun seed ->
+      let trial, outcome = Fuzz.run_one ~seed () in
+      match outcome with
+      | None -> ()
+      | Some failure ->
+        Alcotest.failf "corpus trial failed: %s\n  %s" (Trial.to_string trial)
+          (Oracle.failure_to_string failure))
+    (Lazy.force corpus)
+
+let test_trial_generation_deterministic () =
+  let t1 = Trial.generate ~seed:4242 () and t2 = Trial.generate ~seed:4242 () in
+  Alcotest.(check string) "same query" (Cq.to_string t1.Trial.query)
+    (Cq.to_string t2.Trial.query);
+  Alcotest.(check bool) "same database" true (Database.equal t1.Trial.db t2.Trial.db);
+  Alcotest.(check string) "same script" (Trial.to_script t1) (Trial.to_script t2)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_reproducer_script_shape () =
+  let t = Trial.generate ~seed:7 () in
+  let script = Trial.to_script t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "script mentions %S" needle)
+        true (contains script needle))
+    [ "shapctl solve"; "repro.facts"; "-a "; "-t " ]
+
+(* A deliberately injected off-by-one in the DP combine step must be
+   caught by the oracle and shrunk to a still-failing 1-minimal
+   reproducer. par_jobs:1 keeps everything in this domain while the
+   fault flag is set. *)
+let test_injected_fault_is_caught () =
+  assert (!Tables.fault = `None);
+  Tables.fault := `Convolve_off_by_one;
+  Fun.protect
+    ~finally:(fun () -> Tables.fault := `None)
+    (fun () ->
+      let config =
+        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1 }
+      in
+      let report = Fuzz.run config in
+      match report.Fuzz.failures with
+      | [] -> Alcotest.fail "injected off-by-one survived 100 trials undetected"
+      | { Fuzz.trial; shrunk; shrunk_failure; _ } :: _ ->
+        (* The shrunk reproducer still fails, is no bigger than the
+           original, and prints as a runnable script. *)
+        Alcotest.(check bool) "shrunk still fails" true
+          (Oracle.run ~par_jobs:1 shrunk <> None);
+        Alcotest.(check bool) "shrunk is no bigger" true
+          (Database.size shrunk.Trial.db <= Database.size trial.Trial.db
+          && List.length shrunk.Trial.query.Cq.body
+             <= List.length trial.Trial.query.Cq.body);
+        Alcotest.(check bool) "reproducer script is printable" true
+          (String.length (Trial.to_script shrunk) > 0);
+        (* 1-minimality: removing any remaining fact makes the failure
+           disappear or the shrinker would have removed it. *)
+        List.iter
+          (fun fact ->
+            let smaller =
+              { shrunk with Trial.db = Database.remove fact shrunk.Trial.db }
+            in
+            Alcotest.(check bool)
+              ("removing " ^ Aggshap_relational.Fact.to_string fact ^ " un-fails")
+              true
+              (Oracle.run ~par_jobs:1 smaller = None))
+          (Database.facts shrunk.Trial.db);
+        ignore shrunk_failure)
+
+(* With the fault cleared again, the very trials that exposed it pass:
+   the flag really was the only source of the disagreements. *)
+let test_fault_flag_is_isolated () =
+  let config =
+    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1 }
+  in
+  let report = Fuzz.run config in
+  Alcotest.(check int) "clean without the fault" 0 (List.length report.Fuzz.failures)
+
+let () =
+  Alcotest.run "check"
+    [ ( "corpus",
+        [ Alcotest.test_case "parses" `Quick test_corpus_parses;
+          Alcotest.test_case "replays clean" `Slow test_corpus_replays_clean;
+        ] );
+      ( "trials",
+        [ Alcotest.test_case "generation deterministic" `Quick
+            test_trial_generation_deterministic;
+          Alcotest.test_case "reproducer script shape" `Quick
+            test_reproducer_script_shape;
+        ] );
+      ( "fault injection",
+        [ Alcotest.test_case "off-by-one caught and shrunk" `Slow
+            test_injected_fault_is_caught;
+          Alcotest.test_case "fault flag isolated" `Quick test_fault_flag_is_isolated;
+        ] );
+    ]

@@ -1,6 +1,8 @@
-(* Property tests (qcheck) for the core data structures, plus
-   corner-case scenario tests for the solvers (empty databases, fully
-   exogenous databases, irrelevant facts, tiny instances). *)
+(* Property tests (qcheck) for the core data structures, corner-case
+   scenario tests for the solvers (empty databases, fully exogenous
+   databases, irrelevant facts, tiny instances), and the Shapley-axiom
+   invariants (efficiency, null player, symmetry) for all six frontier
+   DP families on the fixed-seed fuzz corpus. *)
 
 module B = Aggshap_arith.Bigint
 module Q = Aggshap_arith.Rational
@@ -197,10 +199,70 @@ let test_solver_rejects_non_endogenous () =
     (try ignore (Core.Minmax.shapley a_max db (Fact.of_ints "R" [ 9; 9 ])); false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Shapley-axiom invariants per frontier DP family, on the corpus      *)
+(* ------------------------------------------------------------------ *)
+
+module CheckTrial = Aggshap_check.Trial
+module CheckOracle = Aggshap_check.Oracle
+module CheckFuzz = Aggshap_check.Fuzz
+module Generate = Aggshap_workload.Generate
+
+let corpus_seeds =
+  lazy
+    (let ic = open_in "fuzz.corpus" in
+     let n = in_channel_length ic in
+     let contents = really_input_string ic n in
+     close_in ic;
+     CheckFuzz.parse_corpus contents)
+
+(* One representative query per frontier class, each within the family's
+   frontier, with a τ localized at a free-variable position. The oracle
+   checks efficiency (Σφ = v(N) − v(∅)), null player, and symmetry —
+   plus full agreement with naive enumeration — per corpus seed. *)
+let invariant_families =
+  [ ("sum on q_exists", Aggregate.Sum, Catalog.q_exists, CheckTrial.Id ("R", 0));
+    ("count on q_exists", Aggregate.Count, Catalog.q_exists, CheckTrial.Const ("R", Q.one));
+    ("count-distinct on q_xyy", Aggregate.Count_distinct, Catalog.q_xyy, CheckTrial.Id ("R", 0));
+    ("min on q_xyy", Aggregate.Min, Catalog.q_xyy, CheckTrial.Id ("R", 0));
+    ("max on q_xyy", Aggregate.Max, Catalog.q_xyy, CheckTrial.Relu ("R", 0));
+    ("avg on q_xyy_full", Aggregate.Avg, Catalog.q_xyy_full, CheckTrial.Id ("R", 0));
+    ("median on q_xyy_full", Aggregate.Median, Catalog.q_xyy_full, CheckTrial.Id ("R", 1));
+    ( "quantile on q_xyy_full",
+      Aggregate.Quantile (Q.of_ints 1 4),
+      Catalog.q_xyy_full,
+      CheckTrial.Id ("R", 0) );
+    ( "has-duplicates on q1_sq",
+      Aggregate.Has_duplicates,
+      Catalog.q1_sq,
+      CheckTrial.Gt ("R", 0, Q.zero) );
+  ]
+
+let invariant_db_config = { Generate.tuples_per_relation = 3; domain = 3; exo_fraction = 0.25 }
+
+let invariant_case (name, alpha, query, tau) =
+  Alcotest.test_case name `Slow (fun () ->
+      Alcotest.(check bool) "family query is within its frontier" true
+        (Core.Solver.within_frontier alpha query);
+      let seeds = List.filteri (fun i _ -> i < 25) (Lazy.force corpus_seeds) in
+      List.iter
+        (fun seed ->
+          let db = Generate.random_database ~seed ~config:invariant_db_config query in
+          let trial = { CheckTrial.seed; query; db; alpha; tau } in
+          match CheckOracle.run trial with
+          | None -> ()
+          | Some f ->
+            Alcotest.failf "%s, corpus seed %d: %s" name seed
+              (CheckOracle.failure_to_string f))
+        seeds)
+
+let invariant_tests = List.map invariant_case invariant_families
+
 let () =
   Alcotest.run "props"
     [ ("bag properties", bag_props);
       ("table properties", tables_props);
+      ("frontier DP invariants (fuzz corpus)", invariant_tests);
       ( "solver corner cases",
         [ Alcotest.test_case "empty database" `Quick test_empty_database;
           Alcotest.test_case "single fact" `Quick test_single_fact;
