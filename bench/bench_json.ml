@@ -1,0 +1,320 @@
+(* Minimal JSON support for the machine-readable bench baseline.
+
+   The environment has no JSON package, so this is a small hand-rolled
+   value type with an emitter, a recursive-descent parser, and a
+   validator for the BENCH_v1 schema produced by [bench/main.exe --json]
+   and checked in CI by [bench/validate.exe]:
+
+   {
+     "schema": "BENCH_v1",
+     "quick": <bool>,
+     "results": [
+       { "experiment": <string>, "workload": <string>,
+         "n": <int>, "players": <int>, "wall_s": <number >= 0>,
+         "kernels": { <counter name>: <int >= 0>, ... } },
+       ...
+     ]
+   } *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_literal f =
+  (* NaN and infinities are not valid JSON literals. *)
+  if Float.is_nan f || not (Float.is_finite f) then "0.0"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let rec emit buf indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_literal f)
+  | String s -> Buffer.add_string buf (escape_string s)
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        emit buf (indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf ": ";
+        emit buf (indent + 2) item)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  emit buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let parse_literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char buf '"'; advance ()
+         | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+         | Some '/' -> Buffer.add_char buf '/'; advance ()
+         | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+         | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+         | Some 't' -> Buffer.add_char buf '\t'; advance ()
+         | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+         | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let hex = String.sub s !pos 4 in
+           (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+            | Some _ -> Buffer.add_char buf '?' (* non-ASCII: placeholder *)
+            | None -> fail "malformed \\u escape");
+           pos := !pos + 4
+         | _ -> fail "malformed escape");
+        go ()
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do advance () done;
+    let lit = String.sub s start (!pos - start) in
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "malformed number %S" lit))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> parse_literal "null" Null
+    | Some 't' -> parse_literal "true" (Bool true)
+    | Some 'f' -> parse_literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); List [] end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_v1 schema validation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let schema_version = "BENCH_v1"
+
+let validate (v : t) : (unit, string) result =
+  let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e in
+  let field obj name =
+    match List.assoc_opt name obj with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let as_obj what = function
+    | Obj fields -> Ok fields
+    | _ -> Error (what ^ " is not an object")
+  in
+  let as_number what = function
+    | Int i -> Ok (float_of_int i)
+    | Float f -> Ok f
+    | _ -> Error (what ^ " is not a number")
+  in
+  let result_ok i r =
+    let what = Printf.sprintf "results[%d]" i in
+    let* fields = as_obj what r in
+    let* () =
+      List.fold_left
+        (fun acc name ->
+          let* () = acc in
+          let* v = field fields name in
+          match v with
+          | String s when String.length s > 0 -> Ok ()
+          | String _ -> Error (Printf.sprintf "%s.%s is empty" what name)
+          | _ -> Error (Printf.sprintf "%s.%s is not a string" what name))
+        (Ok ()) [ "experiment"; "workload" ]
+    in
+    let* () =
+      List.fold_left
+        (fun acc name ->
+          let* () = acc in
+          let* v = field fields name in
+          match v with
+          | Int n when n >= 0 -> Ok ()
+          | Int _ -> Error (Printf.sprintf "%s.%s is negative" what name)
+          | _ -> Error (Printf.sprintf "%s.%s is not an integer" what name))
+        (Ok ()) [ "n"; "players" ]
+    in
+    let* wall = field fields "wall_s" in
+    let* wall = as_number (what ^ ".wall_s") wall in
+    let* () =
+      if wall >= 0.0 then Ok () else Error (what ^ ".wall_s is negative")
+    in
+    let* kernels = field fields "kernels" in
+    let* kernels = as_obj (what ^ ".kernels") kernels in
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        match v with
+        | Int n when n >= 0 -> Ok ()
+        | Int _ -> Error (Printf.sprintf "%s.kernels.%s is negative" what k)
+        | _ -> Error (Printf.sprintf "%s.kernels.%s is not an integer" what k))
+      (Ok ()) kernels
+  in
+  let* top = as_obj "top-level value" v in
+  let* schema = field top "schema" in
+  let* () =
+    match schema with
+    | String s when String.equal s schema_version -> Ok ()
+    | String s -> Error (Printf.sprintf "schema is %S, expected %S" s schema_version)
+    | _ -> Error "schema is not a string"
+  in
+  let* quick = field top "quick" in
+  let* () = match quick with Bool _ -> Ok () | _ -> Error "quick is not a boolean" in
+  let* results = field top "results" in
+  match results with
+  | List rs ->
+    let* () =
+      List.fold_left
+        (fun acc (i, r) ->
+          let* () = acc in
+          result_ok i r)
+        (Ok ())
+        (List.mapi (fun i r -> (i, r)) rs)
+    in
+    if rs = [] then Error "results is empty" else Ok ()
+  | _ -> Error "results is not an array"

@@ -29,6 +29,16 @@ module Perm_red = Aggshap_reductions.Permanent_reduction
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
+(* [--json FILE]: also write the E14 kernel-instrumented baseline as a
+   BENCH_v1 report (see {!Bench_json}) for CI and regression tracking. *)
+let json_path =
+  let rec find = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
@@ -422,6 +432,91 @@ let e13 () =
     ~make_agg:(fun () -> Agg_query.make Aggregate.Has_duplicates (vmod "R" 0) Catalog.q1_sq)
     ~seed_all:Core.Dup.shapley_all
 
+(* E14: kernel instrumentation — wall time plus arithmetic/convolution
+   kernel counters for a fixed workload set. This is the machine-readable
+   bench baseline: with [--json FILE] the rows are also written out as a
+   BENCH_v1 report (validated in CI by bench/validate.exe). *)
+let e14 () =
+  header "E14 (kernels): arithmetic/convolution kernel counters per workload";
+  Printf.printf
+    "Counters are process-wide per workload (stats reset before each run).\n";
+  Printf.printf "%-24s %6s %8s %10s %12s %12s %10s %10s\n" "workload" "rows"
+    "players" "wall" "mul(school)" "mul(small)" "acc_mul" "convolve";
+  let results = ref [] in
+  let run experiment workload sizes make_db act =
+    List.iter
+      (fun rows ->
+        let db = make_db rows in
+        let players = Database.endo_size db in
+        B.reset_stats ();
+        Core.Tables.reset_stats ();
+        let (), wall = time (fun () -> act db) in
+        let bs = B.stats () in
+        let ts = Core.Tables.stats () in
+        Printf.printf "%-24s %6d %8d %9.4fs %12d %12d %10d %10d\n" workload rows
+          players wall bs.B.mul_schoolbook bs.B.mul_small bs.B.acc_mul
+          ts.Core.Tables.convolve;
+        let open Bench_json in
+        let kernels =
+          Obj
+            [ ("mul_schoolbook", Int bs.B.mul_schoolbook);
+              ("mul_karatsuba", Int bs.B.mul_karatsuba);
+              ("mul_small", Int bs.B.mul_small);
+              ("sqr", Int bs.B.sqr);
+              ("divmod", Int bs.B.divmod);
+              ("gcd", Int bs.B.gcd);
+              ("acc_mul", Int bs.B.acc_mul);
+              ("convolve", Int ts.Core.Tables.convolve);
+              ("convolve_rat", Int ts.Core.Tables.convolve_rat);
+              ("tree_folds", Int ts.Core.Tables.tree_folds);
+              ("weighted_sums", Int ts.Core.Tables.weighted_sums) ]
+        in
+        results :=
+          Obj
+            [ ("experiment", String experiment);
+              ("workload", String workload);
+              ("n", Int rows);
+              ("players", Int players);
+              ("wall_s", Float wall);
+              ("kernels", kernels) ]
+          :: !results)
+      sizes
+  in
+  let q_bool = Cq.make_boolean Catalog.q_xyy in
+  run "E14" "bool_shapley_q_xyy"
+    (if quick then [ 60; 120 ] else [ 100; 200; 400; 800 ])
+    xyy_db
+    (fun db -> ignore (Core.Boolean_dp.shapley q_bool db (first_endo db)));
+  run "E14" "max_batch_q_xyy"
+    (if quick then [ 12; 40 ] else [ 60; 120; 200 ])
+    xyy_db
+    (fun db ->
+      let a = Agg_query.make Aggregate.Max (vid "R" 0) Catalog.q_xyy in
+      ignore (Core.Batch.shapley_all ~jobs:1 ~cache:true a db));
+  run "E14" "dup_batch_q1"
+    (if quick then [ 10; 30 ] else [ 40; 100; 160 ])
+    q1_db
+    (fun db ->
+      let a = Agg_query.make Aggregate.Has_duplicates (vmod "R" 0) Catalog.q1_sq in
+      ignore (Core.Batch.shapley_all ~jobs:1 ~cache:true a db));
+  List.rev !results
+
+let write_json path rows =
+  let report =
+    Bench_json.Obj
+      [ ("schema", Bench_json.String Bench_json.schema_version);
+        ("quick", Bench_json.Bool quick);
+        ("results", Bench_json.List rows) ]
+  in
+  (match Bench_json.validate report with
+   | Ok () -> ()
+   | Error msg -> failwith ("bench: emitted report violates its own schema: " ^ msg));
+  let oc = open_out path in
+  output_string oc (Bench_json.to_string report);
+  close_out oc;
+  Printf.printf "\nwrote %s (%s, %d result rows)\n" path Bench_json.schema_version
+    (List.length rows)
+
 (* A1: ablation — Boolean membership via the direct DP vs the compiled
    d-tree backend (Remark 4.5). *)
 let a1 () =
@@ -579,8 +674,12 @@ let () =
   e11 ();
   e12 ();
   e13 ();
+  let e14_rows = e14 () in
   a1 ();
   a2 ();
   run_bechamel ();
+  (match json_path with
+   | Some path -> write_json path e14_rows
+   | None -> ());
   print_newline ();
   print_endline "all experiments completed; every cross-check above reports 'ok'"

@@ -1,0 +1,44 @@
+(* bench/validate.exe FILE — parse FILE and check it against the
+   BENCH_v1 schema; exit 1 with a diagnostic otherwise. CI runs this on
+   the artifact produced by [bench/main.exe --quick --json]. *)
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: validate.exe BENCH.json";
+      exit 2
+  in
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      prerr_endline ("validate: " ^ msg);
+      exit 1
+  in
+  match Bench_json.parse contents with
+  | Error msg ->
+    Printf.eprintf "validate: %s: JSON parse error %s\n" path msg;
+    exit 1
+  | Ok json -> (
+    match Bench_json.validate json with
+    | Error msg ->
+      Printf.eprintf "validate: %s: schema violation: %s\n" path msg;
+      exit 1
+    | Ok () ->
+      let count =
+        match json with
+        | Bench_json.Obj fields -> (
+          match List.assoc_opt "results" fields with
+          | Some (Bench_json.List rs) -> List.length rs
+          | _ -> 0)
+        | _ -> 0
+      in
+      Printf.printf "validate: %s: valid %s report with %d result row%s\n" path
+        Bench_json.schema_version count
+        (if count = 1 then "" else "s"))

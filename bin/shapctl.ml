@@ -158,7 +158,29 @@ let parse_fallback s =
   end
   | _ -> die "unknown fallback %S (%s)" s mc_usage
 
-let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache =
+(* --stats: per-kernel counter report after a solve. The counters are
+   plain (non-atomic) globals, so under --jobs > 1 the numbers are
+   approximate — flagged in the output. *)
+let print_kernel_stats jobs =
+  let bs = Aggshap_arith.Bigint.stats () in
+  let ts = Aggshap_core.Tables.stats () in
+  let approx = match jobs with Some j when j > 1 -> " (approximate: --jobs > 1)" | _ -> "" in
+  Printf.printf "kernel counters%s:\n" approx;
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-16s %d\n" name v)
+    [ ("mul_schoolbook", bs.Aggshap_arith.Bigint.mul_schoolbook);
+      ("mul_karatsuba", bs.Aggshap_arith.Bigint.mul_karatsuba);
+      ("mul_small", bs.Aggshap_arith.Bigint.mul_small);
+      ("sqr", bs.Aggshap_arith.Bigint.sqr);
+      ("divmod", bs.Aggshap_arith.Bigint.divmod);
+      ("gcd", bs.Aggshap_arith.Bigint.gcd);
+      ("acc_mul", bs.Aggshap_arith.Bigint.acc_mul);
+      ("convolve", ts.Aggshap_core.Tables.convolve);
+      ("convolve_rat", ts.Aggshap_core.Tables.convolve_rat);
+      ("tree_folds", ts.Aggshap_core.Tables.tree_folds);
+      ("weighted_sums", ts.Aggshap_core.Tables.weighted_sums) ]
+
+let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache stats =
   let q = parse_query_arg query_s in
   let db = read_database db_path in
   warn_schema q db;
@@ -167,6 +189,10 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache =
   (match jobs with
    | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
    | _ -> ());
+  if stats then begin
+    Aggshap_arith.Bigint.reset_stats ();
+    Aggshap_core.Tables.reset_stats ()
+  end;
   if score_s = "banzhaf" then begin
     (try
        List.iter
@@ -181,6 +207,7 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache =
             | Ok (f, _) -> [ f ]
             | Error msg -> die "cannot parse fact %S: %s" s msg))
      with Invalid_argument msg -> die "%s" msg);
+    if stats then print_kernel_stats jobs;
     0
   end
   else if score_s <> "shapley" then die "unknown score %S (use shapley or banzhaf)" score_s
@@ -213,6 +240,7 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache =
          report.Solver.algorithm;
        List.iter (fun (f, o) -> print_outcome f o) results
    with Invalid_argument msg -> die "%s" msg);
+  if stats then print_kernel_stats jobs;
   0
   end
 
@@ -298,6 +326,11 @@ let cache_arg =
          ~doc:"Share dynamic-programming tables across the per-fact batch \
                loop (default true). Results are identical either way.")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print arithmetic/convolution kernel counters after solving \
+               (approximate when --jobs > 1).")
+
 let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify a CQ and print its per-aggregate tractability")
@@ -311,7 +344,7 @@ let eval_cmd =
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute Shapley values of endogenous facts")
-    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ cache_arg)
+    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ cache_arg $ stats_arg)
 
 let seed_arg =
   Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED"

@@ -4,7 +4,11 @@
    every product-plus-carry below 2^62, which fits comfortably in OCaml's
    63-bit native integers. Division is Knuth's Algorithm D (TAOCP vol. 2,
    4.3.1); the classic qhat estimation and add-back correction are kept
-   exactly as in the reference formulation. *)
+   exactly as in the reference formulation. Multiplication switches from
+   schoolbook to Karatsuba above [karatsuba_threshold] limbs, string
+   conversion is divide-and-conquer above [string_threshold] limbs, and
+   gcd is a hybrid of Euclid division steps and a word-sized binary
+   (Stein) finish. *)
 
 let limb_bits = 30
 let base = 1 lsl limb_bits
@@ -13,6 +17,49 @@ let limb_mask = base - 1
 type t = { sign : int; mag : int array }
 (* Invariants: [sign] is -1, 0 or 1; [mag] has no trailing (most
    significant) zero limb; [sign = 0] iff [mag] is empty. *)
+
+type stats = {
+  mul_schoolbook : int;
+  mul_karatsuba : int;
+  mul_small : int;
+  sqr : int;
+  divmod : int;
+  gcd : int;
+  acc_mul : int;
+}
+
+(* Plain mutable counters: increments from concurrent domains may be
+   lost, which is acceptable for instrumentation that only feeds
+   [--stats] and bench reports. *)
+let c_mul_schoolbook = ref 0
+let c_mul_karatsuba = ref 0
+let c_mul_small = ref 0
+let c_sqr = ref 0
+let c_divmod = ref 0
+let c_gcd = ref 0
+let c_acc_mul = ref 0
+
+let stats () =
+  { mul_schoolbook = !c_mul_schoolbook;
+    mul_karatsuba = !c_mul_karatsuba;
+    mul_small = !c_mul_small;
+    sqr = !c_sqr;
+    divmod = !c_divmod;
+    gcd = !c_gcd;
+    acc_mul = !c_acc_mul }
+
+let reset_stats () =
+  c_mul_schoolbook := 0;
+  c_mul_karatsuba := 0;
+  c_mul_small := 0;
+  c_sqr := 0;
+  c_divmod := 0;
+  c_gcd := 0;
+  c_acc_mul := 0
+
+type fault = [ `None | `Karatsuba_split ]
+
+let fault : fault ref = ref `None
 
 let zero = { sign = 0; mag = [||] }
 
@@ -23,6 +70,17 @@ let normalize sign mag =
   if len = 0 then zero
   else if len = n then { sign; mag }
   else { sign; mag = Array.sub mag 0 len }
+
+(* Effective length of a working magnitude: index past the most
+   significant non-zero limb. Internal kernels tolerate (and produce)
+   leading zero limbs; [trim_len] is how they agree on the real size. *)
+let trim_len mag =
+  let rec top i = if i > 0 && mag.(i - 1) = 0 then top (i - 1) else i in
+  top (Array.length mag)
+
+let trim mag =
+  let len = trim_len mag in
+  if len = Array.length mag then mag else Array.sub mag 0 len
 
 let of_small n =
   (* [n] must satisfy [0 <= n]. *)
@@ -115,9 +173,11 @@ let add_mag a b =
   out.(lmax) <- !carry;
   out
 
-(* Magnitude subtraction: requires [a >= b]. *)
+(* Magnitude subtraction: requires [a >= b] as values (leading zero
+   limbs on either side are fine). *)
 let sub_mag a b =
   let la = Array.length a and lb = Array.length b in
+  let lb = Stdlib.min lb la in
   let out = Array.make la 0 in
   let borrow = ref 0 in
   for i = 0 to la - 1 do
@@ -147,10 +207,11 @@ let add a b =
 
 let sub a b = add a (neg b)
 
-let mul_mag a b =
+let mul_mag_school a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then [||]
   else begin
+    incr c_mul_schoolbook;
     let out = Array.make (la + lb) 0 in
     for i = 0 to la - 1 do
       let carry = ref 0 in
@@ -165,26 +226,114 @@ let mul_mag a b =
     out
   end
 
-let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
-
-let mul_int a n = mul a (of_int n)
-let add_int a n = add a (of_int n)
-let succ a = add a one
-let pred a = sub a one
-
-(* Division of a magnitude by a single limb [d] (0 < d < base). *)
-let divmod_small_mag u d =
-  let n = Array.length u in
-  let q = Array.make n 0 in
-  let rem = ref 0 in
-  for i = n - 1 downto 0 do
-    let cur = (!rem lsl limb_bits) lor u.(i) in
-    q.(i) <- cur / d;
-    rem := cur mod d
+(* [add_into out off src] accumulates [src] (a working magnitude,
+   leading zeros allowed) into [out] starting at limb [off]. The caller
+   guarantees the mathematical result fits in [out]. *)
+let add_into out off src =
+  let el = trim_len src in
+  let carry = ref 0 in
+  for i = 0 to el - 1 do
+    let s = out.(off + i) + src.(i) + !carry in
+    out.(off + i) <- s land limb_mask;
+    carry := s lsr limb_bits
   done;
-  (q, !rem)
+  let j = ref (off + el) in
+  while !carry <> 0 do
+    let s = out.(!j) + !carry in
+    out.(!j) <- s land limb_mask;
+    carry := s lsr limb_bits;
+    incr j
+  done
+
+(* Below this many limbs (on the shorter operand) Karatsuba's extra
+   additions and allocations cost more than the saved limb products;
+   tuned with a 150..10000-digit sweep on the bench machine. Exposed
+   for tests. *)
+let karatsuba_threshold = ref 48
+
+(* Karatsuba recursion, splitting both operands at half the shorter
+   length. Splitting at the shorter operand keeps [z1 = a0*b1 + a1*b0]
+   within [la + lb - m] limbs, so the final accumulation never outgrows
+   the [la + lb] result buffer. *)
+let rec mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else
+    let lmin = Stdlib.min la lb in
+    if lmin < Stdlib.max 4 !karatsuba_threshold then mul_mag_school a b
+    else begin
+      incr c_mul_karatsuba;
+      let m = (lmin + 1) / 2 in
+      let lo x = Array.sub x 0 m in
+      let hi x = Array.sub x m (Array.length x - m) in
+      let a0 = lo a and a1 = hi a in
+      let b0 = lo b and b1 = hi b in
+      let z0 = mul_mag a0 b0 in
+      let z2 = mul_mag a1 b1 in
+      let z1 =
+        sub_mag
+          (sub_mag (mul_mag (add_mag a0 a1) (add_mag b0 b1)) z0)
+          z2
+      in
+      let out = Array.make (la + lb) 0 in
+      add_into out 0 z0;
+      add_into out m z1;
+      add_into out (2 * m) z2;
+      out
+    end
+
+(* Schoolbook squaring with the symmetric-term trick: accumulate the
+   strictly-upper cross products, double, then add the diagonal. *)
+let sqr_mag_school a =
+  let la = Array.length a in
+  if la = 0 then [||]
+  else begin
+    let out = Array.make (2 * la) 0 in
+    for i = 0 to la - 2 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = i + 1 to la - 1 do
+        let cur = out.(i + j) + (ai * a.(j)) + !carry in
+        out.(i + j) <- cur land limb_mask;
+        carry := cur lsr limb_bits
+      done;
+      out.(i + la) <- out.(i + la) + !carry
+    done;
+    let carry = ref 0 in
+    for k = 0 to (2 * la) - 1 do
+      let v = (out.(k) lsl 1) lor !carry in
+      out.(k) <- v land limb_mask;
+      carry := v lsr limb_bits
+    done;
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = a.(i) * a.(i) in
+      let s0 = out.(2 * i) + (p land limb_mask) + !carry in
+      out.(2 * i) <- s0 land limb_mask;
+      let s1 = out.((2 * i) + 1) + (p lsr limb_bits) + (s0 lsr limb_bits) in
+      out.((2 * i) + 1) <- s1 land limb_mask;
+      carry := s1 lsr limb_bits
+    done;
+    out
+  end
+
+let rec sqr_mag a =
+  let la = Array.length a in
+  if la = 0 then [||]
+  else if la < Stdlib.max 4 !karatsuba_threshold then sqr_mag_school a
+  else begin
+    let m = (la + 1) / 2 in
+    let a0 = Array.sub a 0 m in
+    let a1 = Array.sub a m (la - m) in
+    let z0 = sqr_mag a0 in
+    let z2 = sqr_mag a1 in
+    let z1 = sub_mag (sub_mag (sqr_mag (add_mag a0 a1)) z0) z2 in
+    let out = Array.make (2 * la) 0 in
+    add_into out 0 z0;
+    add_into out m z1;
+    add_into out (2 * m) z2;
+    out
+  end
 
 (* Left-shift a magnitude by [s] bits, 0 <= s < limb_bits. *)
 let shift_left_bits u s =
@@ -215,6 +364,95 @@ let shift_right_bits u s =
     done;
     out
   end
+
+(* The injected Karatsuba fault: pretend the implementation forgot the
+   [- z2] term in [z1] for a 2-bit split, i.e. return
+   [a*b + (|a|/4)*(|b|/4)*4]. The 2-bit split (rather than the
+   real limb threshold) makes the bug observable on the small operands
+   fuzz trials produce, while still requiring both operands >= 4 --
+   exactly the shape of a split-point bug that only fires on "large
+   enough" inputs. *)
+let karatsuba_split_corrupt a b r =
+  let a1 = trim (shift_right_bits a.mag 2) in
+  let b1 = trim (shift_right_bits b.mag 2) in
+  if Array.length a1 = 0 || Array.length b1 = 0 then r
+  else
+    let bump = shift_left_bits (mul_mag_school a1 b1) 2 in
+    normalize r.sign (add_mag r.mag bump)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else begin
+    let r =
+      if Array.length a.mag = 1 && Array.length b.mag = 1 then begin
+        (* Single-limb operands: the product fits in 60 bits, so build
+           the exact-size result directly — no kernel dispatch, no
+           oversized buffer, no trim copy. The DP convolutions hit this
+           case overwhelmingly often. *)
+        incr c_mul_small;
+        let p = a.mag.(0) * b.mag.(0) in
+        let sign = a.sign * b.sign in
+        if p < base then { sign; mag = [| p |] }
+        else { sign; mag = [| p land limb_mask; p lsr limb_bits |] }
+      end
+      else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+    in
+    match !fault with
+    | `None -> r
+    | `Karatsuba_split -> karatsuba_split_corrupt a b r
+  end
+
+let mul_schoolbook a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mul_mag_school a.mag b.mag)
+
+let sqr a =
+  if a.sign = 0 then zero
+  else begin
+    incr c_sqr;
+    let r = normalize 1 (sqr_mag a.mag) in
+    match !fault with
+    | `None -> r
+    | `Karatsuba_split -> karatsuba_split_corrupt a a r
+  end
+
+let mul_int a n =
+  if a.sign = 0 || n = 0 then zero
+  else begin
+    let m = if n < 0 then -n else n in
+    if m > 0 && m < base then begin
+      (* Dedicated small-scalar limb loop: one pass, no intermediate
+         bignum for the scalar. *)
+      incr c_mul_small;
+      let la = Array.length a.mag in
+      let out = Array.make (la + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let cur = (a.mag.(i) * m) + !carry in
+        out.(i) <- cur land limb_mask;
+        carry := cur lsr limb_bits
+      done;
+      out.(la) <- !carry;
+      normalize (if n < 0 then -a.sign else a.sign) out
+    end
+    else mul a (of_int n)
+  end
+
+let add_int a n = add a (of_int n)
+let succ a = add a one
+let pred a = sub a one
+
+(* Division of a magnitude by a single limb [d] (0 < d < base). *)
+let divmod_small_mag u d =
+  let n = Array.length u in
+  let q = Array.make n 0 in
+  let rem = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor u.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (q, !rem)
 
 (* Knuth Algorithm D on magnitudes; returns (quotient, remainder).
    Precondition: [Array.length v >= 2], [v] has no leading zero limb. *)
@@ -277,6 +515,7 @@ let divmod a b =
   else if a.sign = 0 then (zero, zero)
   else if compare_mag a.mag b.mag < 0 then (zero, a)
   else begin
+    incr c_divmod;
     let qmag, rmag =
       if Array.length b.mag = 1 then begin
         let q, r = divmod_small_mag a.mag b.mag.(0) in
@@ -296,14 +535,77 @@ let pow b e =
   if e < 0 then invalid_arg "Bigint.pow: negative exponent";
   let rec go acc b e =
     if e = 0 then acc
-    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
-    else go acc (mul b b) (e lsr 1)
+    else if e = 1 then mul acc b
+    else if e land 1 = 1 then go (mul acc b) (sqr b) (e lsr 1)
+    else go acc (sqr b) (e lsr 1)
   in
   go one b e
 
-let gcd a b =
+(* {2 Gcd} *)
+
+let gcd_euclid a b =
   let rec go a b = if is_zero b then a else go b (rem a b) in
   go (abs a) (abs b)
+
+(* Binary (Stein) gcd on non-negative native ints: shift/subtract only,
+   no division, no allocation. *)
+let gcd_word x y =
+  if x = 0 then y
+  else if y = 0 then x
+  else begin
+    let tz n =
+      let rec go n s = if n land 1 = 1 then s else go (n lsr 1) (s + 1) in
+      go n 0
+    in
+    let zx = tz x and zy = tz y in
+    let shift = Stdlib.min zx zy in
+    let x = ref (x lsr zx) and y = ref (y lsr zy) in
+    while !x <> !y do
+      if !x > !y then begin
+        let d = !x - !y in
+        x := d lsr tz d
+      end
+      else begin
+        let d = !y - !x in
+        y := d lsr tz d
+      end
+    done;
+    !x lsl shift
+  end
+
+(* At most 2 limbs always fits 62 bits, hence a non-negative native
+   int; 3-limb values may not. *)
+let fits_word t = Array.length t.mag <= 2
+
+let word_of t =
+  match Array.length t.mag with
+  | 0 -> 0
+  | 1 -> t.mag.(0)
+  | _ -> (t.mag.(1) lsl limb_bits) lor t.mag.(0)
+
+(* Hybrid gcd: Euclid division steps shrink multi-limb operands fast
+   (a subtraction-only multi-limb Stein loop measured slower at every
+   size), then the word-sized binary gcd finishes allocation-free --
+   and handles the overwhelmingly common small case of
+   [Rational.make] normalization directly. *)
+let gcd a b =
+  if a.sign = 0 then abs b
+  else if b.sign = 0 then abs a
+  else if fits_word a && fits_word b then of_small (gcd_word (word_of a) (word_of b))
+  else begin
+    incr c_gcd;
+    let rec go a b =
+      if is_zero b then a
+      else if fits_word a && fits_word b then
+        of_small (gcd_word (word_of a) (word_of b))
+      else go b (rem a b)
+    in
+    go (abs a) (abs b)
+  end
+
+let lcm a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else abs (mul (div a (gcd a b)) b)
 
 let to_int_opt t =
   (* A native int holds at most 63 bits: up to 3 limbs with constraints. *)
@@ -333,25 +635,76 @@ let to_float t =
 let chunk_base = 1_000_000_000
 let chunk_digits = 9
 
+(* Above this many limbs, string conversion splits around a power of
+   10^9 instead of peeling one 9-digit chunk per division. *)
+let string_threshold = 30
+
+(* Decimal digits of a small trimmed magnitude via the chunk loop. *)
+let small_mag_to_string mag =
+  let buf = Buffer.create 32 in
+  let rec chunks mag acc =
+    if Array.length mag = 0 then acc
+    else
+      let q, r = divmod_small_mag mag chunk_base in
+      chunks (trim q) (r :: acc)
+  in
+  (match chunks mag [] with
+   | [] -> Buffer.add_char buf '0'
+   | first :: rest ->
+     Buffer.add_string buf (string_of_int first);
+     List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%0*d" chunk_digits c)) rest);
+  Buffer.contents buf
+
+let add_zeros buf k =
+  for _ = 1 to k do
+    Buffer.add_char buf '0'
+  done
+
+(* Append the decimal digits of [mag], left-padded with zeros to [pad]
+   digits when [pad > 0]. Divide-and-conquer: split around the largest
+   (10^9)^(2^j) whose limb count is at most half of [mag]'s; the
+   remainder then has exactly 9*2^j digit positions. *)
+let rec mag_to_digits buf mag pad =
+  let mag = trim mag in
+  let len = Array.length mag in
+  if len = 0 then
+    if pad > 0 then add_zeros buf pad else Buffer.add_char buf '0'
+  else if len <= string_threshold then begin
+    let s = small_mag_to_string mag in
+    let sl = String.length s in
+    if pad > sl then add_zeros buf (pad - sl);
+    Buffer.add_string buf s
+  end
+  else begin
+    let p = ref [| chunk_base |] and pd = ref chunk_digits in
+    let prev = ref !p and prevd = ref !pd in
+    while 2 * Array.length !p <= len do
+      prev := !p;
+      prevd := !pd;
+      p := trim (sqr_mag !p);
+      pd := !pd * 2
+    done;
+    (* The climb can overshoot [mag] when the top limbs are small; the
+       previous power has at most [len/2] limbs so it is always below
+       [mag], guaranteeing a non-zero quotient (hence progress). *)
+    let p, pd = if compare_mag !p mag <= 0 then (!p, !pd) else (!prev, !prevd) in
+    let q, r = divmod_knuth mag p in
+    mag_to_digits buf (trim q) (pad - pd);
+    mag_to_digits buf r pd
+  end
+
 let to_string t =
   if t.sign = 0 then "0"
   else begin
-    let buf = Buffer.create 32 in
-    let rec chunks mag acc =
-      if Array.length mag = 0 then acc
-      else
-        let q, r = divmod_small_mag mag chunk_base in
-        let q = (normalize 1 q).mag in
-        chunks q (r :: acc)
-    in
-    match chunks t.mag [] with
-    | [] -> "0"
-    | first :: rest ->
-      if t.sign < 0 then Buffer.add_char buf '-';
-      Buffer.add_string buf (string_of_int first);
-      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%0*d" chunk_digits c)) rest;
-      Buffer.contents buf
+    let buf = Buffer.create (Array.length t.mag * 10) in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    mag_to_digits buf t.mag 0;
+    Buffer.contents buf
   end
+
+(* Above this many digits, parsing splits the digit string in half and
+   recombines with one multiplication by a power of ten. *)
+let of_string_threshold = 256
 
 let of_string s =
   let len = String.length s in
@@ -371,18 +724,145 @@ let of_string s =
     let rec go acc e = if e = 0 then acc else go (acc * 10) (e - 1) in
     go 1 e
   in
-  let acc = ref zero in
-  let i = ref start in
-  while !i < len do
-    let take = Stdlib.min chunk_digits (len - !i) in
-    let part = String.sub s !i take in
-    let part_val = int_of_string part in
-    acc := add (mul !acc (of_int (int_pow10 take))) (of_int part_val);
-    i := !i + take
-  done;
-  if sign < 0 then neg !acc else !acc
+  let ten = of_small 10 in
+  let rec parse off len =
+    if len <= of_string_threshold then begin
+      let acc = ref zero in
+      let i = ref off in
+      let stop = off + len in
+      while !i < stop do
+        let take = Stdlib.min chunk_digits (stop - !i) in
+        let part_val = int_of_string (String.sub s !i take) in
+        acc := add (mul_int !acc (int_pow10 take)) (of_small part_val);
+        i := !i + take
+      done;
+      !acc
+    end
+    else begin
+      let low_len = len / 2 in
+      let high = parse off (len - low_len) in
+      let low = parse (off + len - low_len) low_len in
+      add (mul high (pow ten low_len)) low
+    end
+  in
+  let v = parse start (len - start) in
+  if sign < 0 then neg v else v
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* {2 Multiply-accumulate}
+
+   The convolution inner loop [acc += a*b] is the single hottest
+   operation of every DP in this project. Going through [mul] + [add]
+   allocates a product magnitude and a fresh sum per term; [Acc]
+   instead accumulates limb products into a growable mutable buffer
+   (one per sign) and materialises a bigint only once at the end. *)
+module Acc = struct
+  type buf = { mutable limbs : int array; mutable len : int }
+
+  type acc = { pos : buf; neg : buf }
+
+  let mk_buf hint = { limbs = Array.make (Stdlib.max 4 hint) 0; len = 0 }
+
+  let create ?(hint = 8) () = { pos = mk_buf hint; neg = mk_buf hint }
+
+  let clear_buf buf =
+    Array.fill buf.limbs 0 buf.len 0;
+    buf.len <- 0
+
+  let clear acc =
+    clear_buf acc.pos;
+    clear_buf acc.neg
+
+  let ensure buf cap =
+    let n = Array.length buf.limbs in
+    if cap > n then begin
+      let n' = ref (Stdlib.max 4 n) in
+      while !n' < cap do
+        n' := !n' * 2
+      done;
+      let limbs = Array.make !n' 0 in
+      Array.blit buf.limbs 0 limbs 0 buf.len;
+      buf.limbs <- limbs
+    end
+
+  (* buf += src, where [src] is a working magnitude. *)
+  let add_mag_into buf src =
+    let el = trim_len src in
+    if el > 0 then begin
+      ensure buf (Stdlib.max buf.len el + 1);
+      let limbs = buf.limbs in
+      let carry = ref 0 in
+      for i = 0 to el - 1 do
+        let s = limbs.(i) + src.(i) + !carry in
+        limbs.(i) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      let j = ref el in
+      while !carry <> 0 do
+        let s = limbs.(!j) + !carry in
+        limbs.(!j) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr j
+      done;
+      buf.len <- Stdlib.max buf.len (Stdlib.max !j el)
+    end
+
+  (* buf += a*b, schoolbook, directly into the buffer. *)
+  let madd buf a b =
+    let la = Array.length a and lb = Array.length b in
+    ensure buf (Stdlib.max buf.len (la + lb) + 1);
+    let limbs = buf.limbs in
+    let top = ref 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          let cur = limbs.(i + j) + (ai * b.(j)) + !carry in
+          limbs.(i + j) <- cur land limb_mask;
+          carry := cur lsr limb_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let cur = limbs.(!k) + !carry in
+          limbs.(!k) <- cur land limb_mask;
+          carry := cur lsr limb_bits;
+          incr k
+        done;
+        if !k > !top then top := !k
+      end
+    done;
+    buf.len <- Stdlib.max buf.len (Stdlib.max !top (la + lb))
+
+  let add_mul acc a b =
+    if a.sign <> 0 && b.sign <> 0 then begin
+      incr c_acc_mul;
+      let buf = if a.sign * b.sign > 0 then acc.pos else acc.neg in
+      let la = Array.length a.mag and lb = Array.length b.mag in
+      if Stdlib.min la lb >= Stdlib.max 4 !karatsuba_threshold then
+        (* Large operands: compute the product with Karatsuba, then
+           fold it into the buffer. *)
+        add_mag_into buf (mul_mag a.mag b.mag)
+      else madd buf a.mag b.mag
+    end
+
+  let add acc a =
+    if a.sign <> 0 then
+      add_mag_into (if a.sign > 0 then acc.pos else acc.neg) a.mag
+
+  let buf_mag buf = trim (Array.sub buf.limbs 0 buf.len)
+
+  let value acc =
+    let p = buf_mag acc.pos and n = buf_mag acc.neg in
+    if Array.length n = 0 then normalize 1 p
+    else if Array.length p = 0 then normalize (-1) n
+    else
+      match compare_mag p n with
+      | 0 -> zero
+      | c when c > 0 -> normalize 1 (sub_mag p n)
+      | _ -> normalize (-1) (sub_mag n p)
+end
 
 module Infix = struct
   let ( + ) = add

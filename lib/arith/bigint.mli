@@ -8,6 +8,38 @@
 
 type t
 
+(** {1 Instrumentation}
+
+    Cheap per-process call counters for the arithmetic kernels, read by
+    [shapctl solve --stats] and the bench JSON reports. The counters are
+    plain mutable state: increments coming from concurrent domains may
+    be lost, so treat the numbers as approximate under [--jobs > 1]. *)
+
+type stats = {
+  mul_schoolbook : int;  (** schoolbook magnitude multiplications *)
+  mul_karatsuba : int;  (** Karatsuba recursion steps *)
+  mul_small : int;  (** single-limb products and small-scalar [mul_int] loops *)
+  sqr : int;  (** squarings (the [pow] fast path) *)
+  divmod : int;  (** non-trivial divisions *)
+  gcd : int;  (** binary gcd runs *)
+  acc_mul : int;  (** {!Acc.add_mul} multiply-accumulate calls *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+(** {1 Fault injection}
+
+    Differential-testing hook (see [Tables.set_fault]): when set to
+    [`Karatsuba_split], every multiplication of two operands both at
+    least [4] gains a spurious [+ (|a|/4)*(|b|/4)*4] term — the
+    classic "forgot [- z2] in the middle Karatsuba term" bug scaled
+    down to a 2-bit split so randomized trials can observe it. *)
+
+type fault = [ `None | `Karatsuba_split ]
+
+val fault : fault ref
+
 val zero : t
 val one : t
 val two : t
@@ -55,7 +87,25 @@ val neg : t -> t
 val abs : t -> t
 val add : t -> t -> t
 val sub : t -> t -> t
+
 val mul : t -> t -> t
+(** Schoolbook below {!karatsuba_threshold} limbs (on the shorter
+    operand), Karatsuba above it. *)
+
+val mul_schoolbook : t -> t -> t
+(** Always-schoolbook reference multiplication, exposed so property
+    tests can check the Karatsuba path differentially. Ignores the
+    fault hook. *)
+
+val karatsuba_threshold : int ref
+(** Limb count (of the shorter operand) at which {!mul} switches to
+    Karatsuba. Tuned default; tests may lower it (values below 4 are
+    clamped to keep the recursion well-founded). *)
+
+val sqr : t -> t
+(** [sqr a = mul a a] with the symmetric-term squaring kernel
+    (about half the limb products of a general multiplication). *)
+
 val succ : t -> t
 val pred : t -> t
 
@@ -68,13 +118,52 @@ val div : t -> t -> t
 val rem : t -> t -> t
 
 val mul_int : t -> int -> t
+(** Dedicated single-pass limb loop when [|n|] fits in one limb; falls
+    back to a full multiplication otherwise. *)
+
 val add_int : t -> int -> t
 
 val pow : t -> int -> t
-(** [pow b e] for [e >= 0]. @raise Invalid_argument on negative exponent. *)
+(** [pow b e] for [e >= 0], squaring via {!sqr}.
+    @raise Invalid_argument on negative exponent. *)
 
 val gcd : t -> t -> t
-(** Greatest common divisor; always non-negative; [gcd 0 0 = 0]. *)
+(** Greatest common divisor; always non-negative; [gcd 0 0 = 0].
+    Hybrid kernel: Euclid division steps while multi-limb, then an
+    allocation-free word-sized binary (Stein) gcd — which is also the
+    direct path for the small operands [Rational.make] normalizes. *)
+
+val gcd_euclid : t -> t -> t
+(** Reference Euclid/division gcd, exposed so property tests can check
+    the binary gcd differentially. *)
+
+val lcm : t -> t -> t
+(** Least common multiple; always non-negative; zero if either argument
+    is zero. *)
+
+(** {1 Multiply-accumulate}
+
+    Mutable accumulator for convolution inner loops: [acc += a*b]
+    without allocating an intermediate product or a fresh sum per term.
+    Not thread-safe; use one accumulator per domain. *)
+module Acc : sig
+  type acc
+
+  val create : ?hint:int -> unit -> acc
+  (** [hint] is the expected result size in limbs. *)
+
+  val add_mul : acc -> t -> t -> unit
+  (** [add_mul acc a b]: [acc += a*b]. *)
+
+  val add : acc -> t -> unit
+  (** [add acc a]: [acc += a]. *)
+
+  val value : acc -> t
+  (** Current accumulated value (the accumulator stays usable). *)
+
+  val clear : acc -> unit
+  (** Reset to zero, keeping the buffers for reuse. *)
+end
 
 (** {1 Infix operators}
 

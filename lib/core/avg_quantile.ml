@@ -191,16 +191,21 @@ let sum_k_memo ?memo (a : Agg_query.t) db =
   let pad = Database.endo_size db_pad in
   let values = List.sort_uniq Q.compare (List.map snd (Agg_query.answer_values a db)) in
   let n = Database.endo_size db in
-  List.fold_left
-    (fun acc v ->
-      let t = pad_vtable pad (valued_table ?memo a.tau v a.query db_rel) in
-      LMap.fold
-        (fun lvec counts acc ->
-          let w = weight lvec in
-          if Q.is_zero w then acc
-          else Tables.add_rat acc (Tables.scale_to (Q.mul v w) counts))
-        t.entries acc)
-    (Tables.zeros_rat n) values
+  (* Collect every (weight, counts) term across all reference values and
+     accumulate them in one integer pass over a common denominator
+     instead of one scale_to/add_rat (a gcd per entry) per term. *)
+  let pairs =
+    List.concat_map
+      (fun v ->
+        let t = pad_vtable pad (valued_table ?memo a.tau v a.query db_rel) in
+        LMap.fold
+          (fun lvec counts acc ->
+            let w = weight lvec in
+            if Q.is_zero w then acc else (Q.mul v w, counts) :: acc)
+          t.entries [])
+      values
+  in
+  Tables.weighted_sum n pairs
 
 let sum_k a db = sum_k_memo a db
 

@@ -37,23 +37,24 @@ and go_uncached ?memo q db =
       | Some x ->
         let blocks, dropped = Decompose.partition q x db in
         let false_counts =
-          List.fold_left
-            (fun acc (a, block) ->
-              let t = go ?memo (Cq.substitute q x a) block in
-              let f = Tables.complement (Database.endo_size block) t in
-              Tables.convolve acc f)
-            [| B.one |] blocks
+          Tables.convolve_many
+            (List.map
+               (fun (a, block) ->
+                 let t = go ?memo (Cq.substitute q x a) block in
+                 Tables.complement (Database.endo_size block) t)
+               blocks)
         in
         let n_blocks = Array.length false_counts - 1 in
         let t = Tables.complement n_blocks false_counts in
         Tables.pad (Database.endo_size dropped) t
     end
   | comps ->
-    List.fold_left
-      (fun acc comp ->
-        let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
-        Tables.convolve acc (go ?memo comp db_c))
-      [| B.one |] comps
+    Tables.convolve_many
+      (List.map
+         (fun comp ->
+           let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
+           go ?memo comp db_c)
+         comps)
 
 (* A ground connected component is a single variable-free atom. *)
 and ground_case q db =

@@ -113,20 +113,15 @@ let rec counts_node = function
   | False -> (0, [| B.zero |])
   | Lit _ -> (1, [| B.zero; B.one |])
   | And cs ->
-    List.fold_left
-      (fun (n, acc) c ->
-        let n_c, t_c = counts_node c in
-        (n + n_c, Tables.convolve acc t_c))
-      (0, [| B.one |])
-      cs
+    let parts = List.map counts_node cs in
+    let n = List.fold_left (fun acc (n_c, _) -> acc + n_c) 0 parts in
+    (n, Tables.convolve_many (List.map snd parts))
   | Or cs ->
-    let n, false_counts =
-      List.fold_left
-        (fun (n, acc) c ->
-          let n_c, t_c = counts_node c in
-          (n + n_c, Tables.convolve acc (Tables.complement n_c t_c)))
-        (0, [| B.one |])
-        cs
+    let parts = List.map counts_node cs in
+    let n = List.fold_left (fun acc (n_c, _) -> acc + n_c) 0 parts in
+    let false_counts =
+      Tables.convolve_many
+        (List.map (fun (n_c, t_c) -> Tables.complement n_c t_c) parts)
     in
     (n, Tables.complement n false_counts)
 

@@ -98,10 +98,10 @@ let connected_dup_counts ?memo tau q db =
   in
   let count_memo = Option.map (fun m -> m.count) memo in
   let nodup =
-    QMap.fold
-      (fun _ class_db acc ->
-        Tables.convolve acc (at_most_one ?memo:count_memo q class_db))
-      classes [| B.one |]
+    Tables.convolve_many
+      (QMap.fold
+         (fun _ class_db acc -> at_most_one ?memo:count_memo q class_db :: acc)
+         classes [])
   in
   let nodup = Tables.pad padding nodup in
   Tables.sub (Tables.full n) nodup

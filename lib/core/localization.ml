@@ -77,12 +77,12 @@ let class_dup_counts c =
 let dup_on_y_sum_k db =
   let classes, pad = classify_facts db in
   let nodup =
-    VMap.fold
-      (fun _ c acc ->
-        let n_i = c.r_endo + if c.s_endo then 1 else 0 in
-        let nodup_class = Tables.sub (Tables.full n_i) (class_dup_counts c) in
-        Tables.convolve acc nodup_class)
-      classes [| B.one |]
+    Tables.convolve_many
+      (VMap.fold
+         (fun _ c acc ->
+           let n_i = c.r_endo + if c.s_endo then 1 else 0 in
+           Tables.sub (Tables.full n_i) (class_dup_counts c) :: acc)
+         classes [])
   in
   let nodup = Tables.pad pad nodup in
   let n = Database.endo_size db in

@@ -138,12 +138,24 @@ and valued_table_uncached ?memo tau q db =
        let db0, _ = Database.restrict_relations (Cq.relations c0) db in
        let t0 = valued_table ?memo tau c0 db0 in
        let bool_memo = Option.map (fun m -> m.bool) memo in
-       List.fold_left
-         (fun acc c ->
-           let db_c, _ = Database.restrict_relations (Cq.relations c) db in
-           combine_cross acc
-             (Database.endo_size db_c, Boolean_dp.counts ?memo:bool_memo c db_c))
-         t0 without_r
+       (match without_r with
+        | [] -> t0
+        | _ ->
+          (* Folding [combine_cross] once per τ-free component re-maps
+             the whole [by_value] table each time; convolving the
+             components' satisfaction tables first (balanced) and
+             crossing once is bit-identical — the cross product of
+             independent fact sets is associative and the arithmetic is
+             exact. *)
+          let sats =
+            List.map
+              (fun c ->
+                let db_c, _ = Database.restrict_relations (Cq.relations c) db in
+                (Database.endo_size db_c, Boolean_dp.counts ?memo:bool_memo c db_c))
+              without_r
+          in
+          let n2 = List.fold_left (fun acc (n, _) -> acc + n) 0 sats in
+          combine_cross t0 (n2, Tables.convolve_many (List.map snd sats)))
      | _ -> invalid_arg "Minmax: τ-relation must occur in exactly one component")
 
 let check (a : Agg_query.t) =
@@ -154,11 +166,7 @@ let max_table ?memo (a : Agg_query.t) db =
   let db_rel, db_pad = Decompose.relevant a.query db in
   pad_table (Database.endo_size db_pad) (valued_table ?memo a.tau a.query db_rel)
 
-let sum_of_table t =
-  QMap.fold
-    (fun v counts acc -> Tables.add_rat acc (Tables.scale_to v counts))
-    t.by_value
-    (Tables.zeros_rat t.n)
+let sum_of_table t = Tables.weighted_sum t.n (QMap.bindings t.by_value)
 
 let max_sum_k ?memo a db = sum_of_table (max_table ?memo a db)
 

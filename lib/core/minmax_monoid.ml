@@ -178,9 +178,6 @@ let sum_k m ~vars q db =
   check m ~vars q;
   let db_rel, db_pad = Decompose.relevant q db in
   let t = pad_table (Database.endo_size db_pad) (table m vars q db_rel) in
-  QMap.fold
-    (fun v counts acc -> Tables.add_rat acc (Tables.scale_to v counts))
-    t.by_value
-    (Tables.zeros_rat t.n)
+  Tables.weighted_sum t.n (QMap.bindings t.by_value)
 
 let shapley m ~vars q db f = Sumk.shapley_of_db_fn (sum_k m ~vars q) db f

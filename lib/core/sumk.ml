@@ -17,16 +17,47 @@ let banzhaf_coefficients : coefficients =
  fun ~players ~before:_ ->
   Q.inv (Q.of_bigint (Aggshap_arith.Bigint.pow Aggshap_arith.Bigint.two (players - 1)))
 
-let score_of_vectors ?(coefficients = shapley_coefficients) ~players with_f without_f =
+module B = Aggshap_arith.Bigint
+
+let den_lcm acc q =
+  let d = Q.den q in
+  if B.is_one d || B.equal d acc then acc else B.lcm acc d
+
+(* The Shapley dot product in common-denominator form: the weight of
+   size [k] is the integer [k! (n-k-1)!] over the shared denominator
+   [n!], and the sum_k entries are lifted over the lcm of their
+   denominators, so the whole sum is one integer multiply-accumulate
+   pass with a single normalization at the end — instead of reducing a
+   factorial-scale rational per coalition size. *)
+let shapley_of_vectors_int ~players with_f without_f =
+  let l = Array.fold_left den_lcm B.one with_f in
+  let l = Array.fold_left den_lcm l without_f in
+  let lift q =
+    if Q.is_zero q then B.zero
+    else if B.is_one l then Q.num q
+    else B.mul (Q.num q) (B.div l (Q.den q))
+  in
+  let acc = B.Acc.create () in
+  for k = 0 to players - 1 do
+    let diff = B.sub (lift with_f.(k)) (lift without_f.(k)) in
+    if not (B.is_zero diff) then
+      B.Acc.add_mul acc (B.mul (C.factorial k) (C.factorial (players - k - 1))) diff
+  done;
+  Q.make (B.Acc.value acc) (B.mul (C.factorial players) l)
+
+let score_of_vectors ?coefficients ~players with_f without_f =
   if Array.length with_f <> players || Array.length without_f <> players then
     invalid_arg "Sumk: sum_k vector has the wrong length";
-  let acc = ref Q.zero in
-  for k = 0 to players - 1 do
-    let diff = Q.sub with_f.(k) without_f.(k) in
-    if not (Q.is_zero diff) then
-      acc := Q.add !acc (Q.mul (coefficients ~players ~before:k) diff)
-  done;
-  !acc
+  match coefficients with
+  | None -> shapley_of_vectors_int ~players with_f without_f
+  | Some coefficients ->
+    let acc = ref Q.zero in
+    for k = 0 to players - 1 do
+      let diff = Q.sub with_f.(k) without_f.(k) in
+      if not (Q.is_zero diff) then
+        acc := Q.add !acc (Q.mul (coefficients ~players ~before:k) diff)
+    done;
+    !acc
 
 let score_of_db_fn ?coefficients sum_k db f =
   (match Database.provenance db f with

@@ -4,6 +4,32 @@ module C = Aggshap_arith.Combinat
 
 type counts = B.t array
 
+type stats = {
+  convolve : int;
+  convolve_rat : int;
+  tree_folds : int;
+  weighted_sums : int;
+}
+
+(* Plain mutable counters, same caveat as [Bigint.stats]: approximate
+   under concurrent domains. *)
+let c_convolve = ref 0
+let c_convolve_rat = ref 0
+let c_tree_folds = ref 0
+let c_weighted_sums = ref 0
+
+let stats () =
+  { convolve = !c_convolve;
+    convolve_rat = !c_convolve_rat;
+    tree_folds = !c_tree_folds;
+    weighted_sums = !c_weighted_sums }
+
+let reset_stats () =
+  c_convolve := 0;
+  c_convolve_rat := 0;
+  c_tree_folds := 0;
+  c_weighted_sums := 0
+
 let zeros n = Array.make (n + 1) B.zero
 
 let delta n k0 =
@@ -27,24 +53,112 @@ let sub a b =
 
 let complement n c = sub (full n) c
 
-let fault : [ `None | `Convolve_off_by_one ] ref = ref `None
+type fault = [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split ]
+
+let fault : fault ref = ref `None
+
+(* [`Karatsuba_split] lives in the arithmetic layer (it must corrupt
+   the multiplications of every caller, not just convolutions), so the
+   setter keeps [Bigint.fault] in sync. *)
+let set_fault f =
+  fault := f;
+  B.fault := (match f with `Karatsuba_split -> `Karatsuba_split | _ -> `None)
+
+let current_fault () = !fault
+
+(* Below this length (of the shorter operand) a convolution entry only
+   accumulates a handful of terms: the zero-skipping scatter loop beats
+   the multiply-accumulate form, whose per-entry clear/extract overhead
+   then dominates. The DPs produce both shapes in bulk — long-by-tiny
+   sparse products (hierarchy blocks folded one value at a time) and
+   dense square ones (combining whole sub-instance tables). *)
+let acc_threshold = 8
+
+let count_nonzero a =
+  let c = ref 0 in
+  Array.iter (fun x -> if not (B.is_zero x) then incr c) a;
+  !c
 
 let convolve a b =
+  incr c_convolve;
   let la = Array.length a and lb = Array.length b in
   let out = Array.make (la + lb - 1) B.zero in
-  for i = 0 to la - 1 do
-    if not (B.is_zero a.(i)) then
-      for j = 0 to lb - 1 do
-        if not (B.is_zero b.(j)) then
-          out.(i + j) <- B.add out.(i + j) (B.mul a.(i) b.(j))
-      done
-  done;
+  (* Shape dispatch: the multiply-accumulate path amortizes only when
+     most term products are live. Thin operands and sparse tables (the
+     per-key tables of the keyed DPs are mostly zeros) go through the
+     zero-skipping scatter loop instead; the density scan is O(la+lb)
+     against the O(la*lb) convolution itself. *)
+  let dense =
+    Stdlib.min la lb >= acc_threshold
+    && 2 * count_nonzero a * count_nonzero b >= la * lb
+  in
+  if not dense then
+    (* Scatter with zero skipping: sparse or thin operands. *)
+    for i = 0 to la - 1 do
+      if not (B.is_zero a.(i)) then
+        for j = 0 to lb - 1 do
+          if not (B.is_zero b.(j)) then
+            out.(i + j) <- B.add out.(i + j) (B.mul a.(i) b.(j))
+        done
+    done
+  else begin
+    (* Dense path: one multiply-accumulate buffer reused across output
+       entries — no intermediate product or partial-sum bignum is
+       allocated per term. *)
+    let acc = B.Acc.create () in
+    for k = 0 to la + lb - 2 do
+      B.Acc.clear acc;
+      let i0 = Stdlib.max 0 (k - lb + 1) and i1 = Stdlib.min (la - 1) k in
+      for i = i0 to i1 do
+        B.Acc.add_mul acc a.(i) b.(k - i)
+      done;
+      out.(k) <- B.Acc.value acc
+    done
+  end;
   (match !fault with
-   | `None -> ()
    | `Convolve_off_by_one ->
      if la > 1 && lb > 1 then
-       out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one);
+       out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one
+   | `None | `Tree_fold_skew | `Karatsuba_split -> ());
   out
+
+let convolve_many ts =
+  match ts with
+  | [] -> [| B.one |]
+  | [ t ] -> t
+  | ts ->
+    incr c_tree_folds;
+    (* Balanced pairwise reduction: adjacent tables are convolved level
+       by level, so each input table participates in O(log n) products
+       of comparable size instead of being re-traversed by an
+       ever-growing left-fold accumulator. Order-preserving, and
+       bit-identical to the fold because bignum arithmetic is exact. *)
+    let arr = ref (Array.of_list ts) in
+    let input_count = Array.length !arr in
+    while Array.length !arr > 1 do
+      let n = Array.length !arr in
+      let half = n / 2 in
+      let next = Array.make ((n + 1) / 2) [||] in
+      for i = 0 to half - 1 do
+        next.(i) <- convolve !arr.(2 * i) !arr.((2 * i) + 1)
+      done;
+      if n land 1 = 1 then next.(half) <- !arr.(n - 1);
+      arr := next
+    done;
+    let out = !arr.(0) in
+    (match !fault with
+     | `Tree_fold_skew ->
+       (* Simulated mis-pairing of siblings in the reduction tree: the
+          top two subset sizes of the merged table trade places. Only
+          fires when the tree actually has internal structure. *)
+       let len = Array.length out in
+       if input_count >= 3 && len >= 2 then begin
+         let t = out.(len - 1) in
+         out.(len - 1) <- out.(len - 2);
+         out.(len - 2) <- t
+       end
+     | `None | `Convolve_off_by_one | `Karatsuba_split -> ());
+    out
 
 let pad p c = if p = 0 then c else convolve c (full p)
 
@@ -60,18 +174,46 @@ let add_rat a b =
 
 let zeros_rat n = Array.make (n + 1) Q.zero
 
+(* Least common multiple of the denominators, with a fast path for the
+   (dominant) case where a denominator already divides the running
+   lcm. *)
+let den_lcm acc q =
+  let d = Q.den q in
+  if B.is_one d || B.equal d acc then acc else B.lcm acc d
+
 let convolve_rat a b =
-  let la = Array.length a and lb = Array.length b in
-  let out = Array.make (la + lb - 1) Q.zero in
-  for i = 0 to la - 1 do
-    if not (Q.is_zero a.(i)) then
-      for j = 0 to lb - 1 do
-        if not (Q.is_zero b.(j)) then
-          out.(i + j) <- Q.add out.(i + j) (Q.mul a.(i) b.(j))
-      done
-  done;
-  out
+  incr c_convolve_rat;
+  (* Common-denominator form: lift both operands to integer arrays over
+     one denominator each, convolve exactly as integers, and normalize
+     once per entry at the end — instead of one gcd per term inside
+     [Q.add]/[Q.mul]. *)
+  let da = Array.fold_left den_lcm B.one a in
+  let db = Array.fold_left den_lcm B.one b in
+  let lift d q =
+    if Q.is_zero q then B.zero
+    else B.mul (Q.num q) (B.div d (Q.den q))
+  in
+  let na = Array.map (lift da) a and nb = Array.map (lift db) b in
+  let out = convolve na nb in
+  let d = B.mul da db in
+  Array.map (fun x -> Q.make x d) out
 
 let pad_rat p c =
   if p = 0 then c
   else convolve_rat c (Array.map Q.of_bigint (full p))
+
+let weighted_sum n pairs =
+  incr c_weighted_sums;
+  (* Σ_i w_i * c_i over the lcm of the weights' denominators: all-integer
+     accumulation, one gcd per subset size at the very end. *)
+  let d = List.fold_left (fun acc (w, _) -> den_lcm acc w) B.one pairs in
+  let accs = Array.init (n + 1) (fun _ -> B.Acc.create ()) in
+  List.iter
+    (fun (w, c) ->
+      if Array.length c <> n + 1 then invalid_arg "Tables.weighted_sum: length mismatch";
+      if not (Q.is_zero w) then begin
+        let scaled = B.mul (Q.num w) (B.div d (Q.den w)) in
+        Array.iteri (fun k x -> B.Acc.add_mul accs.(k) scaled x) c
+      end)
+    pairs;
+  Array.map (fun acc -> Q.make (B.Acc.value acc) d) accs

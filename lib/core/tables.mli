@@ -11,6 +11,22 @@ type counts = Aggshap_arith.Bigint.t array
 (** [c.(k)] for [k = 0 .. n]; length is the number of endogenous facts
     plus one. *)
 
+(** {1 Instrumentation}
+
+    Call counters for the convolution layer, surfaced by
+    [shapctl solve --stats] and the bench JSON reports. Approximate
+    under concurrent domains (see {!Aggshap_arith.Bigint.stats}). *)
+
+type stats = {
+  convolve : int;  (** pairwise convolutions (including inside folds) *)
+  convolve_rat : int;  (** rational convolutions (common-denominator) *)
+  tree_folds : int;  (** balanced {!convolve_many} reductions *)
+  weighted_sums : int;  (** {!weighted_sum} accumulations *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
 val zeros : int -> counts
 (** [zeros n] is the all-zero table for [n] endogenous facts. *)
 
@@ -32,15 +48,38 @@ val complement : int -> counts -> counts
 val convolve : counts -> counts -> counts
 (** [convolve a b] has length [(|a|-1) + (|b|-1) + 1]; entry [k] is
     [Σ_{k1+k2=k} a.(k1) * b.(k2)] — the table of a conjunction over two
-    disjoint fact sets. *)
+    disjoint fact sets. Each entry is computed with a multiply-accumulate
+    buffer ({!Aggshap_arith.Bigint.Acc}), never allocating intermediate
+    products or partial sums. *)
 
-val fault : [ `None | `Convolve_off_by_one ] ref
+val convolve_many : counts list -> counts
+(** Balanced pairwise reduction of [convolve] over the list (neutral
+    element [[| 1 |]], the table of the empty fact set). Replaces the
+    left-folds the DP modules used across hierarchy blocks and connected
+    components: bit-identical results (exact arithmetic, associativity),
+    but each input is re-traversed O(log n) times instead of O(n). *)
+
+type fault = [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split ]
 (** Test-only fault injection for the differential-testing oracle
-    ({!Aggshap_check}): [`Convolve_off_by_one] makes {!convolve} corrupt
-    its top entry whenever both operands are non-trivial, simulating an
-    off-by-one in a DP [combine] step. Every frontier DP funnels through
-    {!convolve}, so the oracle must flag the corruption. Not
-    domain-safe; only toggle it around sequential ([jobs = 1]) runs. *)
+    ({!Aggshap_check}):
+    - [`Convolve_off_by_one] makes {!convolve} corrupt its top entry
+      whenever both operands are non-trivial, simulating an off-by-one
+      in a DP [combine] step.
+    - [`Tree_fold_skew] makes {!convolve_many} swap the top two entries
+      of the reduced table whenever the reduction tree has at least
+      three leaves, simulating mis-paired siblings.
+    - [`Karatsuba_split] injects a wrong-split-point multiplication bug
+      into the arithmetic layer itself (see
+      {!Aggshap_arith.Bigint.fault}).
+
+    Every frontier DP funnels through these kernels, so the oracle must
+    flag each corruption. Not domain-safe; only toggle around
+    sequential ([jobs = 1]) runs. *)
+
+val set_fault : fault -> unit
+(** Also keeps [Bigint.fault] in sync for [`Karatsuba_split]. *)
+
+val current_fault : unit -> fault
 
 val pad : int -> counts -> counts
 (** [pad p c] extends the underlying fact set by [p] endogenous null
@@ -64,3 +103,16 @@ val convolve_rat :
   Aggshap_arith.Rational.t array ->
   Aggshap_arith.Rational.t array ->
   Aggshap_arith.Rational.t array
+(** Common-denominator convolution: both operands are lifted to integer
+    arrays over the lcm of their denominators, convolved exactly, and
+    normalized once per entry — instead of one gcd per term. *)
+
+val weighted_sum :
+  int ->
+  (Aggshap_arith.Rational.t * counts) list ->
+  Aggshap_arith.Rational.t array
+(** [weighted_sum n pairs] is [Σ_i w_i * c_i] as a rational array of
+    length [n + 1] (every [c_i] must have length [n + 1]). Accumulates
+    in integers over the lcm of the weights' denominators, normalizing
+    once per subset size — the [Σ_a τ(a) * counts_a] pattern of the
+    Min/Max and Avg sum-k evaluations without the per-entry gcd storm. *)

@@ -164,6 +164,83 @@ let bigint_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Kernel differentials                                                *)
+(*                                                                     *)
+(* The fast kernels (Karatsuba, hybrid gcd, divide-and-conquer string  *)
+(* conversion, the Acc multiply-accumulator) each keep a slow reference*)
+(* implementation in reach; these properties cross-validate the two on *)
+(* operands big enough to exercise the fast paths.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Operands of up to ~700 digits: far past the Karatsuba limb threshold
+   and both divide-and-conquer string thresholds. *)
+let arb_huge =
+  let gen =
+    QCheck.Gen.(
+      let* neg = bool in
+      let* ndigits = int_range 1 700 in
+      let* digits = list_size (return ndigits) (int_range 0 9) in
+      let s = String.concat "" (List.map string_of_int digits) in
+      let s = if neg then "-" ^ s else s in
+      return (B.of_string s))
+  in
+  QCheck.make gen ~print:B.to_string
+
+let with_karatsuba_threshold t f =
+  let saved = !B.karatsuba_threshold in
+  B.karatsuba_threshold := t;
+  Fun.protect ~finally:(fun () -> B.karatsuba_threshold := saved) f
+
+let kernel_props =
+  [ prop "karatsuba agrees with schoolbook" 200 QCheck.(pair arb_huge arb_huge)
+      (fun (a, b) ->
+        (* Force the split even on small operands so every trial
+           exercises at least one recursion level. *)
+        let fast = with_karatsuba_threshold 4 (fun () -> B.mul a b) in
+        B.equal fast (B.mul_schoolbook a b));
+    prop "sqr agrees with mul" 200 arb_huge
+      (fun a -> B.equal (B.sqr a) (B.mul_schoolbook a a));
+    prop "hybrid gcd agrees with Euclid reference" 200 QCheck.(pair arb_huge arb_huge)
+      (fun (a, b) -> B.equal (B.gcd a b) (B.gcd_euclid a b));
+    prop "huge string roundtrip" 200 arb_huge
+      (fun a -> B.equal a (B.of_string (B.to_string a)));
+    prop "to_string agrees with small-chunk reference" 100 arb_huge
+      (fun a ->
+        (* Decimal digits recovered one-by-one by repeated division:
+           the simplest possible reference for the D&C printer. *)
+        let rec digits x acc =
+          if B.is_zero x then acc
+          else
+            let q, r = B.divmod x (B.of_int 10) in
+            digits q (string_of_int (B.to_int_exn r) ^ acc)
+        in
+        let expect =
+          if B.is_zero a then "0"
+          else (if B.is_negative a then "-" else "") ^ digits (B.abs a) ""
+        in
+        String.equal expect (B.to_string a));
+    prop "mul_int agrees with mul of_int" 500
+      QCheck.(pair arb_big (int_range (-2_000_000_000) 2_000_000_000))
+      (fun (a, n) -> B.equal (B.mul_int a n) (B.mul a (B.of_int n)));
+    prop "Acc matches fold of mul/add" 200
+      QCheck.(list_of_size (Gen.int_range 0 12) (pair arb_big arb_big))
+      (fun pairs ->
+        let acc = B.Acc.create () in
+        List.iter (fun (a, b) -> B.Acc.add_mul acc a b) pairs;
+        let reference =
+          List.fold_left (fun s (a, b) -> B.add s (B.mul a b)) B.zero pairs
+        in
+        B.equal (B.Acc.value acc) reference);
+    prop "Acc clear resets" 100 QCheck.(pair arb_big arb_big)
+      (fun (a, b) ->
+        let acc = B.Acc.create () in
+        B.Acc.add_mul acc a b;
+        B.Acc.clear acc;
+        B.Acc.add acc a;
+        B.equal (B.Acc.value acc) a);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Rational unit tests                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -222,6 +299,18 @@ let rational_props =
       (fun a ->
         let f = Q.to_float a in
         abs_float (f -. (B.to_float (Q.num a) /. B.to_float (Q.den a))) < 1e-9);
+    (* The cross-gcd add/mul forms must keep results reduced with a
+       positive denominator — the invariant they themselves rely on. *)
+    prop "add/mul keep fractions reduced" 300
+      QCheck.(pair (pair arb_big arb_big) (pair arb_big arb_big))
+      (fun ((an, ad), (bn, bd)) ->
+        QCheck.assume (not (B.is_zero ad) && not (B.is_zero bd));
+        let a = Q.make an ad and b = Q.make bn bd in
+        let reduced q =
+          B.sign (Q.den q) > 0 && B.is_one (B.gcd (Q.num q) (Q.den q))
+        in
+        reduced (Q.add a b) && reduced (Q.mul a b) && reduced (Q.sub a b)
+        && reduced (Q.mul_int a 84) && reduced (Q.div_int b 84));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -306,6 +395,7 @@ let () =
           Alcotest.test_case "to_float" `Quick test_bigint_to_float;
         ] );
       ("bigint properties", bigint_props);
+      ("kernel differentials", kernel_props);
       ( "rational",
         [ Alcotest.test_case "basic" `Quick test_rational_basic;
           Alcotest.test_case "floor/ceil" `Quick test_rational_floor_ceil;

@@ -67,10 +67,10 @@ let test_reproducer_script_shape () =
    reproducer. par_jobs:1 keeps everything in this domain while the
    fault flag is set. *)
 let test_injected_fault_is_caught () =
-  assert (!Tables.fault = `None);
-  Tables.fault := `Convolve_off_by_one;
+  assert (Tables.current_fault () = `None);
+  Tables.set_fault `Convolve_off_by_one;
   Fun.protect
-    ~finally:(fun () -> Tables.fault := `None)
+    ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
         { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1 }
@@ -103,6 +103,31 @@ let test_injected_fault_is_caught () =
           (Database.facts shrunk.Trial.db);
         ignore shrunk_failure)
 
+(* The two kernel-level fault variants added with the fast arithmetic
+   path: a mis-paired sibling in the balanced convolution tree, and a
+   Karatsuba split that loses a cross term once both operands are large
+   enough. Each must be caught by the same oracle and shrink to a
+   still-failing reproducer. *)
+let test_kernel_fault_is_caught fault trials () =
+  assert (Tables.current_fault () = `None);
+  Tables.set_fault fault;
+  Fun.protect
+    ~finally:(fun () -> Tables.set_fault `None)
+    (fun () ->
+      let config =
+        { Fuzz.seed = 42; trials; max_endo = 6; par_jobs = 1; max_failures = 1 }
+      in
+      let report = Fuzz.run config in
+      match report.Fuzz.failures with
+      | [] -> Alcotest.fail "injected kernel fault survived all trials undetected"
+      | { Fuzz.trial; shrunk; _ } :: _ ->
+        Alcotest.(check bool) "shrunk still fails" true
+          (Oracle.run ~par_jobs:1 shrunk <> None);
+        Alcotest.(check bool) "shrunk is no bigger" true
+          (Database.size shrunk.Trial.db <= Database.size trial.Trial.db);
+        Alcotest.(check bool) "reproducer script is printable" true
+          (String.length (Trial.to_script shrunk) > 0))
+
 (* With the fault cleared again, the very trials that exposed it pass:
    the flag really was the only source of the disagreements. *)
 let test_fault_flag_is_isolated () =
@@ -127,6 +152,10 @@ let () =
       ( "fault injection",
         [ Alcotest.test_case "off-by-one caught and shrunk" `Slow
             test_injected_fault_is_caught;
+          Alcotest.test_case "tree-fold skew caught and shrunk" `Slow
+            (test_kernel_fault_is_caught `Tree_fold_skew 300);
+          Alcotest.test_case "karatsuba split caught and shrunk" `Slow
+            (test_kernel_fault_is_caught `Karatsuba_split 300);
           Alcotest.test_case "fault flag isolated" `Quick test_fault_flag_is_isolated;
         ] );
     ]

@@ -101,6 +101,40 @@ let tables_props =
         let n = Array.length a - 1 in
         QCheck.assume (n >= 0);
         Array.for_all2 B.equal a (Tables.complement n (Tables.complement n a)));
+    (* The balanced-tree reduction must be bit-identical to the plain
+       left fold it replaced in the DP block combiners. *)
+    prop "convolve_many = left fold of convolve" 200
+      QCheck.(list_of_size (Gen.int_range 0 8) arb_counts)
+      (fun ts ->
+        let tree = Tables.convolve_many ts in
+        let fold =
+          match ts with
+          | [] -> [| B.one |]
+          | t :: rest -> List.fold_left Tables.convolve t rest
+        in
+        Array.length tree = Array.length fold && Array.for_all2 B.equal tree fold);
+    (* Same for the common-denominator weighted sum vs the naive
+       scale-and-add loop it replaced. *)
+    prop "weighted_sum = fold of scale_to/add_rat" 200
+      QCheck.(pair (int_range 0 6)
+                (list_of_size (Gen.int_range 0 6)
+                   (pair (pair (int_range (-20) 20) (int_range 1 20))
+                      (list_of_size (Gen.return 7) (int_range 0 50)))))
+      (fun (_, raw) ->
+        let n = 6 in
+        let pairs =
+          List.map
+            (fun ((num, den), entries) ->
+              (Q.of_ints num den, Array.of_list (List.map B.of_int entries)))
+            raw
+        in
+        let fast = Tables.weighted_sum n pairs in
+        let reference =
+          List.fold_left
+            (fun acc (w, c) -> Tables.add_rat acc (Tables.scale_to w c))
+            (Tables.zeros_rat n) pairs
+        in
+        Array.for_all2 Q.equal fast reference);
   ]
 
 (* ------------------------------------------------------------------ *)
