@@ -4,7 +4,7 @@
    experiment here validates a theorem's observable footprint — the
    polynomial/exponential runtime split at each tractability frontier,
    the agreement of closed forms and reductions with brute force — and
-   prints one table per experiment (E1..E13). A final section runs one
+   prints one table per experiment (E1..E15). A final section runs one
    Bechamel micro-benchmark per experiment.
 
    Usage: bench/main.exe [--quick]   (--quick shrinks the sweeps) *)
@@ -28,6 +28,14 @@ module Qnt_red = Aggshap_reductions.Quantile_reduction
 module Perm_red = Aggshap_reductions.Permanent_reduction
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* Single experiments can run for minutes; flush after every [printf] so
+   progress is visible when stdout is redirected (CI logs, nohup). *)
+module Printf = struct
+  include Printf
+
+  let printf fmt = kfprintf (fun oc -> flush oc) Stdlib.stdout fmt
+end
 
 (* [--json FILE]: also write the E14 kernel-instrumented baseline as a
    BENCH_v1 report (see {!Bench_json}) for CI and regression tracking. *)
@@ -501,6 +509,144 @@ let e14 () =
       ignore (Core.Batch.shapley_all ~jobs:1 ~cache:true a db));
   List.rev !results
 
+(* E15: incremental maintenance under churn. A live Incr.Session absorbs
+   a stream of updates (delete/re-insert pairs over ~1% of the players)
+   against the from-scratch baseline: re-opening a cold session per step,
+   which re-runs every per-block DP on the same code path — so the
+   comparison isolates exactly the reuse, not engine differences. (The
+   pre-session Batch engine is shown at small n for transparency.)
+   Every step's results are checked bit-identical between the two paths.
+
+   The headline family is Sum — the linear engine caches one membership
+   game per answer and an update dirties only the games its fact's atoms
+   match, so the per-step cost is ~independent of database size. The Max
+   family (generic engine) is deliberately kept small: its DP-table memo
+   is content-addressed, so steps stay *correct* without any flush, but
+   an update perturbs every fact's own-block recombination, which
+   dominates — churn reuse is marginal there (see DESIGN.md §5). *)
+let e15 () =
+  header "E15 (incremental maintenance): live session vs from-scratch under ~1% churn";
+  Printf.printf "%-22s %6s %8s %6s %12s %14s %12s %9s %7s\n" "workload" "rows"
+    "players" "steps" "incr/step" "scratch/step" "batch/step" "speedup" "agree";
+  let results = ref [] in
+  let module Session = Aggshap_incr.Session in
+  let module Update = Aggshap_incr.Update in
+  let same_results r1 r2 =
+    List.equal (fun (f1, v1) (f2, v2) -> Fact.equal f1 f2 && Q.equal v1 v2) r1 r2
+  in
+  let emit workload rows players steps wall extra =
+    let open Bench_json in
+    let bs = B.stats () in
+    let ts = Core.Tables.stats () in
+    results :=
+      Obj
+        ([ ("experiment", String "E15");
+           ("workload", String workload);
+           ("n", Int rows);
+           ("players", Int players);
+           ("steps", Int steps);
+           ("wall_s", Float wall) ]
+        @ extra
+        @ [ ( "kernels",
+              Obj
+                [ ("mul_schoolbook", Int bs.B.mul_schoolbook);
+                  ("mul_karatsuba", Int bs.B.mul_karatsuba);
+                  ("mul_small", Int bs.B.mul_small);
+                  ("acc_mul", Int bs.B.acc_mul);
+                  ("convolve", Int ts.Core.Tables.convolve);
+                  ("convolve_rat", Int ts.Core.Tables.convolve_rat);
+                  ("tree_folds", Int ts.Core.Tables.tree_folds) ] ) ])
+      :: !results
+  in
+  let run_family ~label ~agg ~sizes =
+  List.iter
+    (fun rows ->
+      let db0 = xyy_db rows in
+      let a = Agg_query.make agg (vid "R" 0) Catalog.q_xyy in
+      let players = Database.endo_size db0 in
+      (* ~1% churn, in delete/re-insert pairs so the database returns to
+         its base state and sizes stay comparable across steps. *)
+      let pairs = Stdlib.max 1 (players / 200) in
+      let victims = List.filteri (fun i _ -> i < pairs) (Database.endogenous db0) in
+      let ops =
+        List.concat_map
+          (fun f -> [ Update.Delete f; Update.Insert (f, Database.Endogenous) ])
+          victims
+      in
+      let steps = List.length ops in
+      (* Live session: build once (untimed), then absorb the stream. *)
+      let session = Session.open_ ~jobs:1 a db0 in
+      ignore (Session.shapley_all session);
+      B.reset_stats ();
+      Core.Tables.reset_stats ();
+      let incr_results, t_incr =
+        time (fun () ->
+            List.map
+              (fun op ->
+                Session.apply session op;
+                Session.shapley_all session)
+              ops)
+      in
+      emit ("incr_" ^ label) rows players steps t_incr [];
+      (* From-scratch baseline: a cold session per step. *)
+      B.reset_stats ();
+      Core.Tables.reset_stats ();
+      let db = ref db0 in
+      let scratch_results, t_scratch =
+        time (fun () ->
+            List.map
+              (fun op ->
+                (match op with
+                 | Update.Insert (f, p) -> db := Database.add ~provenance:p f !db
+                 | Update.Delete f -> db := Database.remove f !db
+                 | Update.Set_tau _ -> ());
+                let cold = Session.open_ ~jobs:1 a !db in
+                Session.shapley_all cold)
+              ops)
+      in
+      let speedup = t_scratch /. Stdlib.max 1e-9 t_incr in
+      emit ("scratch_" ^ label) rows players steps t_scratch
+        [ ("speedup_vs_incr", Bench_json.Float speedup) ];
+      (* Old per-batch engine, small n only: it is much slower than even
+         the cold session, so the speedup above is the conservative one. *)
+      let t_batch =
+        if players <= 150 then begin
+          let db = ref db0 in
+          let (), t =
+            time (fun () ->
+                List.iter
+                  (fun op ->
+                    (match op with
+                     | Update.Insert (f, p) -> db := Database.add ~provenance:p f !db
+                     | Update.Delete f -> db := Database.remove f !db
+                     | Update.Set_tau _ -> ());
+                    ignore (Core.Batch.shapley_all ~jobs:1 ~cache:true a !db))
+                  ops)
+          in
+          Some (t /. float_of_int steps)
+        end
+        else None
+      in
+      let agree = List.for_all2 same_results incr_results scratch_results in
+      Printf.printf "%-22s %6d %8d %6d %11.5fs %13.5fs %12s %8.1fx %7s\n"
+        label rows players steps
+        (t_incr /. float_of_int steps)
+        (t_scratch /. float_of_int steps)
+        (pp_time t_batch) speedup
+        (if agree then "ok" else "MISMATCH");
+      if not agree then failwith "E15: incremental and from-scratch results diverge")
+    sizes
+  in
+  (* Linear engine: the headline. ~1% churn at every size. *)
+  run_family ~label:"churn_q_xyy" ~agg:Aggregate.Sum
+    ~sizes:(if quick then [ 80; 800 ] else [ 200; 400; 800 ]);
+  (* Generic engine: kept small — a churn step re-runs the per-fact
+     recombination for the whole block, so there is little to reuse and
+     the cost per step is essentially the cold cost (see DESIGN.md §5). *)
+  run_family ~label:"churn_q_xyy_max" ~agg:Aggregate.Max
+    ~sizes:(if quick then [ 40 ] else [ 60 ]);
+  List.rev !results
+
 let write_json path rows =
   let report =
     Bench_json.Obj
@@ -675,11 +821,12 @@ let () =
   e12 ();
   e13 ();
   let e14_rows = e14 () in
+  let e15_rows = e15 () in
   a1 ();
   a2 ();
   run_bechamel ();
   (match json_path with
-   | Some path -> write_json path e14_rows
+   | Some path -> write_json path (e14_rows @ e15_rows)
    | None -> ());
   print_newline ();
   print_endline "all experiments completed; every cross-check above reports 'ok'"

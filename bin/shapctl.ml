@@ -5,6 +5,8 @@
                tractability frontier for every aggregate function
      eval      evaluate an aggregate query on a database file
      solve     compute Shapley values (all endogenous facts, or one)
+     session   incremental maintenance: replay an update script through
+               a live solver session, printing values after every step
      fuzz      differential-testing oracle: random AggCQ trials
                cross-validated against naive enumeration
 
@@ -245,37 +247,113 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache s
   end
 
 (* ------------------------------------------------------------------ *)
+(* session                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_file what path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error msg -> die "cannot read %s: %s" what msg
+
+let run_session query_s db_path agg_s tau_s updates_path jobs stats =
+  let module Session = Aggshap_incr.Session in
+  let module Script = Aggshap_incr.Script in
+  let module Update = Aggshap_incr.Update in
+  let q = parse_query_arg query_s in
+  let db = read_database db_path in
+  warn_schema q db;
+  let a = make_agg_query agg_s tau_s q in
+  (match jobs with
+   | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
+   | _ -> ());
+  let ops =
+    match Script.parse (read_file "update script" updates_path) with
+    | Ok ops -> ops
+    | Error msg -> die "%s: %s" updates_path msg
+  in
+  let session =
+    try Session.open_ ?jobs a db with Invalid_argument msg -> die "%s" msg
+  in
+  let print_step label =
+    Printf.printf "step %s\n" label;
+    match Session.shapley_all session with
+    | [] -> print_endline "  (no endogenous facts)"
+    | results ->
+      List.iter
+        (fun (f, v) ->
+          Printf.printf "  %-28s %s\n" (Aggshap_relational.Fact.to_string f) (Q.to_string v))
+        results
+  in
+  print_step "0 (initial)";
+  List.iteri
+    (fun i (line, op) ->
+      (try Session.apply session op
+       with Invalid_argument msg -> die "%s: line %d: %s" updates_path line msg);
+      print_step (Printf.sprintf "%d (%s)" (i + 1) (Update.to_string op)))
+    ops;
+  if stats then print_endline (Session.stats_to_string (Session.stats session));
+  0
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed trials max_endo jobs max_failures verbose =
+let run_fuzz seed trials max_endo jobs max_failures updates verbose =
   if trials < 1 then die "--trials must be at least 1 (got %d)" trials;
   if max_endo < 1 then die "--max-endo must be at least 1 (got %d)" max_endo;
   (match jobs with Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j | _ -> ());
   if max_failures < 1 then die "--max-failures must be at least 1 (got %d)" max_failures;
   let module Fuzz = Aggshap_check.Fuzz in
   let module Trial = Aggshap_check.Trial in
+  let module Utrial = Aggshap_check.Utrial in
   let module Oracle = Aggshap_check.Oracle in
   let config =
     { Fuzz.seed; trials; max_endo;
       par_jobs = Option.value jobs ~default:Fuzz.default.Fuzz.par_jobs;
       max_failures }
   in
-  Printf.printf "fuzz: seed=%d trials=%d max-endo=%d\n%!" seed trials max_endo;
-  let on_trial i t = if verbose then Printf.printf "trial %d: %s\n%!" i (Trial.to_string t) in
-  let report = Fuzz.run ~on_trial config in
-  List.iter
-    (fun { Fuzz.trial; failure; shrunk; shrunk_failure } ->
-      Printf.printf "\nFAILURE on %s\n  %s\n" (Trial.to_string trial)
-        (Oracle.failure_to_string failure);
-      Printf.printf "shrunk to %s\n  %s\nreproducer:\n%s" (Trial.to_string shrunk)
-        (Oracle.failure_to_string shrunk_failure)
-        (Trial.to_script shrunk))
-    report.Fuzz.failures;
-  let n_failures = List.length report.Fuzz.failures in
-  Printf.printf "fuzz: %d trials, %d failure%s\n" report.Fuzz.ran n_failures
-    (if n_failures = 1 then "" else "s");
-  if n_failures = 0 then 0 else 1
+  if updates then begin
+    Printf.printf "fuzz: update sequences, seed=%d trials=%d max-endo=%d\n%!" seed trials
+      max_endo;
+    let on_trial i t =
+      if verbose then Printf.printf "trial %d: %s\n%!" i (Utrial.to_string t)
+    in
+    let report = Fuzz.run_updates ~on_trial config in
+    List.iter
+      (fun { Fuzz.utrial; ufailure; ushrunk; ushrunk_failure } ->
+        Printf.printf "\nFAILURE on %s\n  %s\n" (Utrial.to_string utrial)
+          (Oracle.failure_to_string ufailure);
+        Printf.printf "shrunk to %s\n  %s\nreproducer:\n%s" (Utrial.to_string ushrunk)
+          (Oracle.failure_to_string ushrunk_failure)
+          (Utrial.to_script ushrunk))
+      report.Fuzz.ufailures;
+    let n_failures = List.length report.Fuzz.ufailures in
+    Printf.printf "fuzz: %d trials, %d update steps, %d failure%s\n" report.Fuzz.uran
+      report.Fuzz.usteps n_failures
+      (if n_failures = 1 then "" else "s");
+    if n_failures = 0 then 0 else 1
+  end
+  else begin
+    Printf.printf "fuzz: seed=%d trials=%d max-endo=%d\n%!" seed trials max_endo;
+    let on_trial i t = if verbose then Printf.printf "trial %d: %s\n%!" i (Trial.to_string t) in
+    let report = Fuzz.run ~on_trial config in
+    List.iter
+      (fun { Fuzz.trial; failure; shrunk; shrunk_failure } ->
+        Printf.printf "\nFAILURE on %s\n  %s\n" (Trial.to_string trial)
+          (Oracle.failure_to_string failure);
+        Printf.printf "shrunk to %s\n  %s\nreproducer:\n%s" (Trial.to_string shrunk)
+          (Oracle.failure_to_string shrunk_failure)
+          (Trial.to_script shrunk))
+      report.Fuzz.failures;
+    let n_failures = List.length report.Fuzz.failures in
+    Printf.printf "fuzz: %d trials, %d failure%s\n" report.Fuzz.ran n_failures
+      (if n_failures = 1 then "" else "s");
+    if n_failures = 0 then 0 else 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
@@ -346,6 +424,26 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Compute Shapley values of endogenous facts")
     Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ cache_arg $ stats_arg)
 
+let updates_file_arg =
+  Arg.(required & opt (some string) None & info [ "u"; "updates" ] ~docv:"FILE"
+         ~doc:"Update script: one operation per line ('insert R(4, 10)', \
+               'insert S(30) \\@exo', 'delete R(1, 10)', 'set_tau id:R:0'), \
+               $(b,#) comments and blank lines ignored.")
+
+let session_stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print session reuse statistics (games recomputed vs served \
+               from cache, DP-table cache hits) after the replay.")
+
+let session_cmd =
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Replay an update script through a live incremental solver \
+             session, printing exact Shapley values after every step. \
+             Values are bit-identical to re-solving from scratch; only \
+             the state dirtied by each update is recomputed.")
+    Term.(const run_session $ query_arg $ db_arg $ agg_arg $ tau_arg $ updates_file_arg $ jobs_arg $ session_stats_arg)
+
 let seed_arg =
   Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED"
          ~doc:"Master seed; every trial derives deterministically from it.")
@@ -366,6 +464,13 @@ let max_failures_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every trial as it runs.")
 
+let updates_flag_arg =
+  Arg.(value & flag & info [ "updates" ]
+         ~doc:"Fuzz update sequences instead of single solves: each trial \
+               replays a random insert/delete/set_tau script through a \
+               live session, cross-checking every step against a \
+               from-scratch batch solve.")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
@@ -373,12 +478,12 @@ let fuzz_cmd =
              databases, cross-validating the polynomial DPs against naive \
              enumeration, the Shapley axioms, and every engine \
              configuration; failures are shrunk to a minimal reproducer.")
-    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ verbose_arg)
+    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ updates_flag_arg $ verbose_arg)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "shapctl" ~version:"1.0.0"
        ~doc:"Shapley values for aggregate conjunctive queries")
-    [ classify_cmd; eval_cmd; solve_cmd; fuzz_cmd ]
+    [ classify_cmd; eval_cmd; solve_cmd; session_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

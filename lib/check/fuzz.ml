@@ -43,6 +43,47 @@ let run_one ?max_endo ?par_jobs ~seed () =
   let trial = Trial.generate ?max_endo ~seed () in
   (trial, Oracle.run ?par_jobs trial)
 
+type ufailure_report = {
+  utrial : Utrial.t;
+  ufailure : Oracle.failure;
+  ushrunk : Utrial.t;
+  ushrunk_failure : Oracle.failure;
+}
+
+type ureport = {
+  uran : int;
+  usteps : int;
+  ufailures : ufailure_report list;
+}
+
+let run_updates_one ?max_endo ~seed () =
+  let utrial = Utrial.generate ?max_endo ~seed () in
+  (utrial, Oracle.run_updates utrial)
+
+(* The update checks run the session and the batch reference in the
+   calling domain, so [par_jobs] plays no role here. *)
+let run_updates ?on_trial config =
+  let failures = ref [] in
+  let ran = ref 0 in
+  let steps = ref 0 in
+  let i = ref 0 in
+  while !i < config.trials && List.length !failures < config.max_failures do
+    let seed = trial_seed ~master:config.seed !i in
+    let utrial, outcome = run_updates_one ~max_endo:config.max_endo ~seed () in
+    (match on_trial with Some f -> f !i utrial | None -> ());
+    incr ran;
+    steps := !steps + List.length utrial.Utrial.ops;
+    (match outcome with
+     | None -> ()
+     | Some ufailure ->
+       let ushrunk, ushrunk_failure =
+         Shrink.minimize_updates Oracle.run_updates utrial ufailure
+       in
+       failures := { utrial; ufailure; ushrunk; ushrunk_failure } :: !failures);
+    incr i
+  done;
+  { uran = !ran; usteps = !steps; ufailures = List.rev !failures }
+
 let run ?on_trial config =
   let failures = ref [] in
   let ran = ref 0 in

@@ -42,3 +42,27 @@ val run : ?on_trial:(int -> Trial.t -> unit) -> config -> report
 (** Runs [config.trials] trials. Each failure is minimized with
     {!Shrink.minimize} before being recorded; the run stops early once
     [config.max_failures] failures have been collected. *)
+
+type ufailure_report = {
+  utrial : Utrial.t;  (** the update trial as generated *)
+  ufailure : Oracle.failure;  (** what it violated *)
+  ushrunk : Utrial.t;  (** the 1-minimal reproducer *)
+  ushrunk_failure : Oracle.failure;  (** the violation the reproducer shows *)
+}
+
+type ureport = {
+  uran : int;  (** update trials executed *)
+  usteps : int;  (** total ops replayed across all trials *)
+  ufailures : ufailure_report list;
+}
+
+val run_updates_one : ?max_endo:int -> seed:int -> unit -> Utrial.t * Oracle.failure option
+(** Generate and check a single update-sequence trial from a derived
+    seed (same derivation as {!run_one}, so seeds are shared between the
+    two corpora). Runs entirely in the calling domain. *)
+
+val run_updates : ?on_trial:(int -> Utrial.t -> unit) -> config -> ureport
+(** The update-sequence campaign: [config.trials] trials through
+    {!Oracle.run_updates}, failures minimized with
+    {!Shrink.minimize_updates}; [config.par_jobs] is unused here since
+    the session replay is single-domain. *)

@@ -276,3 +276,40 @@ let run ?(par_jobs = 2) t =
   else
     try run_checks ~par_jobs t
     with e -> fail "exception" "%s" (Printexc.to_string e)
+
+module Batch = Aggshap_core.Batch
+module Session = Aggshap_incr.Session
+module Update = Aggshap_incr.Update
+
+(* Replay the op script through one live session, cross-checking every
+   step against a from-scratch batch over an independently maintained
+   copy of the database and query — so a session that mis-tracks its own
+   state disagrees with the reference instead of dragging it along. *)
+let run_update_checks (u : Utrial.t) =
+  let t = u.Utrial.trial in
+  let a = ref (Trial.agg_query t) in
+  let db = ref t.Trial.db in
+  let session = Session.open_ ~jobs:1 !a !db in
+  let check_step step =
+    let reference = fst (Batch.shapley_all ~jobs:1 !a !db) in
+    let got = Session.shapley_all session in
+    same_exact_results (Printf.sprintf "session-vs-batch(step %d)" step) reference got
+  in
+  let rec go step = function
+    | [] -> None
+    | op :: rest -> (
+      (match op with
+       | Update.Insert (f, prov) -> db := Database.add ~provenance:prov f !db
+       | Update.Delete f -> db := Database.remove f !db
+       | Update.Set_tau (vf, _) ->
+         a := Agg_query.make !a.Agg_query.alpha vf !a.Agg_query.query);
+      Session.apply session op;
+      match check_step step with
+      | Some failure -> Some failure
+      | None -> go (step + 1) rest)
+  in
+  (match check_step 0 with Some failure -> Some failure | None -> go 1 u.Utrial.ops)
+
+let run_updates (u : Utrial.t) =
+  try run_update_checks u
+  with e -> fail "exception" "%s" (Printexc.to_string e)

@@ -22,3 +22,12 @@ val run : ?par_jobs:int -> Trial.t -> failure option
     calling domain (required while {!Aggshap_core.Tables.fault} is set).
     Exceptions escaping the system under test are reported as an
     ["exception"] failure rather than propagated. *)
+
+val run_updates : Utrial.t -> failure option
+(** Replays the trial's op script through a live
+    {!Aggshap_incr.Session}, checking after the initial build and after
+    every op that the session's values are bit-identical to a
+    from-scratch {!Aggshap_core.Batch.shapley_all} over an independently
+    tracked database and τ. Runs entirely in the calling domain (safe
+    while a fault is injected); exceptions are reported as
+    ["exception"] failures. *)

@@ -45,6 +45,43 @@ let atom_candidates (t : Trial.t) =
     (fun (a : Cq.atom) (t : Trial.t) -> drop_atom t a.Cq.rel)
     t.query.Cq.body
 
+(* Update-trial candidates: drop one op, or one base-database fact —
+   whenever the result is still wellformed (a delete aimed at a fact the
+   shrink just removed would fail for the wrong reason). *)
+let op_candidates (u : Utrial.t) =
+  List.mapi
+    (fun i _ (u : Utrial.t) ->
+      let ops = List.filteri (fun j _ -> j <> i) u.Utrial.ops in
+      let u' = { u with Utrial.ops } in
+      if Utrial.wellformed u' then Some u' else None)
+    u.Utrial.ops
+
+let base_fact_candidates (u : Utrial.t) =
+  List.map
+    (fun fact (u : Utrial.t) ->
+      let trial =
+        { u.Utrial.trial with Trial.db = Database.remove fact u.Utrial.trial.Trial.db }
+      in
+      let u' = { u with Utrial.trial } in
+      if Utrial.wellformed u' then Some u' else None)
+    (Database.facts u.Utrial.trial.Trial.db)
+
+let minimize_updates check u f =
+  (* Ops first — a shorter script usually un-blocks base facts that only
+     existed to be deleted — then base facts; iterate to fixpoint. *)
+  let step (u, f) =
+    let u, f = descend check op_candidates u f in
+    descend check base_fact_candidates u f
+  in
+  let rec fixpoint (u, f) =
+    let u', f' = step (u, f) in
+    if List.length u'.Utrial.ops = List.length u.Utrial.ops
+       && Database.size u'.Utrial.trial.Trial.db = Database.size u.Utrial.trial.Trial.db
+    then (u', f')
+    else fixpoint (u', f')
+  in
+  fixpoint (u, f)
+
 let minimize check t f =
   (* Facts first (cheap, large search space), then atoms, then facts
      again in case an atom removal unlocked more: iterate to fixpoint. *)

@@ -14,3 +14,14 @@ val minimize :
 (** [minimize check t f] assumes [check t = Some f] and returns the
     minimized trial together with the failure it still exhibits (which
     may differ from [f] as the instance shrinks). *)
+
+val minimize_updates :
+  (Utrial.t -> Oracle.failure option) ->
+  Utrial.t ->
+  Oracle.failure ->
+  Utrial.t * Oracle.failure
+(** Same contract for update-sequence trials: repeatedly removes script
+    ops, then base-database facts, accepting only removals that keep the
+    trial {!Utrial.wellformed} (a delete aimed at a just-removed fact
+    would fail for the wrong reason) and still failing; iterates to a
+    fixpoint, so the result is 1-minimal over ops and base facts. *)

@@ -1,6 +1,7 @@
 module Q = Aggshap_arith.Rational
 module Agg_query = Aggshap_agg.Agg_query
 module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
 module Database = Aggshap_relational.Database
 
 type stats = {
@@ -12,34 +13,92 @@ let stats_to_string s =
   Printf.sprintf "jobs=%d, cache=%s" s.jobs
     (match s.cache with None -> "off" | Some m -> Memo.stats_to_string m)
 
-(* One worker per tractable aggregate family. The memo (when caching is
-   on) lives exactly as long as this batch run, so the τ-outside-the-key
-   caveat of the per-algorithm memos is satisfied by construction. *)
-let make_worker ~cache (a : Agg_query.t) db =
+(* The per-algorithm memos are keyed on (sub-query, block fingerprint)
+   only: the value function τ (and the aggregate choosing how its tables
+   are read) is outside the key. A memo reused across runs is therefore
+   stamped with a fingerprint of everything outside the key, and
+   [shapley_all] refuses a memo stamped for a different run. [descr] is
+   injective for every built-in value function; custom value functions
+   must choose distinguishing descriptions to be safely reusable. *)
+type memo_impl =
+  | M_sum_count of Sum_count.memo
+  | M_cdist of Cdist.memo
+  | M_minmax of Minmax.memo
+  | M_avg of Avg_quantile.memo
+  | M_dup of Dup.memo
+
+type memo = {
+  impl : memo_impl;
+  fingerprint : string;
+}
+
+let fingerprint_of (a : Agg_query.t) =
+  String.concat "\x00"
+    [ Aggregate.to_string a.alpha; a.tau.Value_fn.rel; a.tau.Value_fn.descr;
+      Aggshap_cq.Cq.to_string a.query ]
+
+let create_memo (a : Agg_query.t) =
+  let impl =
+    match a.alpha with
+    | Aggregate.Sum | Aggregate.Count -> M_sum_count (Sum_count.create_memo ())
+    | Aggregate.Count_distinct -> M_cdist (Cdist.create_memo ())
+    | Aggregate.Min | Aggregate.Max -> M_minmax (Minmax.create_memo ())
+    | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ ->
+      M_avg (Avg_quantile.create_memo ())
+    | Aggregate.Has_duplicates -> M_dup (Dup.create_memo ())
+  in
+  { impl; fingerprint = fingerprint_of a }
+
+let memo_stats m =
+  match m.impl with
+  | M_sum_count m -> Sum_count.memo_stats m
+  | M_cdist m -> Cdist.memo_stats m
+  | M_minmax m -> Minmax.memo_stats m
+  | M_avg m -> Avg_quantile.memo_stats m
+  | M_dup m -> Dup.memo_stats m
+
+let check_memo (a : Agg_query.t) m =
+  if m.fingerprint <> fingerprint_of a then
+    invalid_arg
+      "Batch: memo was created for a different (aggregate, tau, query); \
+       create a fresh one (tau is outside the DP-table cache key)"
+
+(* One worker per tractable aggregate family. Without an explicit memo
+   the cache (when on) lives exactly as long as this batch run, so the
+   τ-outside-the-key caveat of the per-algorithm memos is satisfied by
+   construction; with [?memo] the fingerprint check above enforces it. *)
+let make_worker ~memo (a : Agg_query.t) db =
   match a.alpha with
   | Aggregate.Sum | Aggregate.Count ->
-    let memo = if cache then Some (Sum_count.create_memo ()) else None in
+    let memo = match memo with Some (M_sum_count m) -> Some m | _ -> None in
     (Sum_count.batch_worker ?memo a db,
      fun () -> Option.map Sum_count.memo_stats memo)
   | Aggregate.Count_distinct ->
-    let memo = if cache then Some (Cdist.create_memo ()) else None in
+    let memo = match memo with Some (M_cdist m) -> Some m | _ -> None in
     (Cdist.batch_worker ?memo a db, fun () -> Option.map Cdist.memo_stats memo)
   | Aggregate.Min | Aggregate.Max ->
-    let memo = if cache then Some (Minmax.create_memo ()) else None in
+    let memo = match memo with Some (M_minmax m) -> Some m | _ -> None in
     (Minmax.batch_worker ?memo a db, fun () -> Option.map Minmax.memo_stats memo)
   | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ ->
-    let memo = if cache then Some (Avg_quantile.create_memo ()) else None in
+    let memo = match memo with Some (M_avg m) -> Some m | _ -> None in
     (Avg_quantile.batch_worker ?memo a db,
      fun () -> Option.map Avg_quantile.memo_stats memo)
   | Aggregate.Has_duplicates ->
-    let memo = if cache then Some (Dup.create_memo ()) else None in
+    let memo = match memo with Some (M_dup m) -> Some m | _ -> None in
     (Dup.batch_worker ?memo a db, fun () -> Option.map Dup.memo_stats memo)
 
-let shapley_all ?jobs ?(cache = true) (a : Agg_query.t) db =
+let shapley_all ?jobs ?(cache = true) ?memo (a : Agg_query.t) db =
   if not (Frontier.within a.alpha a.query) then
     invalid_arg "Batch.shapley_all: query is outside the tractability frontier";
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
-  let worker, stats_of = make_worker ~cache a db in
+  let memo =
+    match memo with
+    | Some m ->
+      check_memo a m;
+      Some m.impl
+    | None -> if cache then Some (create_memo a).impl else None
+  in
+  let worker, stats_of = make_worker ~memo a db in
   let results = Pool.map ~jobs (fun f -> (f, worker f)) (Database.endogenous db) in
   (results, { jobs; cache = stats_of () })
 

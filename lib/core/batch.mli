@@ -25,19 +25,46 @@ type stats = {
 
 val stats_to_string : stats -> string
 
+type memo
+(** A DP-table cache that outlives a single batch run — the seam the
+    incremental engine ({!Aggshap_incr.Session}) threads through every
+    frontier DP family. The underlying per-algorithm memos key tables on
+    [(sub-query, block fingerprint)] only, so the memo is stamped with a
+    fingerprint of the inputs {e outside} that key — the aggregate, the
+    value function τ ([rel] and [descr]), and the query — and
+    {!shapley_all} refuses a memo stamped for a different combination.
+    Database updates need no flush: changed blocks change their
+    fingerprint, so stale tables are simply never looked up. *)
+
+val create_memo : Aggshap_agg.Agg_query.t -> memo
+(** A fresh, empty memo for the query's aggregate family, stamped with
+    the query's fingerprint. *)
+
+val memo_stats : memo -> Memo.stats
+
+val fingerprint_of : Aggshap_agg.Agg_query.t -> string
+(** The stamp {!create_memo} records: aggregate, τ relation and
+    description, and the canonical query string. Injective for the
+    built-in value functions; custom value functions must pick
+    distinguishing [descr]s for memo reuse to be sound. *)
+
 val shapley_all :
   ?jobs:int ->
   ?cache:bool ->
+  ?memo:memo ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list * stats
-(** [shapley_all ?jobs ?cache a db] computes the exact Shapley value of
-    every endogenous fact, in [Database.endogenous] order. [jobs]
-    defaults to {!Pool.default_jobs}[ ()] ([1] runs sequentially in the
-    calling domain); [cache] (default [true]) shares DP tables across
-    facts and domains.
+(** [shapley_all ?jobs ?cache ?memo a db] computes the exact Shapley
+    value of every endogenous fact, in [Database.endogenous] order.
+    [jobs] defaults to {!Pool.default_jobs}[ ()] ([1] runs sequentially
+    in the calling domain); [cache] (default [true]) shares DP tables
+    across facts and domains for the duration of the run. Passing
+    [?memo] instead shares tables across {e runs} (and overrides
+    [cache]).
     @raise Invalid_argument if the query is outside the aggregate's
-    tractability frontier (use {!Solver.shapley_all} for fallbacks). *)
+    tractability frontier (use {!Solver.shapley_all} for fallbacks), or
+    if [memo] was created for a different (aggregate, τ, query). *)
 
 val map :
   ?jobs:int ->

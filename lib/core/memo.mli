@@ -10,7 +10,14 @@
 
     A memo table is only sound while the inputs outside its key (the
     value function τ, the reference value for quantile tables) stay
-    fixed, so create a fresh one per batch run — {!Batch} does. *)
+    fixed. Callers that keep a memo alive across runs must therefore pin
+    those inputs: {!Batch.create_memo} stamps the memo with a fingerprint
+    of [(aggregate, τ, query)] and {!Batch.shapley_all} refuses a memo
+    whose fingerprint does not match the run's query — so a τ change can
+    never serve stale tables. The incremental engine
+    ({!Aggshap_incr.Session}) relies on exactly this contract to reuse
+    one memo across a whole update stream, replacing it whenever
+    [set_tau] changes the fingerprint. *)
 
 type stats = {
   hits : int;

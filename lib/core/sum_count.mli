@@ -17,6 +17,16 @@ type memo
 val create_memo : unit -> memo
 val memo_stats : memo -> Memo.stats
 
+val membership_games :
+  Aggshap_agg.Agg_query.t ->
+  Aggshap_relational.Database.t ->
+  (Aggshap_cq.Cq.t * Aggshap_arith.Rational.t) list
+(** The per-answer membership games with their τ-weights: one Boolean
+    query (the head grounded to the answer tuple) per answer of non-zero
+    weight, in deterministic answer order. The decomposition the
+    incremental engine maintains game-by-game.
+    @raise Invalid_argument if τ is not localized on the database. *)
+
 val shapley :
   ?memo:memo ->
   Aggshap_agg.Agg_query.t ->

@@ -53,7 +53,8 @@ let sub a b =
 
 let complement n c = sub (full n) c
 
-type fault = [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split ]
+type fault =
+  [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split | `Stale_block ]
 
 let fault : fault ref = ref `None
 
@@ -119,7 +120,7 @@ let convolve a b =
    | `Convolve_off_by_one ->
      if la > 1 && lb > 1 then
        out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one
-   | `None | `Tree_fold_skew | `Karatsuba_split -> ());
+   | `None | `Tree_fold_skew | `Karatsuba_split | `Stale_block -> ());
   out
 
 let convolve_many ts =
@@ -157,7 +158,7 @@ let convolve_many ts =
          out.(len - 1) <- out.(len - 2);
          out.(len - 2) <- t
        end
-     | `None | `Convolve_off_by_one | `Karatsuba_split -> ());
+     | `None | `Convolve_off_by_one | `Karatsuba_split | `Stale_block -> ());
     out
 
 let pad p c = if p = 0 then c else convolve c (full p)

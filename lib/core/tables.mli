@@ -59,7 +59,8 @@ val convolve_many : counts list -> counts
     components: bit-identical results (exact arithmetic, associativity),
     but each input is re-traversed O(log n) times instead of O(n). *)
 
-type fault = [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split ]
+type fault =
+  [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split | `Stale_block ]
 (** Test-only fault injection for the differential-testing oracle
     ({!Aggshap_check}):
     - [`Convolve_off_by_one] makes {!convolve} corrupt its top entry
@@ -71,6 +72,11 @@ type fault = [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split
     - [`Karatsuba_split] injects a wrong-split-point multiplication bug
       into the arithmetic layer itself (see
       {!Aggshap_arith.Bigint.fault}).
+    - [`Stale_block] makes the incremental engine
+      ({!Aggshap_incr.Session}) skip one cache invalidation per update:
+      the first dirty membership game keeps its stale per-fact
+      contributions, and the τ-flush of the generic-path batch memo is
+      suppressed. The kernels themselves ignore this variant.
 
     Every frontier DP funnels through these kernels, so the oracle must
     flag each corruption. Not domain-safe; only toggle around

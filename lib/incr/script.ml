@@ -1,0 +1,88 @@
+module Q = Aggshap_arith.Rational
+module Parser = Aggshap_cq.Parser
+module Value_fn = Aggshap_agg.Value_fn
+
+let parse_pos s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> Ok n
+  | Some _ | None ->
+    Error (Printf.sprintf "malformed position %S (expected a non-negative integer)" s)
+
+let parse_rational what s =
+  match Q.of_string s with
+  | q -> Ok q
+  | exception (Invalid_argument _ | Division_by_zero) ->
+    Error (Printf.sprintf "malformed %s %S (expected an integer or P/Q rational)" what s)
+
+(* Same grammar as shapctl --tau; localization of the relation on the
+   query is checked when the session applies the op, not here. *)
+let parse_tau spec =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' spec with
+  | [ "id"; rel; pos ] ->
+    let* pos = parse_pos pos in
+    Ok (Value_fn.id ~rel ~pos)
+  | [ "relu"; rel; pos ] ->
+    let* pos = parse_pos pos in
+    Ok (Value_fn.relu ~rel ~pos)
+  | [ "gt"; rel; pos; bound ] ->
+    let* pos = parse_pos pos in
+    let* bound = parse_rational "bound" bound in
+    Ok (Value_fn.gt ~rel ~pos bound)
+  | [ "const"; rel; value ] ->
+    let* value = parse_rational "value" value in
+    Ok (Value_fn.const ~rel value)
+  | _ -> Error (Printf.sprintf "cannot parse value function spec %S" spec)
+
+let split_op line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    ( String.sub line 0 i,
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match String.trim line with
+  | "" -> Ok None
+  | line -> (
+    let op, arg = split_op line in
+    match op with
+    | "insert" when arg <> "" -> (
+      match Parser.parse_fact arg with
+      | Ok (f, prov) -> Ok (Some (Update.Insert (f, prov)))
+      | Error msg -> Error msg)
+    | "delete" when arg <> "" -> (
+      match Parser.parse_fact arg with
+      | Ok (f, Aggshap_relational.Database.Endogenous) -> Ok (Some (Update.Delete f))
+      | Ok (_, Aggshap_relational.Database.Exogenous) ->
+        Error "delete takes a bare fact (no @exo/@endo marker)"
+      | Error msg -> Error msg)
+    | "set_tau" when arg <> "" -> (
+      match parse_tau arg with
+      | Ok vf -> Ok (Some (Update.Set_tau (vf, arg)))
+      | Error msg -> Error msg)
+    | "insert" | "delete" | "set_tau" ->
+      Error (Printf.sprintf "%s needs an argument" op)
+    | _ ->
+      Error
+        (Printf.sprintf "unknown update %S (expected insert, delete, or set_tau)" op))
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Ok None -> go (lineno + 1) acc rest
+      | Ok (Some u) -> go (lineno + 1) ((lineno, u) :: acc) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines
+
+let to_string ops =
+  String.concat "" (List.map (fun u -> Update.to_string u ^ "\n") ops)

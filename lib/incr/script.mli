@@ -1,0 +1,24 @@
+(** Update scripts: the textual format behind [shapctl session].
+
+    One operation per line, [#] comments and blank lines ignored:
+    {v
+    insert R(4, 10)
+    insert S(30) @exo
+    delete R(1, 10)
+    set_tau id:R:0
+    v}
+    Facts use the database-file syntax of {!Aggshap_cq.Parser}; [set_tau]
+    takes a [shapctl --tau]-style spec ([id:REL:POS], [relu:REL:POS],
+    [gt:REL:POS:BOUND], [const:REL:VALUE]). *)
+
+val parse : string -> ((int * Update.t) list, string) result
+(** Parses a whole script, pairing each operation with its 1-based line
+    number. Errors read ["line %d: %s"]. *)
+
+val parse_line : string -> (Update.t option, string) result
+(** [Ok None] for blank/comment lines. *)
+
+val parse_tau : string -> (Aggshap_agg.Value_fn.t, string) result
+
+val to_string : Update.t list -> string
+(** One line per op; [parse] inverts it. *)

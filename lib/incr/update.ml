@@ -1,0 +1,14 @@
+module Fact = Aggshap_relational.Fact
+module Database = Aggshap_relational.Database
+module Value_fn = Aggshap_agg.Value_fn
+
+type t =
+  | Insert of Fact.t * Database.provenance
+  | Delete of Fact.t
+  | Set_tau of Value_fn.t * string
+
+let to_string = function
+  | Insert (f, Database.Endogenous) -> "insert " ^ Fact.to_string f
+  | Insert (f, Database.Exogenous) -> "insert " ^ Fact.to_string f ^ " @exo"
+  | Delete f -> "delete " ^ Fact.to_string f
+  | Set_tau (_, spec) -> "set_tau " ^ spec

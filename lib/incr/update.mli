@@ -1,0 +1,16 @@
+(** One update of a live solver session.
+
+    The three operations a stream of changes is made of: adding a fact
+    (with its provenance), removing a fact, and re-weighting the answers
+    by a new value function τ. The query itself never changes — a query
+    change is a new {!Session}. *)
+
+type t =
+  | Insert of Aggshap_relational.Fact.t * Aggshap_relational.Database.provenance
+  | Delete of Aggshap_relational.Fact.t
+  | Set_tau of Aggshap_agg.Value_fn.t * string
+      (** The value function together with the [shapctl --tau]-style spec
+          it was parsed from (used for printing and reproducers). *)
+
+val to_string : t -> string
+(** The update-script line for the operation; {!Script.parse} inverts it. *)

@@ -11,6 +11,7 @@ module Trial = Aggshap_check.Trial
 module Oracle = Aggshap_check.Oracle
 module Shrink = Aggshap_check.Shrink
 module Fuzz = Aggshap_check.Fuzz
+module Utrial = Aggshap_check.Utrial
 
 let read_file path =
   let ic = open_in path in
@@ -103,6 +104,113 @@ let test_injected_fault_is_caught () =
           (Database.facts shrunk.Trial.db);
         ignore shrunk_failure)
 
+(* ------------------------------------------------------------------ *)
+(* update sequences                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ucorpus = lazy (Fuzz.parse_corpus (read_file "updates.corpus"))
+
+let test_ucorpus_parses () =
+  let seeds = Lazy.force ucorpus in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length seeds >= 100);
+  Alcotest.(check bool) "seeds are distinct" true
+    (List.length (List.sort_uniq Int.compare seeds) = List.length seeds)
+
+(* Every corpus seed replays its update script through a live session
+   with the values bit-identical to a from-scratch batch at every step —
+   the regression net for the incremental engine. *)
+let test_ucorpus_replays_clean () =
+  List.iter
+    (fun seed ->
+      let utrial, outcome = Fuzz.run_updates_one ~seed () in
+      match outcome with
+      | None -> ()
+      | Some failure ->
+        Alcotest.failf "update corpus trial failed: %s\n  %s" (Utrial.to_string utrial)
+          (Oracle.failure_to_string failure))
+    (Lazy.force ucorpus)
+
+let test_utrial_generation_deterministic () =
+  let t1 = Utrial.generate ~seed:4242 () and t2 = Utrial.generate ~seed:4242 () in
+  Alcotest.(check string) "same trial and ops" (Utrial.to_string t1) (Utrial.to_string t2);
+  Alcotest.(check bool) "generated trials are wellformed" true (Utrial.wellformed t1);
+  Alcotest.(check string) "same script" (Utrial.to_script t1) (Utrial.to_script t2)
+
+(* `Stale_block makes the session skip one cache invalidation per
+   update. Both engines must be caught by the step-wise oracle:
+
+   - the Generic engine skips the set_tau memo flush, which trips the
+     memo's τ-fingerprint guard (an "exception" failure);
+   - the Linear engine skips dirtying one membership game, so the
+     session serves stale values (a "session-vs-batch" disagreement).
+
+   The campaign over seed 42 finds the first within a couple of trials;
+   the directed hunt asserts a genuine value-level disagreement is also
+   found and shrinks to a 1-minimal op script. *)
+let test_stale_block_is_caught () =
+  assert (Tables.current_fault () = `None);
+  Tables.set_fault `Stale_block;
+  Fun.protect
+    ~finally:(fun () -> Tables.set_fault `None)
+    (fun () ->
+      let config =
+        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1 }
+      in
+      let report = Fuzz.run_updates config in
+      match report.Fuzz.ufailures with
+      | [] -> Alcotest.fail "injected stale-block survived 100 update trials undetected"
+      | { Fuzz.utrial; ushrunk; _ } :: _ ->
+        Alcotest.(check bool) "shrunk still fails" true
+          (Oracle.run_updates ushrunk <> None);
+        Alcotest.(check bool) "shrunk is no bigger" true
+          (List.length ushrunk.Utrial.ops <= List.length utrial.Utrial.ops
+          && Database.size ushrunk.Utrial.trial.Trial.db
+             <= Database.size utrial.Utrial.trial.Trial.db);
+        Alcotest.(check bool) "reproducer script is printable" true
+          (String.length (Utrial.to_script ushrunk) > 0))
+
+let test_stale_block_value_level () =
+  assert (Tables.current_fault () = `None);
+  Tables.set_fault `Stale_block;
+  Fun.protect
+    ~finally:(fun () -> Tables.set_fault `None)
+    (fun () ->
+      let found = ref None in
+      let i = ref 0 in
+      while !found = None && !i < 200 do
+        let seed = Fuzz.trial_seed ~master:42 !i in
+        let ut, outcome = Fuzz.run_updates_one ~seed () in
+        (match outcome with
+         | Some f when f.Oracle.check <> "exception" -> found := Some (ut, f)
+         | _ -> ());
+        incr i
+      done;
+      match !found with
+      | None -> Alcotest.fail "no value-level stale disagreement in 200 update trials"
+      | Some (ut, f) ->
+        let shrunk, shrunk_failure = Shrink.minimize_updates Oracle.run_updates ut f in
+        Alcotest.(check bool) "shrunk failure is a value disagreement" true
+          (shrunk_failure.Oracle.check <> "exception");
+        (* 1-minimality over the op script: dropping any remaining op
+           (that keeps the trial wellformed) makes the failure vanish. *)
+        List.iteri
+          (fun j _ ->
+            let ops = List.filteri (fun k _ -> k <> j) shrunk.Utrial.ops in
+            let smaller = { shrunk with Utrial.ops } in
+            if Utrial.wellformed smaller then
+              Alcotest.(check bool)
+                (Printf.sprintf "dropping op %d un-fails" j)
+                true
+                (Oracle.run_updates smaller = None))
+          shrunk.Utrial.ops)
+
+let test_stale_block_flag_is_isolated () =
+  let config =
+    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1 }
+  in
+  let report = Fuzz.run_updates config in
+  Alcotest.(check int) "clean without the fault" 0 (List.length report.Fuzz.ufailures)
+
 (* The two kernel-level fault variants added with the fast arithmetic
    path: a mis-paired sibling in the balanced convolution tree, and a
    Karatsuba split that loses a cross term once both operands are large
@@ -148,6 +256,18 @@ let () =
             test_trial_generation_deterministic;
           Alcotest.test_case "reproducer script shape" `Quick
             test_reproducer_script_shape;
+        ] );
+      ( "update sequences",
+        [ Alcotest.test_case "corpus parses" `Quick test_ucorpus_parses;
+          Alcotest.test_case "corpus replays clean" `Slow test_ucorpus_replays_clean;
+          Alcotest.test_case "generation deterministic" `Quick
+            test_utrial_generation_deterministic;
+          Alcotest.test_case "stale-block caught and shrunk" `Slow
+            test_stale_block_is_caught;
+          Alcotest.test_case "stale-block value-level disagreement" `Slow
+            test_stale_block_value_level;
+          Alcotest.test_case "stale-block flag isolated" `Quick
+            test_stale_block_flag_is_isolated;
         ] );
       ( "fault injection",
         [ Alcotest.test_case "off-by-one caught and shrunk" `Slow

@@ -338,6 +338,62 @@ let test_solver_efficiency_axiom () =
 (* ------------------------------------------------------------------ *)
 (* Query corner cases shared by several DPs                            *)
 (* ------------------------------------------------------------------ *)
+(* convolution shape dispatch                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Tables.convolve picks between a zero-skipping scatter loop and a
+   multiply-accumulate path by operand shape: the dense path needs both
+   operands at least acc_threshold (8) long AND mostly nonzero. The DP
+   unit tests work on small tables that never reach the dense path, so
+   each branch gets a named case here, checked against a schoolbook
+   reference. *)
+let reference_convolve a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb - 1) B.zero in
+  for i = 0 to la - 1 do
+    for j = 0 to lb - 1 do
+      out.(i + j) <- B.add out.(i + j) (B.mul a.(i) b.(j))
+    done
+  done;
+  out
+
+let counts_testable =
+  Alcotest.testable
+    (fun ppf t ->
+      Format.fprintf ppf "[|%s|]"
+        (String.concat "; " (Array.to_list (Array.map B.to_string t))))
+    (fun a b -> Array.length a = Array.length b && Array.for_all2 B.equal a b)
+
+let test_convolve_shape name a b () =
+  Alcotest.check counts_testable name (reference_convolve a b) (Core.Tables.convolve a b);
+  Alcotest.check counts_testable (name ^ " (flipped)") (reference_convolve b a)
+    (Core.Tables.convolve b a)
+
+let dense_ramp n = Array.init n (fun i -> B.of_int (i + 1))
+let sparse_spikes n = Array.init n (fun i -> if i mod 7 = 0 then B.of_int (i + 2) else B.zero)
+
+let convolve_shape_cases =
+  [ (* min length below the threshold: scatter, however dense. *)
+    ("thin x long", dense_ramp 3, dense_ramp 20);
+    ("thin x thin", dense_ramp 2, dense_ramp 2);
+    (* long operands, mostly zeros: density check keeps the scatter. *)
+    ("sparse x sparse", sparse_spikes 16, sparse_spikes 16);
+    ("sparse x dense", sparse_spikes 16, dense_ramp 16);
+    (* both long and mostly nonzero: the multiply-accumulate path. *)
+    ("dense x dense", dense_ramp 12, dense_ramp 12);
+    ("dense at threshold", dense_ramp 8, dense_ramp 8);
+    ("dense asymmetric", dense_ramp 9, dense_ramp 30);
+    (* degenerate shapes. *)
+    ("singleton", [| B.of_int 5 |], dense_ramp 10);
+    ("all zeros", Array.make 10 B.zero, dense_ramp 10) ]
+
+let test_convolve_many_mixed_shapes () =
+  let ts = [ dense_ramp 12; sparse_spikes 16; dense_ramp 3; dense_ramp 9 ] in
+  let expected = List.fold_left reference_convolve [| B.one |] ts in
+  Alcotest.check counts_testable "balanced fold matches reference" expected
+    (Core.Tables.convolve_many ts)
+
+(* ------------------------------------------------------------------ *)
 
 let q_diag = Parser.parse_query_exn "Q(x) <- R(x, x), S(x)"
 let q_const_atom = Parser.parse_query_exn "Q(x) <- R(x, 5), S(x)"
@@ -350,7 +406,14 @@ let () =
   let cdist = Core.Cdist.shapley_all in
   let sumcount = Core.Sum_count.shapley_all in
   Alcotest.run "core"
-    [ ( "game",
+    [ ( "convolution dispatch",
+        List.map
+          (fun (name, a, b) ->
+            Alcotest.test_case name `Quick (test_convolve_shape name a b))
+          convolve_shape_cases
+        @ [ Alcotest.test_case "convolve_many mixed shapes" `Quick
+              test_convolve_many_mixed_shapes ] );
+      ( "game",
         [ Alcotest.test_case "efficiency" `Quick test_game_efficiency;
           Alcotest.test_case "symmetry and null player" `Quick test_game_symmetry_null;
           Alcotest.test_case "linearity" `Quick test_game_linearity;

@@ -1,0 +1,144 @@
+(* Golden-corpus regression tests for the closed formulas of
+   Propositions 4.2, 4.4 and 5.2 and the Localization algorithms of
+   Proposition 7.3: fixed-seed instances whose exact outputs are pinned
+   in golden.expected AND re-verified against the naive enumeration
+   oracle on every run. A mismatch against the file flags an unintended
+   change of semantics even when the change is self-consistent (a bug in
+   both the closed form and the DP would slip past differential checks).
+
+   Regenerate the file after an intended change with:
+     GOLDEN_PRINT=1 dune exec test/test_golden.exe > test/golden.expected *)
+
+module Q = Aggshap_arith.Rational
+module Fact = Aggshap_relational.Fact
+module Database = Aggshap_relational.Database
+module Parser = Aggshap_cq.Parser
+module Aggregate = Aggshap_agg.Aggregate
+module Value_fn = Aggshap_agg.Value_fn
+module Agg_query = Aggshap_agg.Agg_query
+module Core = Aggshap_core
+
+let q_single = Parser.parse_query_exn "Q(x, y) <- R(x, y)"
+
+(* Single-atom instances: all facts endogenous, τ-values drawn from a
+   small range so count-distinct sees collisions. *)
+let single_atom_db ~seed n =
+  let rng = Random.State.make [| seed; 0x901d |] in
+  Database.of_facts
+    (List.init n (fun i -> Fact.of_ints "R" [ i; Random.State.int rng 5 - 1 ]))
+
+(* Localization instances: R(x,y), S(y), T(z) with every fact endogenous
+   and few enough facts for the naive oracle. *)
+let localization_db ~seed =
+  let rng = Random.State.make [| seed; 0x10c |] in
+  let facts = ref [] in
+  for x = 0 to 2 do
+    for y = 0 to 1 do
+      if Random.State.int rng 2 = 0 then facts := Fact.of_ints "R" [ x; y ] :: !facts
+    done
+  done;
+  for y = 0 to 1 do
+    if Random.State.int rng 3 > 0 then facts := Fact.of_ints "S" [ y ] :: !facts
+  done;
+  List.iter
+    (fun v -> facts := Fact.of_ints "T" [ v ] :: !facts)
+    (List.sort_uniq Int.compare (List.init 3 (fun _ -> Random.State.int rng 7 - 2)));
+  Database.of_facts (List.rev !facts)
+
+let seeds = [ 11; 23; 47 ]
+
+(* Each case: a label, the instance, the closed-form/localization
+   implementation under test, and the naive reference it must agree
+   with. *)
+let cases =
+  List.concat_map
+    (fun seed ->
+      let db6 = single_atom_db ~seed 6 in
+      let tau = Value_fn.id ~rel:"R" ~pos:1 in
+      let single name alpha closed =
+        let a = Agg_query.make alpha tau q_single in
+        (Printf.sprintf "%s seed=%d" name seed, a, db6, fun f -> closed a db6 f)
+      in
+      let loc_db = localization_db ~seed in
+      let tau_t = Value_fn.id ~rel:"T" ~pos:0 in
+      [ single "prop4.2-cdist" Aggregate.Count_distinct Core.Closed_form.cdist_single_atom;
+        single "prop4.4-max" Aggregate.Max Core.Closed_form.max_single_atom;
+        single "prop4.4-min" Aggregate.Min Core.Closed_form.min_single_atom;
+        single "prop5.2-avg" Aggregate.Avg Core.Closed_form.avg_single_atom;
+        ( Printf.sprintf "prop7.3-avg-on-T seed=%d" seed,
+          Agg_query.make Aggregate.Avg tau_t Core.Localization.q_xyyz,
+          loc_db,
+          fun f -> Core.Localization.avg_on_t_shapley tau_t loc_db f );
+        ( Printf.sprintf "prop7.3-med-on-T seed=%d" seed,
+          Agg_query.make Aggregate.Median tau_t Core.Localization.q_xyyz,
+          loc_db,
+          fun f -> Core.Localization.median_on_t_shapley tau_t loc_db f );
+        ( Printf.sprintf "prop7.3-dup-on-y seed=%d" seed,
+          Agg_query.make Aggregate.Has_duplicates (Value_fn.id ~rel:"R" ~pos:1)
+            Core.Localization.q_full,
+          (let rs, _ = Database.restrict_relations [ "R"; "S" ] loc_db in
+           rs),
+          fun f ->
+            let rs, _ = Database.restrict_relations [ "R"; "S" ] loc_db in
+            Core.Localization.dup_on_y_shapley rs f ) ])
+    seeds
+
+let render () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "# Pinned exact outputs of the closed formulas (Props 4.2/4.4/5.2) and\n\
+     # the Localization algorithms (Prop 7.3) on fixed-seed instances.\n\
+     # Regenerate after an intended semantic change:\n\
+     #   GOLDEN_PRINT=1 dune exec test/test_golden.exe > test/golden.expected\n";
+  List.iter
+    (fun (label, _, db, f_of) ->
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s -> %s\n" label (Fact.to_string f)
+               (Q.to_string (f_of f))))
+        (Database.endogenous db))
+    cases;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_matches_golden_file () =
+  let actual = render () in
+  let expected = read_file "golden.expected" in
+  if not (String.equal actual expected) then
+    Alcotest.failf
+      "golden outputs changed; if intended, regenerate golden.expected.\n\
+       --- current outputs ---\n%s" actual
+
+(* The file pins *verified* values: every line is also checked against
+   the exponential enumeration oracle. *)
+let test_matches_naive () =
+  List.iter
+    (fun (label, a, db, f_of) ->
+      assert (Database.endo_size db <= 12);
+      List.iter
+        (fun f ->
+          let expected = Core.Naive.shapley a db f in
+          let actual = f_of f in
+          if not (Q.equal expected actual) then
+            Alcotest.failf "%s %s: closed form %s, naive %s" label (Fact.to_string f)
+              (Q.to_string actual) (Q.to_string expected))
+        (Database.endogenous db))
+    cases
+
+let () =
+  if Sys.getenv_opt "GOLDEN_PRINT" <> None then print_string (render ())
+  else
+    Alcotest.run "golden"
+      [ ( "golden corpus",
+          [ Alcotest.test_case "matches pinned file" `Quick test_matches_golden_file;
+            Alcotest.test_case "pinned values match naive oracle" `Slow
+              test_matches_naive;
+          ] );
+      ]
