@@ -3,6 +3,9 @@
    Subcommands:
      classify  classify a CQ into the hierarchy classes and report the
                tractability frontier for every aggregate function
+     explain   explain how one aggregate query would be solved: the
+               classification chain, the selected algorithm, and the
+               engine's decomposition tree
      eval      evaluate an aggregate query on a database file
      solve     compute Shapley values (all endogenous facts, or one)
      session   incremental maintenance: replay an update script through
@@ -22,6 +25,7 @@ module Aggregate = Aggshap_agg.Aggregate
 module Value_fn = Aggshap_agg.Value_fn
 module Agg_query = Aggshap_agg.Agg_query
 module Solver = Aggshap_core.Solver
+module Engine = Aggshap_core.Engine
 module Monte_carlo = Aggshap_core.Monte_carlo
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("shapctl: " ^ s); exit 1) fmt
@@ -98,41 +102,6 @@ let make_agg_query agg_s tau_s query =
   in
   try Agg_query.make alpha tau query with Invalid_argument msg -> die "%s" msg
 
-(* ------------------------------------------------------------------ *)
-(* classify                                                            *)
-(* ------------------------------------------------------------------ *)
-
-let run_classify query_s =
-  let q = parse_query_arg query_s in
-  Printf.printf "query: %s\n" (Cq.to_string q);
-  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string (Hierarchy.classify q));
-  Printf.printf "%-18s %-22s %s\n" "aggregate" "frontier" "tractable here?";
-  List.iter
-    (fun alpha ->
-      Printf.printf "%-18s %-22s %s\n"
-        (Aggregate.to_string alpha)
-        (Hierarchy.cls_to_string (Solver.frontier alpha))
-        (if Solver.within_frontier alpha q then "yes (polynomial)" else "no (#P-hard)"))
-    Aggregate.all;
-  0
-
-(* ------------------------------------------------------------------ *)
-(* eval                                                                *)
-(* ------------------------------------------------------------------ *)
-
-let run_eval query_s db_path agg_s tau_s =
-  let q = parse_query_arg query_s in
-  let db = read_database db_path in
-  warn_schema q db;
-  let a = make_agg_query agg_s tau_s q in
-  let value = try Agg_query.eval a db with Invalid_argument msg -> die "%s" msg in
-  Printf.printf "%s = %s (~ %g)\n" agg_s (Q.to_string value) (Q.to_float value);
-  0
-
-(* ------------------------------------------------------------------ *)
-(* solve                                                               *)
-(* ------------------------------------------------------------------ *)
-
 (* mc:SAMPLES or mc:SAMPLES:SEED. Returns the fallback and the optional
    Monte-Carlo seed. *)
 let parse_fallback s =
@@ -160,16 +129,82 @@ let parse_fallback s =
   end
   | _ -> die "unknown fallback %S (%s)" s mc_usage
 
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_classify query_s =
+  let q = parse_query_arg query_s in
+  Printf.printf "query: %s\n" (Cq.to_string q);
+  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string (Hierarchy.classify q));
+  Printf.printf "%-18s %-22s %s\n" "aggregate" "frontier" "tractable here?";
+  List.iter
+    (fun alpha ->
+      Printf.printf "%-18s %-22s %s\n"
+        (Aggregate.to_string alpha)
+        (Hierarchy.cls_to_string (Solver.frontier alpha))
+        (if Solver.within_frontier alpha q then "yes (polynomial)" else "no (#P-hard)"))
+    Aggregate.all;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_explain query_s agg_s tau_s fallback_s =
+  let q = parse_query_arg query_s in
+  let a = make_agg_query agg_s tau_s q in
+  let fallback, _mc_seed = parse_fallback fallback_s in
+  let report = Solver.report ~fallback a in
+  Printf.printf "query: %s\n" (Cq.to_string q);
+  Printf.printf "aggregate: %s\n\n" (Aggregate.to_string a.Agg_query.alpha);
+  Printf.printf "hierarchy chain (each class contains the next):\n";
+  List.iter
+    (fun (name, holds) ->
+      Printf.printf "  %-20s %s\n" name (if holds then "yes" else "no"))
+    [ ("exists-hierarchical", Hierarchy.is_exists_hierarchical q);
+      ("all-hierarchical", Hierarchy.is_all_hierarchical q);
+      ("q-hierarchical", Hierarchy.is_q_hierarchical q);
+      ("sq-hierarchical", Hierarchy.is_sq_hierarchical q) ];
+  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string report.Solver.cls);
+  Printf.printf "frontier of %s: %s\n"
+    (Aggregate.to_string a.Agg_query.alpha)
+    (Hierarchy.cls_to_string report.Solver.frontier);
+  Printf.printf "within frontier: %s\n"
+    (if report.Solver.within_frontier then "yes (polynomial)" else "no (#P-hard)");
+  Printf.printf "algorithm: %s\n\n" report.Solver.algorithm;
+  Printf.printf "engine decomposition:\n";
+  Format.printf "%a@?" Engine.pp_shape (Engine.shape q);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_eval query_s db_path agg_s tau_s =
+  let q = parse_query_arg query_s in
+  let db = read_database db_path in
+  warn_schema q db;
+  let a = make_agg_query agg_s tau_s q in
+  let value = try Agg_query.eval a db with Invalid_argument msg -> die "%s" msg in
+  Printf.printf "%s = %s (~ %g)\n" agg_s (Q.to_string value) (Q.to_float value);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
 (* --stats: per-kernel counter report after a solve. The counters are
    plain (non-atomic) globals, so under --jobs > 1 the numbers are
    approximate — flagged in the output. *)
-let print_kernel_stats jobs =
+let print_kernel_stats parallel =
   let bs = Aggshap_arith.Bigint.stats () in
   let ts = Aggshap_core.Tables.stats () in
-  let approx = match jobs with Some j when j > 1 -> " (approximate: --jobs > 1)" | _ -> "" in
+  let es = Engine.stats () in
+  let approx = if parallel then " (approximate: parallelism enabled)" else "" in
   Printf.printf "kernel counters%s:\n" approx;
   List.iter
-    (fun (name, v) -> Printf.printf "  %-16s %d\n" name v)
+    (fun (name, v) -> Printf.printf "  %-18s %d\n" name v)
     [ ("mul_schoolbook", bs.Aggshap_arith.Bigint.mul_schoolbook);
       ("mul_karatsuba", bs.Aggshap_arith.Bigint.mul_karatsuba);
       ("mul_small", bs.Aggshap_arith.Bigint.mul_small);
@@ -180,9 +215,14 @@ let print_kernel_stats jobs =
       ("convolve", ts.Aggshap_core.Tables.convolve);
       ("convolve_rat", ts.Aggshap_core.Tables.convolve_rat);
       ("tree_folds", ts.Aggshap_core.Tables.tree_folds);
-      ("weighted_sums", ts.Aggshap_core.Tables.weighted_sums) ]
+      ("weighted_sums", ts.Aggshap_core.Tables.weighted_sums);
+      ("engine_nodes", es.Engine.nodes);
+      ("engine_leaves", es.Engine.leaves);
+      ("engine_merges", es.Engine.merges);
+      ("engine_combines", es.Engine.combines);
+      ("engine_par_merges", es.Engine.parallel_merges) ]
 
-let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache stats =
+let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_jobs cache stats =
   let q = parse_query_arg query_s in
   let db = read_database db_path in
   warn_schema q db;
@@ -191,10 +231,19 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache s
   (match jobs with
    | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
    | _ -> ());
+  (match block_jobs with
+   | Some b when b < 1 -> die "--block-jobs must be at least 1 (got %d)" b
+   | Some b -> Engine.set_block_jobs b
+   | None -> ());
   if stats then begin
     Aggshap_arith.Bigint.reset_stats ();
-    Aggshap_core.Tables.reset_stats ()
+    Aggshap_core.Tables.reset_stats ();
+    Engine.reset_stats ()
   end;
+  let parallel =
+    (match jobs with Some j -> j > 1 | None -> false)
+    || (match block_jobs with Some b -> b > 1 | None -> false)
+  in
   if score_s = "banzhaf" then begin
     (try
        List.iter
@@ -209,7 +258,7 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache s
             | Ok (f, _) -> [ f ]
             | Error msg -> die "cannot parse fact %S: %s" s msg))
      with Invalid_argument msg -> die "%s" msg);
-    if stats then print_kernel_stats jobs;
+    if stats then print_kernel_stats parallel;
     0
   end
   else if score_s <> "shapley" then die "unknown score %S (use shapley or banzhaf)" score_s
@@ -242,7 +291,7 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs cache s
          report.Solver.algorithm;
        List.iter (fun (f, o) -> print_outcome f o) results
    with Invalid_argument msg -> die "%s" msg);
-  if stats then print_kernel_stats jobs;
+  if stats then print_kernel_stats parallel;
   0
   end
 
@@ -399,6 +448,12 @@ let jobs_arg =
                recommended domain count of the machine; 1 disables \
                parallelism). Results are identical for every N.")
 
+let block_jobs_arg =
+  Arg.(value & opt (some int) None & info [ "block-jobs" ] ~docv:"N"
+         ~doc:"Worker domains for independent root blocks inside one \
+               decomposition-engine evaluation (default 1: sequential). \
+               Results are identical for every N; composes with --jobs.")
+
 let cache_arg =
   Arg.(value & opt bool true & info [ "cache" ] ~docv:"BOOL"
          ~doc:"Share dynamic-programming tables across the per-fact batch \
@@ -419,10 +474,19 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate an aggregate query over a database")
     Term.(const run_eval $ query_arg $ db_arg $ agg_arg $ tau_arg)
 
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain how one aggregate query would be solved: the hierarchy \
+             classification chain, the aggregate's tractability frontier, \
+             the selected algorithm, and the decomposition tree the generic \
+             engine evaluates.")
+    Term.(const run_explain $ query_arg $ agg_arg $ tau_arg $ fallback_arg)
+
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute Shapley values of endogenous facts")
-    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ cache_arg $ stats_arg)
+    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ block_jobs_arg $ cache_arg $ stats_arg)
 
 let updates_file_arg =
   Arg.(required & opt (some string) None & info [ "u"; "updates" ] ~docv:"FILE"
@@ -484,6 +548,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "shapctl" ~version:"1.0.0"
        ~doc:"Shapley values for aggregate conjunctive queries")
-    [ classify_cmd; eval_cmd; solve_cmd; session_cmd; fuzz_cmd ]
+    [ classify_cmd; explain_cmd; eval_cmd; solve_cmd; session_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -47,6 +47,16 @@ let combine_vtables op t1 t2 =
 
 let neutral_union = { n = 0; entries = LMap.singleton (0, 0, 0) [| B.one |] }
 
+let vtable_of ~n entries =
+  { n; entries = List.fold_left (fun acc (l, c) -> add_entry l c acc) LMap.empty entries }
+
+(* [combine_vtables] drops all-zero rows, so equality must not
+   distinguish an absent ℓ-vector from one whose counts are all zero. *)
+let vtable_equal t1 t2 =
+  let nonzero m = LMap.filter (fun _ c -> not (B.is_zero (Tables.total c))) m in
+  let counts_equal a b = Array.length a = Array.length b && Array.for_all2 B.equal a b in
+  t1.n = t2.n && LMap.equal counts_equal (nonzero t1.entries) (nonzero t2.entries)
+
 (* Cross product of a τ-side table with a τ-free side's answer counts:
    each answer of the τ-free side replicates the whole bag. *)
 let combine_cross_counted t (c : Count_dp.t) =
@@ -81,9 +91,9 @@ let memo_stats m =
 (* Boolean sub-query containing the τ-relation: at most one answer, whose
    τ-value is read off the homomorphism support (all supporting R-facts
    must agree — otherwise τ is not localized on this database). *)
-let boolean_valued ?memo tau a q db =
+let boolean_valued ?bool_memo tau a q db =
   let n = Database.endo_size db in
-  let sat = Boolean_dp.counts ?memo:(Option.map (fun m -> m.bool) memo) q db in
+  let sat = Boolean_dp.counts ?memo:bool_memo q db in
   let unsat = Tables.complement n sat in
   let r_facts =
     List.filter
@@ -104,54 +114,64 @@ let boolean_valued ?memo tau a q db =
     in
     { n; entries = LMap.empty |> add_entry lvec sat |> add_entry (0, 0, 0) unsat }
 
-(* The table for the sub-query containing the τ-relation, for a fixed
-   reference value [a]. The memo key carries the reference value on top
-   of the block key (the same sub-instance is revisited once per
-   realizable τ-value); τ itself stays outside the key, so a memo is
-   only sound for one value function — {!Batch} creates one per run. *)
-let rec valued_table ?memo tau a q db =
-  Memo.find_or_compute
-    (Option.map (fun m -> m.self) memo)
-    ~key:(fun () -> Q.to_string a ^ "\x01" ^ Decompose.block_key q db)
-    (fun () -> valued_table_uncached ?memo tau a q db)
+(* The Figure-2 template instantiated with (a,k,ℓ)-tables for the
+   sub-query containing the τ-relation, for a fixed reference value
+   [a]. The memo key carries the reference value on top of the block
+   key (the same sub-instance is revisited once per realizable
+   τ-value); τ itself stays outside the key, so a memo is only sound
+   for one value function — {!Batch} creates one per run. *)
+module Alg = struct
+  type table = vtable
 
-and valued_table_uncached ?memo tau a q db =
-  if Cq.is_boolean q then boolean_valued ?memo tau a q db
-  else begin
-    match Decompose.connected_components q with
-    | [] -> assert false
-    | [ _ ] -> begin
-      match Decompose.choose_root q with
-      | Some x when Cq.is_free q x ->
-        let blocks, dropped = Decompose.partition q x db in
-        let t =
-          List.fold_left
-            (fun acc (v, block) ->
-              combine_vtables vec_add acc
-                (valued_table ?memo tau a (Cq.substitute q x v) block))
-            neutral_union blocks
-        in
-        pad_vtable (Database.endo_size dropped) t
-      | Some _ | None ->
-        invalid_arg ("Avg_quantile: query is not q-hierarchical: " ^ Cq.to_string q)
-    end
-    | comps ->
-      let rel = tau.Value_fn.rel in
-      let with_r, without_r =
-        List.partition (fun c -> List.mem rel (Cq.relations c)) comps
-      in
-      (match with_r with
-       | [ c0 ] ->
-         let db0, _ = Database.restrict_relations (Cq.relations c0) db in
-         let t0 = valued_table ?memo tau a c0 db0 in
-         let count_memo = Option.map (fun m -> m.count) memo in
-         List.fold_left
-           (fun acc c ->
-             let db_c, _ = Database.restrict_relations (Cq.relations c) db in
-             combine_cross_counted acc (Count_dp.answer_counts ?memo:count_memo c db_c))
-           t0 without_r
-       | _ -> invalid_arg "Avg_quantile: τ-relation must occur in exactly one component")
-  end
+  type ctx = {
+    tau : Value_fn.t;
+    a : Q.t;
+    bool : Boolean_dp.memo option;
+    count : Count_dp.memo option;
+  }
+
+  let memo_prefix ctx = Q.to_string ctx.a ^ "\x01"
+
+  let leaf ctx q db =
+    if Cq.is_boolean q then Some (boolean_valued ?bool_memo:ctx.bool ctx.tau ctx.a q db)
+    else None
+
+  let connected_leaf _ _ _ = None
+  let empty _ _ = assert false (* non-Boolean queries have atoms *)
+  let root_mode = `Free_root
+  let root_error = "Avg_quantile: query is not q-hierarchical: "
+
+  let merge _ ~root:_ blocks =
+    List.fold_left (fun acc (_, _, t) -> combine_vtables vec_add acc t) neutral_union
+      blocks
+
+  let combine ctx _q _db comps =
+    let rel = ctx.tau.Value_fn.rel in
+    let with_r, without_r =
+      List.partition (fun (c, _, _) -> List.mem rel (Cq.relations c)) comps
+    in
+    match with_r with
+    | [ (_, _, table0) ] ->
+      let t0 = table0 () in
+      List.fold_left
+        (fun acc (c, db_c, _) ->
+          combine_cross_counted acc (Count_dp.answer_counts ?memo:ctx.count c db_c))
+        t0 without_r
+    | _ -> invalid_arg "Avg_quantile: τ-relation must occur in exactly one component"
+
+  let pad _ p t = pad_vtable p t
+end
+
+module E = Engine.Make (Alg)
+
+let ctx_of ?memo tau a =
+  { Alg.tau;
+    a;
+    bool = Option.map (fun m -> m.bool) memo;
+    count = Option.map (fun m -> m.count) memo }
+
+let valued_table ?memo tau a q db =
+  E.eval ?memo:(Option.map (fun m -> m.self) memo) (ctx_of ?memo tau a) q db
 
 let check (a : Agg_query.t) =
   (match Aggregate.quantile_of a.alpha with

@@ -14,6 +14,34 @@
     under union) and cross products multiply ℓ by the τ-free side's
     answer count, provided by {!Count_dp}. *)
 
+(** {2 Table algebra}
+
+    The (a,k,ℓ)-table combinators the engine instance is built from,
+    exposed for the algebraic-law tests: [combine_vtables vec_add] is
+    associative and commutative with unit [neutral_union]. *)
+
+type vtable
+(** [N_a(k, ℓ<, ℓ=, ℓ>)] for one sub-query and reference value. *)
+
+val neutral_union : vtable
+(** The empty sub-database: one 0-subset with the empty answer bag. *)
+
+val vtable_of : n:int -> ((int * int * int) * Tables.counts) list -> vtable
+(** Build a table from per-ℓ-vector counts (duplicates are added). *)
+
+val vec_add : int * int * int -> int * int * int -> int * int * int
+
+val combine_vtables :
+  (int * int * int -> int * int * int -> int * int * int) -> vtable -> vtable -> vtable
+(** Convolve per-k counts and combine ℓ-vectors with the given
+    operation; all-zero rows are dropped. *)
+
+val pad_vtable : int -> vtable -> vtable
+(** Account for extra null players. *)
+
+val vtable_equal : vtable -> vtable -> bool
+(** Structural equality, treating absent rows as rows of zeros. *)
+
 type memo
 (** Shared cache of (a,k,ℓ)-tables plus the Boolean and answer-count
     sub-tables; see {!Memo}. Create one per batch run over a fixed

@@ -1,5 +1,4 @@
 module B = Aggshap_arith.Bigint
-module Q = Aggshap_arith.Rational
 module Cq = Aggshap_cq.Cq
 module Decompose = Aggshap_cq.Decompose
 module Database = Aggshap_relational.Database
@@ -9,55 +8,8 @@ type memo = Tables.counts Memo.t
 let create_memo () = Memo.create ()
 let memo_stats = Memo.stats
 
-(* [go q db]: satisfaction counts, assuming every fact of [db] matches
-   some atom of [q]. The recursion mirrors Figure 2: ground atoms are
-   base cases, disconnected queries multiply (conjunction over disjoint
-   fact sets), and a connected query partitions by a root variable —
-   for Boolean satisfaction, the query holds iff {e some} block holds,
-   so the blocks' complements convolve.
-
-   With [?memo] every sub-instance table is cached under its block key:
-   across a per-fact batch loop only the blocks touched by the current
-   fact miss, the sibling blocks hit. *)
-let rec go ?memo q db =
-  Memo.find_or_compute memo
-    ~key:(fun () -> Decompose.block_key q db)
-    (fun () -> go_uncached ?memo q db)
-
-and go_uncached ?memo q db =
-  match Decompose.connected_components q with
-  | [] -> Tables.full (Database.endo_size db)
-  | [ _single ] ->
-    if Decompose.is_ground q then ground_case q db
-    else begin
-      match Decompose.choose_root q with
-      | None ->
-        invalid_arg
-          ("Boolean_dp: query is not hierarchical (no root variable): " ^ Cq.to_string q)
-      | Some x ->
-        let blocks, dropped = Decompose.partition q x db in
-        let false_counts =
-          Tables.convolve_many
-            (List.map
-               (fun (a, block) ->
-                 let t = go ?memo (Cq.substitute q x a) block in
-                 Tables.complement (Database.endo_size block) t)
-               blocks)
-        in
-        let n_blocks = Array.length false_counts - 1 in
-        let t = Tables.complement n_blocks false_counts in
-        Tables.pad (Database.endo_size dropped) t
-    end
-  | comps ->
-    Tables.convolve_many
-      (List.map
-         (fun comp ->
-           let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
-           go ?memo comp db_c)
-         comps)
-
 (* A ground connected component is a single variable-free atom. *)
-and ground_case q db =
+let ground_case q db =
   match q.Cq.body with
   | [ atom ] ->
     let fact =
@@ -78,9 +30,44 @@ and ground_case q db =
      | None -> Tables.zeros (Database.endo_size db))
   | _ -> invalid_arg "Boolean_dp: ground component with several atoms"
 
-let counts ?memo q db =
-  let db_rel, db_pad = Decompose.relevant q db in
-  Tables.pad (Database.endo_size db_pad) (go ?memo q db_rel)
+(* The Figure-2 template instantiated with satisfaction counts: ground
+   atoms are base cases, disconnected queries multiply (conjunction over
+   disjoint fact sets), and a connected query partitions by a root
+   variable — for Boolean satisfaction, the query holds iff {e some}
+   block holds, so the blocks' complements convolve. *)
+module Alg = struct
+  type table = Tables.counts
+  type ctx = unit
+
+  let memo_prefix () = ""
+  let leaf () _q _db = None
+
+  let connected_leaf () q db =
+    if Decompose.is_ground q then Some (ground_case q db) else None
+
+  let empty () db = Tables.full (Database.endo_size db)
+  let root_mode = `Any_root
+  let root_error = "Boolean_dp: query is not hierarchical (no root variable): "
+
+  let merge () ~root:_ blocks =
+    let false_counts =
+      Tables.convolve_many
+        (List.map
+           (fun (_, block, t) -> Tables.complement (Database.endo_size block) t)
+           blocks)
+    in
+    let n_blocks = Array.length false_counts - 1 in
+    Tables.complement n_blocks false_counts
+
+  let combine () _q _db comps =
+    Tables.convolve_many (List.map (fun (_, _, table) -> table ()) comps)
+
+  let pad () p t = Tables.pad p t
+end
+
+module E = Engine.Make (Alg)
+
+let counts ?memo q db = E.eval_top ?memo () q db
 
 let score ?coefficients ?memo q db f =
   Sumk.score_of_db_fn ?coefficients

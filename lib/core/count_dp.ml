@@ -1,6 +1,5 @@
 module B = Aggshap_arith.Bigint
 module Cq = Aggshap_cq.Cq
-module Decompose = Aggshap_cq.Decompose
 module Database = Aggshap_relational.Database
 module IntMap = Map.Make (Int)
 
@@ -43,6 +42,13 @@ let combine op t1 t2 =
 let pad_table p t =
   if p = 0 then t else { n = t.n + p; entries = IntMap.map (Tables.pad p) t.entries }
 
+(* [combine] drops all-zero rows as it goes, so equality must not
+   distinguish an absent row from an explicit row of zeros. *)
+let equal t1 t2 =
+  let nonzero m = IntMap.filter (fun _ c -> not (B.is_zero (Tables.total c))) m in
+  let counts_equal a b = Array.length a = Array.length b && Array.for_all2 B.equal a b in
+  t1.n = t2.n && IntMap.equal counts_equal (nonzero t1.entries) (nonzero t2.entries)
+
 type memo = {
   self : t Memo.t;
   bool : Boolean_dp.memo;
@@ -53,45 +59,44 @@ let create_memo () = { self = Memo.create (); bool = Boolean_dp.create_memo () }
 let memo_stats m =
   Memo.merge_stats (Memo.stats m.self) (Boolean_dp.memo_stats m.bool)
 
-let rec table ?memo q db =
-  Memo.find_or_compute
-    (Option.map (fun m -> m.self) memo)
-    ~key:(fun () -> Decompose.block_key q db)
-    (fun () -> table_uncached ?memo q db)
+(* The Figure-2 template instantiated with answer-count tables. Boolean
+   sub-queries are the leaves (their count is their satisfaction); the
+   free-root requirement makes sibling blocks' answer sets disjoint, so
+   [ℓ] adds under union and multiplies under cross product. *)
+module Alg = struct
+  type table = t
+  type ctx = { bool : Boolean_dp.memo option }
 
-and table_uncached ?memo q db =
-  if Cq.is_boolean q then begin
-    let n = Database.endo_size db in
-    let sat = Boolean_dp.counts ?memo:(Option.map (fun m -> m.bool) memo) q db in
-    let unsat = Tables.complement n sat in
-    let entries = IntMap.empty |> add_entry 1 sat |> add_entry 0 unsat in
-    { n; entries }
-  end
-  else begin
-    match Decompose.connected_components q with
-    | [] -> assert false (* non-Boolean queries have atoms *)
-    | [ _ ] -> begin
-      match Decompose.choose_root q with
-      | Some x when Cq.is_free q x ->
-        let blocks, dropped = Decompose.partition q x db in
-        let t =
-          List.fold_left
-            (fun acc (a, block) ->
-              combine ( + ) acc (table ?memo (Cq.substitute q x a) block))
-            neutral_union blocks
-        in
-        pad_table (Database.endo_size dropped) t
-      | Some _ | None ->
-        invalid_arg ("Count_dp: query is not q-hierarchical: " ^ Cq.to_string q)
+  let memo_prefix _ = ""
+
+  let leaf ctx q db =
+    if Cq.is_boolean q then begin
+      let n = Database.endo_size db in
+      let sat = Boolean_dp.counts ?memo:ctx.bool q db in
+      let unsat = Tables.complement n sat in
+      let entries = IntMap.empty |> add_entry 1 sat |> add_entry 0 unsat in
+      Some { n; entries }
     end
-    | comps ->
-      List.fold_left
-        (fun acc comp ->
-          let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
-          combine ( * ) acc (table ?memo comp db_c))
-        neutral_cross comps
-  end
+    else None
+
+  let connected_leaf _ _ _ = None
+  let empty _ _ = assert false (* non-Boolean queries have atoms *)
+  let root_mode = `Free_root
+  let root_error = "Count_dp: query is not q-hierarchical: "
+
+  let merge _ ~root:_ blocks =
+    List.fold_left (fun acc (_, _, t) -> combine ( + ) acc t) neutral_union blocks
+
+  let combine _ _ _ comps =
+    List.fold_left (fun acc (_, _, table) -> combine ( * ) acc (table ())) neutral_cross
+      comps
+
+  let pad _ p t = pad_table p t
+end
+
+module E = Engine.Make (Alg)
+
+let ctx_of memo = { Alg.bool = Option.map (fun m -> m.bool) memo }
 
 let answer_counts ?memo q db =
-  let db_rel, db_pad = Decompose.relevant q db in
-  pad_table (Database.endo_size db_pad) (table ?memo q db_rel)
+  E.eval_top ?memo:(Option.map (fun m -> m.self) memo) (ctx_of memo) q db

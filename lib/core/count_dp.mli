@@ -31,3 +31,26 @@ val get : t -> int -> Tables.counts
 
 val at_least : t -> int -> Tables.counts
 (** [at_least t ℓ]: counts of subsets with at least [ℓ] answers. *)
+
+(** {2 Table algebra}
+
+    The combinators the engine instance is built from, exposed for the
+    algebraic-law tests: [combine (+)] (block union) and
+    [combine ( * )] (component cross product) are associative and
+    commutative with units [neutral_union] and [neutral_cross]. *)
+
+val neutral_union : t
+(** Unit of [combine (+)]: the empty sub-database with zero answers. *)
+
+val neutral_cross : t
+(** Unit of [combine ( * )]: the empty sub-query with one answer. *)
+
+val combine : (int -> int -> int) -> t -> t -> t
+(** Convolve per-k counts and combine answer counts with the given
+    operation; all-zero rows are dropped. *)
+
+val pad_table : int -> t -> t
+(** Account for extra null players. *)
+
+val equal : t -> t -> bool
+(** Structural equality, treating absent rows as rows of zeros. *)

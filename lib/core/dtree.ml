@@ -29,31 +29,7 @@ let mk_or children =
     | [ c ] -> c
     | cs -> Or cs
 
-(* The recursion mirrors Boolean_dp: components conjoin, root-variable
-   blocks disjoin, ground atoms are leaves. *)
-let rec compile_rel q db =
-  match Decompose.connected_components q with
-  | [] -> True
-  | [ _ ] ->
-    if Decompose.is_ground q then ground q db
-    else begin
-      match Decompose.choose_root q with
-      | None ->
-        invalid_arg ("Dtree.compile: query is not hierarchical: " ^ Cq.to_string q)
-      | Some x ->
-        let blocks, _dropped = Decompose.partition q x db in
-        mk_or
-          (List.map (fun (a, block) -> compile_rel (Cq.substitute q x a) block) blocks)
-    end
-  | comps ->
-    mk_and
-      (List.map
-         (fun comp ->
-           let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
-           compile_rel comp db_c)
-         comps)
-
-and ground q db =
+let ground q db =
   match q.Cq.body with
   | [ atom ] ->
     let fact =
@@ -71,9 +47,27 @@ and ground q db =
      | None -> False)
   | _ -> invalid_arg "Dtree.compile: ground component with several atoms"
 
-let compile q db =
-  let db_rel, _ = Decompose.relevant q db in
-  compile_rel q db_rel
+(* The Figure-2 template instantiated with d-trees: components conjoin,
+   root-variable blocks disjoin, ground atoms are leaves. No padding —
+   facts outside the tree's scope are simply absent from it. *)
+module Alg = struct
+  type table = t
+  type ctx = unit
+
+  let memo_prefix () = ""
+  let leaf () _ _ = None
+  let connected_leaf () q db = if Decompose.is_ground q then Some (ground q db) else None
+  let empty () _ = True
+  let root_mode = `Any_root
+  let root_error = "Dtree.compile: query is not hierarchical: "
+  let merge () ~root:_ blocks = mk_or (List.map (fun (_, _, t) -> t) blocks)
+  let combine () _ _ comps = mk_and (List.map (fun (_, _, table) -> table ()) comps)
+  let pad () _ t = t
+end
+
+module E = Engine.Make (Alg)
+
+let compile q db = E.eval_top () q db
 
 module FactSet = Set.Make (Fact)
 

@@ -73,7 +73,7 @@ let at_most_one ?memo q db =
    the τ-relation. The bag is duplicate-free iff every τ-value class of
    facts yields at most one answer. The memo key omits τ, so a memo is
    only sound across calls sharing one value function. *)
-let connected_dup_counts ?memo tau q db =
+let connected_dup_counts ?count_memo tau q db =
   let n = Database.endo_size db in
   let aq = Agg_query.make Aggregate.Has_duplicates tau q in
   let answer_values =
@@ -96,7 +96,6 @@ let connected_dup_counts ?memo tau q db =
       db
       (QMap.empty, 0)
   in
-  let count_memo = Option.map (fun m -> m.count) memo in
   let nodup =
     Tables.convolve_many
       (QMap.fold
@@ -106,43 +105,59 @@ let connected_dup_counts ?memo tau q db =
   let nodup = Tables.pad padding nodup in
   Tables.sub (Tables.full n) nodup
 
-(* Appendix E.2.3: cross product with the τ-relation in the connected
-   component [q1]. *)
-let rec dup_counts ?memo tau q db =
-  Memo.find_or_compute
-    (Option.map (fun m -> m.self) memo)
-    ~key:(fun () -> Decompose.block_key q db)
-    (fun () -> dup_counts_uncached ?memo tau q db)
+(* The Figure-2 template instantiated with Dup counts. The connected
+   case is resolved whole (Figure 5, via [connected_leaf]); only the
+   cross-product step of Appendix E.2.3 decomposes, with the τ-relation
+   in the connected component [q1]. *)
+module Alg = struct
+  type table = Tables.counts
+  type ctx = { tau : Value_fn.t; count : Count_dp.memo option }
 
-and dup_counts_uncached ?memo tau q db =
-  match Decompose.connected_components q with
-  | [] -> invalid_arg "Dup: τ-relation vanished from the query"
-  | [ _ ] -> connected_dup_counts ?memo tau q db
-  | comps ->
-    let rel = tau.Value_fn.rel in
-    let q1 =
-      match List.find_opt (fun c -> List.mem rel (Cq.relations c)) comps with
-      | Some c -> c
-      | None -> invalid_arg "Dup: τ-relation must occur in the query"
-    in
-    let other_rels =
-      List.concat_map Cq.relations (List.filter (fun c -> c != q1) comps)
-    in
-    let q2 = Cq.restrict_to_relations q other_rels in
-    let db1, _ = Database.restrict_relations (Cq.relations q1) db in
-    let db2, _ = Database.restrict_relations other_rels db in
-    let n1 = Database.endo_size db1 and n2 = Database.endo_size db2 in
-    let count_memo = Option.map (fun m -> m.count) memo in
-    let t1 = Count_dp.answer_counts ?memo:count_memo q1 db1 in
-    let t2 = Count_dp.answer_counts ?memo:count_memo q2 db2 in
-    let nonempty1 = Tables.sub (Tables.full n1) (Count_dp.get t1 0) in
-    let many2 =
-      Tables.sub (Tables.full n2) (Tables.add (Count_dp.get t2 0) (Count_dp.get t2 1))
-    in
-    let dup1 = dup_counts ?memo tau q1 db1 in
-    Tables.add
-      (Tables.convolve nonempty1 many2)
-      (Tables.convolve dup1 (Count_dp.get t2 1))
+  let memo_prefix _ = ""
+  let leaf _ _ _ = None
+
+  let connected_leaf ctx q db =
+    Some (connected_dup_counts ?count_memo:ctx.count ctx.tau q db)
+
+  let empty _ _ = invalid_arg "Dup: τ-relation vanished from the query"
+
+  (* Every connected sub-query resolves in [connected_leaf], so the
+     engine never reaches the root-partition step for this algebra. *)
+  let root_mode = `Any_root
+  let root_error = "Dup: query is not sq-hierarchical: "
+  let merge _ ~root:_ _ = assert false
+
+  let combine ctx q db comps =
+    let rel = ctx.tau.Value_fn.rel in
+    match List.find_opt (fun (c, _, _) -> List.mem rel (Cq.relations c)) comps with
+    | None -> invalid_arg "Dup: τ-relation must occur in the query"
+    | Some ((q1, _, dup1_table) as entry1) ->
+      let other_rels =
+        List.concat_map
+          (fun (c, _, _) -> Cq.relations c)
+          (List.filter (fun e -> e != entry1) comps)
+      in
+      let q2 = Cq.restrict_to_relations q other_rels in
+      let db1, _ = Database.restrict_relations (Cq.relations q1) db in
+      let db2, _ = Database.restrict_relations other_rels db in
+      let n1 = Database.endo_size db1 and n2 = Database.endo_size db2 in
+      let t1 = Count_dp.answer_counts ?memo:ctx.count q1 db1 in
+      let t2 = Count_dp.answer_counts ?memo:ctx.count q2 db2 in
+      let nonempty1 = Tables.sub (Tables.full n1) (Count_dp.get t1 0) in
+      let many2 =
+        Tables.sub (Tables.full n2) (Tables.add (Count_dp.get t2 0) (Count_dp.get t2 1))
+      in
+      let dup1 = dup1_table () in
+      Tables.add
+        (Tables.convolve nonempty1 many2)
+        (Tables.convolve dup1 (Count_dp.get t2 1))
+
+  let pad _ p t = Tables.pad p t
+end
+
+module E = Engine.Make (Alg)
+
+let ctx_of ?memo tau = { Alg.tau; count = Option.map (fun m -> m.count) memo }
 
 let check (a : Agg_query.t) =
   if a.alpha <> Aggregate.Has_duplicates then
@@ -153,9 +168,8 @@ let check (a : Agg_query.t) =
 
 let sum_k_memo ?memo (a : Agg_query.t) db =
   check a;
-  let db_rel, db_pad = Decompose.relevant a.query db in
   let counts =
-    Tables.pad (Database.endo_size db_pad) (dup_counts ?memo a.tau a.query db_rel)
+    E.eval_top ?memo:(Option.map (fun m -> m.self) memo) (ctx_of ?memo a.tau) a.query db
   in
   Tables.to_rationals counts
 

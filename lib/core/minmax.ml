@@ -66,6 +66,24 @@ let combine_cross t (n2, nonempty2) =
     empty;
     by_value = QMap.map (fun c -> Tables.convolve c nonempty2) t.by_value }
 
+let table_of_values ~n ~empty values =
+  { n;
+    empty;
+    by_value =
+      List.fold_left
+        (fun acc (a, c) ->
+          QMap.update a (function None -> Some c | Some c' -> Some (Tables.add c' c)) acc)
+        QMap.empty values }
+
+(* [combine_union] drops all-zero rows, so equality must not distinguish
+   an absent value from a value whose counts are all zero. *)
+let table_equal t1 t2 =
+  let nonzero m = QMap.filter (fun _ c -> not (B.is_zero (Tables.total c))) m in
+  let counts_equal a b = Array.length a = Array.length b && Array.for_all2 B.equal a b in
+  t1.n = t2.n
+  && counts_equal t1.empty t2.empty
+  && QMap.equal counts_equal (nonzero t1.by_value) (nonzero t2.by_value)
+
 let ground_base tau (atom : Cq.atom) db =
   let fact =
     { Aggshap_relational.Fact.rel = atom.Cq.rel;
@@ -95,76 +113,79 @@ let create_memo () = { self = Memo.create (); bool = Boolean_dp.create_memo () }
 let memo_stats m =
   Memo.merge_stats (Memo.stats m.self) (Boolean_dp.memo_stats m.bool)
 
-(* The table for a sub-query containing the τ-relation. Assumes every
-   fact of [db] matches some atom of [q]. The memo key does not mention
-   τ, so a memo is only sound across calls sharing one value function —
-   {!Batch} creates a fresh one per run. *)
-let rec valued_table ?memo tau q db =
-  Memo.find_or_compute
-    (Option.map (fun m -> m.self) memo)
-    ~key:(fun () -> Decompose.block_key q db)
-    (fun () -> valued_table_uncached ?memo tau q db)
+(* The Figure-2 template instantiated with (a,k)-tables, for sub-queries
+   containing the τ-relation (Appendix C): root blocks combine by
+   bag-union, τ-free components contribute only nonempty/empty counts
+   (the Boolean engine provides them), and the τ-component recurses.
+   The memo key does not mention τ, so a memo is only sound across
+   calls sharing one value function — {!Batch} creates a fresh one per
+   run. *)
+module Alg = struct
+  type nonrec table = table
+  type ctx = { tau : Value_fn.t; bool : Boolean_dp.memo option }
 
-and valued_table_uncached ?memo tau q db =
-  match Decompose.connected_components q with
-  | [] -> invalid_arg "Minmax: τ-relation vanished from the query"
-  | [ _ ] ->
+  let memo_prefix _ = ""
+  let leaf _ _ _ = None
+
+  let connected_leaf ctx q db =
     if Decompose.is_ground q then begin
       match q.Cq.body with
-      | [ atom ] -> ground_base tau atom db
+      | [ atom ] -> Some (ground_base ctx.tau atom db)
       | _ -> invalid_arg "Minmax: ground component with several atoms"
     end
-    else begin
-      match Decompose.choose_root q with
-      | None ->
-        invalid_arg ("Minmax: query is not all-hierarchical: " ^ Cq.to_string q)
-      | Some x ->
-        let blocks, dropped = Decompose.partition q x db in
-        let t =
-          List.fold_left
-            (fun acc (a, block) ->
-              combine_union acc (valued_table ?memo tau (Cq.substitute q x a) block))
-            neutral blocks
-        in
-        pad_table (Database.endo_size dropped) t
-    end
-  | comps ->
-    let rel = tau.Value_fn.rel in
+    else None
+
+  let empty _ _ = invalid_arg "Minmax: τ-relation vanished from the query"
+  let root_mode = `Any_root
+  let root_error = "Minmax: query is not all-hierarchical: "
+
+  let merge _ ~root:_ blocks =
+    List.fold_left (fun acc (_, _, t) -> combine_union acc t) neutral blocks
+
+  let combine ctx _q db comps =
+    let rel = ctx.tau.Value_fn.rel in
     let with_r, without_r =
-      List.partition (fun c -> List.mem rel (Cq.relations c)) comps
+      List.partition (fun (c, _, _) -> List.mem rel (Cq.relations c)) comps
     in
-    (match with_r with
-     | [ c0 ] ->
-       let db0, _ = Database.restrict_relations (Cq.relations c0) db in
-       let t0 = valued_table ?memo tau c0 db0 in
-       let bool_memo = Option.map (fun m -> m.bool) memo in
-       (match without_r with
-        | [] -> t0
-        | _ ->
-          (* Folding [combine_cross] once per τ-free component re-maps
-             the whole [by_value] table each time; convolving the
-             components' satisfaction tables first (balanced) and
-             crossing once is bit-identical — the cross product of
-             independent fact sets is associative and the arithmetic is
-             exact. *)
-          let sats =
-            List.map
-              (fun c ->
-                let db_c, _ = Database.restrict_relations (Cq.relations c) db in
-                (Database.endo_size db_c, Boolean_dp.counts ?memo:bool_memo c db_c))
-              without_r
-          in
-          let n2 = List.fold_left (fun acc (n, _) -> acc + n) 0 sats in
-          combine_cross t0 (n2, Tables.convolve_many (List.map snd sats)))
-     | _ -> invalid_arg "Minmax: τ-relation must occur in exactly one component")
+    match with_r with
+    | [ (_, _, table0) ] ->
+      let t0 = table0 () in
+      (match without_r with
+       | [] -> t0
+       | _ ->
+         (* Folding [combine_cross] once per τ-free component re-maps
+            the whole [by_value] table each time; convolving the
+            components' satisfaction tables first (balanced) and
+            crossing once is bit-identical — the cross product of
+            independent fact sets is associative and the arithmetic is
+            exact. *)
+         let sats =
+           List.map
+             (fun (c, _, _) ->
+               let db_c, _ = Database.restrict_relations (Cq.relations c) db in
+               (Database.endo_size db_c, Boolean_dp.counts ?memo:ctx.bool c db_c))
+             without_r
+         in
+         let n2 = List.fold_left (fun acc (n, _) -> acc + n) 0 sats in
+         combine_cross t0 (n2, Tables.convolve_many (List.map snd sats)))
+    | _ -> invalid_arg "Minmax: τ-relation must occur in exactly one component"
+
+  let pad _ p t = pad_table p t
+end
+
+module E = Engine.Make (Alg)
+
+let ctx_of ?memo tau = { Alg.tau; bool = Option.map (fun m -> m.bool) memo }
+
+let valued_table ?memo tau q db =
+  E.eval ?memo:(Option.map (fun m -> m.self) memo) (ctx_of ?memo tau) q db
 
 let check (a : Agg_query.t) =
   if not (Hierarchy.is_all_hierarchical a.query) then
     invalid_arg ("Minmax: query is not all-hierarchical: " ^ Cq.to_string a.query)
 
 let max_table ?memo (a : Agg_query.t) db =
-  let db_rel, db_pad = Decompose.relevant a.query db in
-  pad_table (Database.endo_size db_pad) (valued_table ?memo a.tau a.query db_rel)
+  E.eval_top ?memo:(Option.map (fun m -> m.self) memo) (ctx_of ?memo a.tau) a.query db
 
 let sum_of_table t = Tables.weighted_sum t.n (QMap.bindings t.by_value)
 
@@ -198,16 +219,16 @@ let shapley ?memo a db f = Sumk.shapley_of (fun a db -> sum_k_memo ?memo a db) a
    commutativity/associativity of [combine_union]) makes the recombined
    table identical to the one the sequential path folds up. Facts outside
    every block (irrelevant or dropped by the partition) take the plain
-   memoized path. *)
+   memoized path. The top-level split comes from {!Engine} — the engine
+   owns the decomposition. *)
 let max_batch_worker ?memo (a : Agg_query.t) db =
   let q = a.query and tau = a.tau in
   let plain f = Sumk.shapley_of (fun a db -> sum_k_memo ?memo a db) a db f in
-  match Decompose.connected_components q with
-  | [ _ ] when (not (Decompose.is_ground q)) && Decompose.choose_root q <> None ->
-    let x = Option.get (Decompose.choose_root q) in
+  match Engine.connected_root q with
+  | Some x ->
     let db_rel, db_pad = Decompose.relevant q db in
     let pad0 = Database.endo_size db_pad in
-    let blocks, _dropped = Decompose.partition q x db_rel in
+    let blocks, _dropped = Engine.root_partition q ~root:x db_rel in
     let blocks = Array.of_list blocks in
     let g = Array.length blocks in
     let table_of v block = valued_table ?memo tau (Cq.substitute q x v) block in
@@ -226,7 +247,7 @@ let max_batch_worker ?memo (a : Agg_query.t) db =
        its membership in the root partition) may have changed. *)
     let variant_vector db_rel' i =
       let v, _ = blocks.(i) in
-      let blocks', dropped' = Decompose.partition q x db_rel' in
+      let blocks', dropped' = Engine.root_partition q ~root:x db_rel' in
       let t =
         match
           List.find_opt
@@ -255,7 +276,7 @@ let max_batch_worker ?memo (a : Agg_query.t) db =
         let without_f = variant_vector (Database.remove f db_rel) i in
         Sumk.score_of_vectors ~players:n with_f without_f
       end
-  | _ -> plain
+  | None -> plain
 
 let batch_worker ?memo (a : Agg_query.t) db =
   check a;

@@ -8,6 +8,33 @@
     not contain the τ-relation only need nonempty/empty counts, which the
     Boolean DP provides. Min reduces to Max by negating τ. *)
 
+(** {2 Table algebra}
+
+    The (a,k)-table combinators the engine instance is built from,
+    exposed for the algebraic-law tests: [combine_union] is associative
+    and commutative with unit [neutral]. *)
+
+type table
+(** [P[Q', D'](a, k)] plus the explicit empty-answer-set entry. *)
+
+val neutral : table
+(** The empty sub-database: one 0-subset, always with no answers. *)
+
+val table_of_values :
+  n:int -> empty:Tables.counts -> (Aggshap_arith.Rational.t * Tables.counts) list -> table
+(** Build a table from its empty-answer counts and per-value counts
+    (duplicated values are added together). *)
+
+val combine_union : table -> table -> table
+(** Bag-union of two independent sub-databases: the maximum of the union
+    distributes over the per-value rows. *)
+
+val pad_table : int -> table -> table
+(** Account for extra null players. *)
+
+val table_equal : table -> table -> bool
+(** Structural equality, treating absent value rows as rows of zeros. *)
+
 type memo
 (** Shared cache of (a,k)-tables and Boolean sub-tables; see {!Memo}.
     Create one per batch run over a fixed [(query, τ, aggregate)]. *)

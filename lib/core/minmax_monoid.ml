@@ -106,43 +106,7 @@ let lift m a t =
     by_value =
       QMap.fold (fun v c acc -> add_key (m.op a v) c acc) t.by_value QMap.empty }
 
-let rec table m tracked q db =
-  match Decompose.connected_components q with
-  | [] -> neutral_cross m
-  | [ _ ] ->
-    if Decompose.is_ground q then ground m q db
-    else begin
-      match Decompose.choose_root q with
-      | None ->
-        invalid_arg ("Minmax_monoid: query is not all-hierarchical: " ^ Cq.to_string q)
-      | Some x ->
-        let is_tracked = List.mem x tracked in
-        let blocks, dropped = Decompose.partition q x db in
-        let t =
-          List.fold_left
-            (fun acc (a, block) ->
-              let sub = table m tracked (Cq.substitute q x a) block in
-              let sub =
-                if is_tracked then begin
-                  match Value.as_int a with
-                  | Some n -> lift m (Q.of_int n) sub
-                  | None -> invalid_arg "Minmax_monoid: tracked variable over non-numeric value"
-                end
-                else sub
-              in
-              combine_union acc sub)
-            neutral_union blocks
-        in
-        pad_table (Database.endo_size dropped) t
-    end
-  | comps ->
-    List.fold_left
-      (fun acc comp ->
-        let db_c, _ = Database.restrict_relations (Cq.relations comp) db in
-        combine_cross m acc (table m tracked comp db_c))
-      (neutral_cross m) comps
-
-and ground m q db =
+let ground m q db =
   match q.Cq.body with
   | [ atom ] ->
     let fact =
@@ -163,6 +127,51 @@ and ground m q db =
        { n = 1; empty = [| B.one; B.zero |]; by_value = QMap.singleton m.unit_ [| B.zero; B.one |] }
      | None -> { n = 0; empty = [| B.one |]; by_value = QMap.empty })
   | _ -> invalid_arg "Minmax_monoid: ground component with several atoms"
+
+(* The Figure-2 template instantiated with monoid-valued tables. Root
+   blocks combine by bag-union, with the root value composed in by
+   [lift] when the root is tracked; components combine by monotone
+   cross product. *)
+module Alg = struct
+  type nonrec table = table
+  type ctx = { m : monoid; tracked : string list }
+
+  let memo_prefix _ = ""
+  let leaf _ _ _ = None
+
+  let connected_leaf ctx q db =
+    if Decompose.is_ground q then Some (ground ctx.m q db) else None
+
+  let empty ctx _ = neutral_cross ctx.m
+  let root_mode = `Any_root
+  let root_error = "Minmax_monoid: query is not all-hierarchical: "
+
+  let merge ctx ~root blocks =
+    let is_tracked = List.mem root ctx.tracked in
+    List.fold_left
+      (fun acc (a, _, sub) ->
+        let sub =
+          if is_tracked then begin
+            match Value.as_int a with
+            | Some n -> lift ctx.m (Q.of_int n) sub
+            | None -> invalid_arg "Minmax_monoid: tracked variable over non-numeric value"
+          end
+          else sub
+        in
+        combine_union acc sub)
+      neutral_union blocks
+
+  let combine ctx _ _ comps =
+    List.fold_left
+      (fun acc (_, _, table) -> combine_cross ctx.m acc (table ()))
+      (neutral_cross ctx.m) comps
+
+  let pad _ p t = pad_table p t
+end
+
+module E = Engine.Make (Alg)
+
+let table m tracked q db = E.eval { Alg.m; tracked } q db
 
 let check m ~vars q =
   if not (Hierarchy.is_all_hierarchical q) then

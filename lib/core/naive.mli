@@ -16,6 +16,12 @@ val game :
     @raise Invalid_argument if there are more than {!Game.max_players}
     endogenous facts. *)
 
+val index_of : Aggshap_relational.Fact.t array -> Aggshap_relational.Fact.t -> int
+(** Player index of a fact in the array returned by {!game} — the one
+    fact-to-index resolution shared by every naive score ({!shapley},
+    [Solver.banzhaf]).
+    @raise Invalid_argument if the fact is not among the players. *)
+
 val shapley :
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->

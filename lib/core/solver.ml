@@ -36,6 +36,19 @@ let make_report (a : Agg_query.t) algorithm =
   let front = frontier a.alpha in
   { cls; frontier = front; within_frontier = Hierarchy.cls_leq cls front; algorithm }
 
+let fallback_name = function
+  | `Naive -> "naive enumeration (exponential)"
+  | `Monte_carlo _ -> "Monte-Carlo permutation sampling"
+  | `Fail -> "none (outside the frontier, fallback disabled)"
+
+(* The single source of algorithm names: [shapley], [shapley_all] and
+   [shapctl explain] all describe the algorithm that would run through
+   this report. *)
+let report ?(fallback = `Naive) (a : Agg_query.t) =
+  make_report a
+    (if within_frontier a.alpha a.query then fst (frontier_algorithm a)
+     else fallback_name fallback)
+
 let frontier_error (a : Agg_query.t) =
   invalid_arg
     (Printf.sprintf
@@ -45,16 +58,16 @@ let frontier_error (a : Agg_query.t) =
        (Aggregate.to_string a.alpha))
 
 let shapley ?(fallback = `Naive) ?mc_seed (a : Agg_query.t) db f =
-  if within_frontier a.alpha a.query then begin
-    let name, solve = frontier_algorithm a in
-    (Exact (solve a db f), make_report a name)
+  let rep = report ~fallback a in
+  if rep.within_frontier then begin
+    let _, solve = frontier_algorithm a in
+    (Exact (solve a db f), rep)
   end
   else begin
     match fallback with
-    | `Naive -> (Exact (Naive.shapley a db f), make_report a "naive enumeration (exponential)")
+    | `Naive -> (Exact (Naive.shapley a db f), rep)
     | `Monte_carlo samples ->
-      (Estimate (Monte_carlo.shapley ?seed:mc_seed ~samples a db f),
-       make_report a "Monte-Carlo permutation sampling")
+      (Estimate (Monte_carlo.shapley ?seed:mc_seed ~samples a db f), rep)
     | `Fail -> frontier_error a
   end
 
@@ -72,16 +85,7 @@ let banzhaf (a : Agg_query.t) db f =
   end
   else begin
     let players, game = Naive.game a db in
-    let index =
-      let n = Array.length players in
-      let rec find i =
-        if i >= n then invalid_arg "Solver.banzhaf: fact is not endogenous"
-        else if Aggshap_relational.Fact.equal f players.(i) then i
-        else find (i + 1)
-      in
-      find 0
-    in
-    Game.banzhaf game index
+    Game.banzhaf game (Naive.index_of players f)
   end
 
 let shapley_exact a db f =
@@ -96,10 +100,10 @@ let per_fact_seed mc_seed i =
   Option.map (fun s -> s + ((i + 1) * 0x9e3779b9)) mc_seed
 
 let shapley_all ?(fallback = `Naive) ?mc_seed ?jobs ?(cache = true) (a : Agg_query.t) db =
-  if within_frontier a.alpha a.query then begin
+  let rep = report ~fallback a in
+  if rep.within_frontier then begin
     let results, _stats = Batch.shapley_all ?jobs ~cache a db in
-    let report = make_report a (fst (frontier_algorithm a)) in
-    (List.map (fun (f, v) -> (f, Exact v)) results, report)
+    (List.map (fun (f, v) -> (f, Exact v)) results, rep)
   end
   else begin
     (* [`Fail] must raise before any worker domain is spawned: letting
@@ -113,12 +117,5 @@ let shapley_all ?(fallback = `Naive) ?mc_seed ?jobs ?(cache = true) (a : Agg_que
         indexed
       |> List.map (fun ((_, f), o) -> (f, o))
     in
-    let report =
-      make_report a
-        (match fallback with
-         | `Naive -> "naive enumeration (exponential)"
-         | `Monte_carlo _ -> "Monte-Carlo permutation sampling"
-         | `Fail -> assert false)
-    in
-    (results, report)
+    (results, rep)
   end

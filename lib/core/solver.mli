@@ -31,6 +31,17 @@ val within_frontier : Aggshap_agg.Aggregate.t -> Aggshap_cq.Cq.t -> bool
 (** Is the Shapley value polynomial-time for this aggregate and CQ (for
     every localized τ)? *)
 
+val report :
+  ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  Aggshap_agg.Agg_query.t ->
+  report
+(** The report {!shapley} and {!shapley_all} would attach, without
+    solving anything: classification of the query, frontier of the
+    aggregate, and the name of the algorithm that would run (the
+    frontier algorithm inside, the [fallback]'s name outside; default
+    [`Naive]). The single source of algorithm names — [shapctl explain]
+    prints exactly this. *)
+
 val shapley :
   ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
   ?mc_seed:int ->

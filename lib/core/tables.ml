@@ -54,7 +54,12 @@ let sub a b =
 let complement n c = sub (full n) c
 
 type fault =
-  [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split | `Stale_block ]
+  [ `None
+  | `Convolve_off_by_one
+  | `Tree_fold_skew
+  | `Karatsuba_split
+  | `Stale_block
+  | `Block_drop ]
 
 let fault : fault ref = ref `None
 
@@ -120,7 +125,7 @@ let convolve a b =
    | `Convolve_off_by_one ->
      if la > 1 && lb > 1 then
        out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one
-   | `None | `Tree_fold_skew | `Karatsuba_split | `Stale_block -> ());
+   | `None | `Tree_fold_skew | `Karatsuba_split | `Stale_block | `Block_drop -> ());
   out
 
 let convolve_many ts =
@@ -158,7 +163,7 @@ let convolve_many ts =
          out.(len - 1) <- out.(len - 2);
          out.(len - 2) <- t
        end
-     | `None | `Convolve_off_by_one | `Karatsuba_split | `Stale_block -> ());
+     | `None | `Convolve_off_by_one | `Karatsuba_split | `Stale_block | `Block_drop -> ());
     out
 
 let pad p c = if p = 0 then c else convolve c (full p)

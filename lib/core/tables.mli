@@ -60,7 +60,12 @@ val convolve_many : counts list -> counts
     but each input is re-traversed O(log n) times instead of O(n). *)
 
 type fault =
-  [ `None | `Convolve_off_by_one | `Tree_fold_skew | `Karatsuba_split | `Stale_block ]
+  [ `None
+  | `Convolve_off_by_one
+  | `Tree_fold_skew
+  | `Karatsuba_split
+  | `Stale_block
+  | `Block_drop ]
 (** Test-only fault injection for the differential-testing oracle
     ({!Aggshap_check}):
     - [`Convolve_off_by_one] makes {!convolve} corrupt its top entry
@@ -77,6 +82,11 @@ type fault =
       the first dirty membership game keeps its stale per-fact
       contributions, and the τ-flush of the generic-path batch memo is
       suppressed. The kernels themselves ignore this variant.
+    - [`Block_drop] makes the decomposition engine ({!Engine}) demote
+      the last root-variable block of every partition with at least two
+      blocks to null-player padding, simulating a lost hierarchy block.
+      The kernels themselves ignore this variant; it corrupts every
+      aggregate's DP at the decomposition layer instead.
 
     Every frontier DP funnels through these kernels, so the oracle must
     flag each corruption. Not domain-safe; only toggle around

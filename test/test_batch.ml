@@ -281,7 +281,7 @@ let test_banzhaf_not_endogenous () =
       [ Fact.of_ints "R" [ 1; 1 ]; Fact.of_ints "S" [ 1 ] ]
   in
   Alcotest.check_raises "missing fact raises"
-    (Invalid_argument "Solver.banzhaf: fact is not endogenous")
+    (Invalid_argument "Naive: fact is not endogenous in the database")
     (fun () -> ignore (Core.Solver.banzhaf a db (Fact.of_ints "R" [ 9; 9 ])))
 
 let test_banzhaf_naive_lookup () =

@@ -276,6 +276,8 @@ let () =
             (test_kernel_fault_is_caught `Tree_fold_skew 300);
           Alcotest.test_case "karatsuba split caught and shrunk" `Slow
             (test_kernel_fault_is_caught `Karatsuba_split 300);
+          Alcotest.test_case "engine block-drop caught and shrunk" `Slow
+            (test_kernel_fault_is_caught `Block_drop 300);
           Alcotest.test_case "fault flag isolated" `Quick test_fault_flag_is_isolated;
         ] );
     ]
