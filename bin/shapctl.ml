@@ -10,124 +10,50 @@
      solve     compute Shapley values (all endogenous facts, or one)
      session   incremental maintenance: replay an update script through
                a live solver session, printing values after every step
+     serve     run the multi-tenant session server on a Unix socket
+     client    drive a running server (one request per invocation, or
+               a raw newline-delimited JSON stream)
      fuzz      differential-testing oracle: random AggCQ trials
                cross-validated against naive enumeration
+
+   All orchestration lives in Aggshap_api.Api (shared with the server);
+   this file is argument parsing and printing.
 
    The value function is given as COLON-separated spec:
      id:REL:POS | relu:REL:POS | gt:REL:POS:BOUND | const:REL:VALUE *)
 
 module Q = Aggshap_arith.Rational
 module Cq = Aggshap_cq.Cq
-module Parser = Aggshap_cq.Parser
 module Hierarchy = Aggshap_cq.Hierarchy
 module Database = Aggshap_relational.Database
+module Fact = Aggshap_relational.Fact
 module Aggregate = Aggshap_agg.Aggregate
-module Value_fn = Aggshap_agg.Value_fn
 module Agg_query = Aggshap_agg.Agg_query
 module Solver = Aggshap_core.Solver
 module Engine = Aggshap_core.Engine
 module Monte_carlo = Aggshap_core.Monte_carlo
+module Api = Aggshap_api.Api
+module Server = Aggshap_server.Server
+module Client = Aggshap_server.Client
+module Protocol = Aggshap_server.Protocol
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("shapctl: " ^ s); exit 1) fmt
 
-let parse_query_arg s =
-  match Parser.parse_query s with
-  | Ok q -> q
-  | Error msg -> die "cannot parse query %S: %s" s msg
+let or_die = function Ok v -> v | Error msg -> die "%s" msg
 
-let read_database path =
-  let contents =
-    try
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      s
-    with Sys_error msg -> die "%s" msg
-  in
-  match Parser.parse_database contents with
-  | Ok db -> db
-  | Error msg -> die "cannot parse database %s: %s" path msg
-
-let parse_pos spec s =
-  match int_of_string_opt s with
-  | Some n when n >= 0 -> n
-  | Some _ | None ->
-    die "malformed position %S in value function spec %S (expected a non-negative integer)" s spec
-
-let parse_rational what spec s =
-  match Q.of_string s with
-  | q -> q
-  | exception (Invalid_argument _ | Division_by_zero) ->
-    die "malformed %s %S in %S (expected an integer or P/Q rational)" what s spec
-
-let parse_tau_spec q spec =
-  let check_rel rel =
-    if not (List.mem rel (Cq.relations q)) then
-      die "value function relation %s is not an atom of the query" rel;
-    rel
-  in
-  match String.split_on_char ':' spec with
-  | [ "id"; rel; pos ] -> Value_fn.id ~rel:(check_rel rel) ~pos:(parse_pos spec pos)
-  | [ "relu"; rel; pos ] -> Value_fn.relu ~rel:(check_rel rel) ~pos:(parse_pos spec pos)
-  | [ "gt"; rel; pos; bound ] ->
-    Value_fn.gt ~rel:(check_rel rel) ~pos:(parse_pos spec pos)
-      (parse_rational "bound" spec bound)
-  | [ "const"; rel; value ] ->
-    Value_fn.const ~rel:(check_rel rel) (parse_rational "value" spec value)
-  | _ -> die "cannot parse value function spec %S" spec
-
-let default_tau q =
-  match Cq.relations q with
-  | rel :: _ -> Value_fn.const ~rel Q.one
-  | [] -> die "query has no atoms"
-
-let parse_agg s =
-  match Aggregate.of_string s with
-  | Ok a -> a
-  | Error msg -> die "%s" msg
+let parse_query_arg s = or_die (Api.parse_query s)
+let read_database path = or_die (Api.load_database path)
 
 let warn_schema q db =
-  match Aggshap_relational.Schema.check_database (Cq.induced_schema q) db with
-  | Ok () -> ()
-  | Error msgs ->
-    List.iter
-      (fun m -> Printf.eprintf "shapctl: warning: %s (treated as a null player)\n" m)
-      msgs
+  List.iter
+    (fun m -> Printf.eprintf "shapctl: warning: %s\n" m)
+    (Api.schema_warnings q db)
 
-let make_agg_query agg_s tau_s query =
-  let alpha = parse_agg agg_s in
-  let tau =
-    match tau_s with Some s -> parse_tau_spec query s | None -> default_tau query
-  in
-  try Agg_query.make alpha tau query with Invalid_argument msg -> die "%s" msg
+let make_agg_query agg_s tau_s query = or_die (Api.make_agg_query ~agg:agg_s ~tau:tau_s query)
 
-(* mc:SAMPLES or mc:SAMPLES:SEED. Returns the fallback and the optional
-   Monte-Carlo seed. *)
-let parse_fallback s =
-  let mc_usage = "use naive, fail, or mc:SAMPLES[:SEED]" in
-  let positive_int what p =
-    match int_of_string_opt p with
-    | Some n when n > 0 -> n
-    | Some _ | None ->
-      die "malformed %s %S in fallback %S (expected a positive integer; %s)" what p s mc_usage
-  in
-  match s with
-  | "naive" -> (`Naive, None)
-  | "fail" -> (`Fail, None)
-  | _ when String.length s > 3 && String.sub s 0 3 = "mc:" -> begin
-    match String.split_on_char ':' (String.sub s 3 (String.length s - 3)) with
-    | [ samples ] -> (`Monte_carlo (positive_int "sample count" samples), None)
-    | [ samples; seed ] ->
-      let seed =
-        match int_of_string_opt seed with
-        | Some n -> n
-        | None -> die "malformed seed %S in fallback %S (expected an integer; %s)" seed s mc_usage
-      in
-      (`Monte_carlo (positive_int "sample count" samples), Some seed)
-    | _ -> die "cannot parse fallback %S (%s)" s mc_usage
-  end
-  | _ -> die "unknown fallback %S (%s)" s mc_usage
+let check_jobs = function
+  | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                            *)
@@ -135,16 +61,17 @@ let parse_fallback s =
 
 let run_classify query_s =
   let q = parse_query_arg query_s in
+  let cls, rows = Api.classify q in
   Printf.printf "query: %s\n" (Cq.to_string q);
-  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string (Hierarchy.classify q));
+  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string cls);
   Printf.printf "%-18s %-22s %s\n" "aggregate" "frontier" "tractable here?";
   List.iter
-    (fun alpha ->
+    (fun { Api.alpha; frontier; tractable } ->
       Printf.printf "%-18s %-22s %s\n"
         (Aggregate.to_string alpha)
-        (Hierarchy.cls_to_string (Solver.frontier alpha))
-        (if Solver.within_frontier alpha q then "yes (polynomial)" else "no (#P-hard)"))
-    Aggregate.all;
+        (Hierarchy.cls_to_string frontier)
+        (if tractable then "yes (polynomial)" else "no (#P-hard)"))
+    rows;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -154,25 +81,22 @@ let run_classify query_s =
 let run_explain query_s agg_s tau_s fallback_s =
   let q = parse_query_arg query_s in
   let a = make_agg_query agg_s tau_s q in
-  let fallback, _mc_seed = parse_fallback fallback_s in
-  let report = Solver.report ~fallback a in
+  let fallback, _mc_seed = or_die (Api.parse_fallback fallback_s) in
+  let ex = Api.explain ~fallback a in
   Printf.printf "query: %s\n" (Cq.to_string q);
   Printf.printf "aggregate: %s\n\n" (Aggregate.to_string a.Agg_query.alpha);
   Printf.printf "hierarchy chain (each class contains the next):\n";
   List.iter
     (fun (name, holds) ->
       Printf.printf "  %-20s %s\n" name (if holds then "yes" else "no"))
-    [ ("exists-hierarchical", Hierarchy.is_exists_hierarchical q);
-      ("all-hierarchical", Hierarchy.is_all_hierarchical q);
-      ("q-hierarchical", Hierarchy.is_q_hierarchical q);
-      ("sq-hierarchical", Hierarchy.is_sq_hierarchical q) ];
-  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string report.Solver.cls);
+    ex.Api.chain;
+  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string ex.Api.cls);
   Printf.printf "frontier of %s: %s\n"
     (Aggregate.to_string a.Agg_query.alpha)
-    (Hierarchy.cls_to_string report.Solver.frontier);
+    (Hierarchy.cls_to_string ex.Api.frontier);
   Printf.printf "within frontier: %s\n"
-    (if report.Solver.within_frontier then "yes (polynomial)" else "no (#P-hard)");
-  Printf.printf "algorithm: %s\n\n" report.Solver.algorithm;
+    (if ex.Api.within_frontier then "yes (polynomial)" else "no (#P-hard)");
+  Printf.printf "algorithm: %s\n\n" ex.Api.algorithm;
   Printf.printf "engine decomposition:\n";
   Format.printf "%a@?" Engine.pp_shape (Engine.shape q);
   0
@@ -186,7 +110,7 @@ let run_eval query_s db_path agg_s tau_s =
   let db = read_database db_path in
   warn_schema q db;
   let a = make_agg_query agg_s tau_s q in
-  let value = try Agg_query.eval a db with Invalid_argument msg -> die "%s" msg in
+  let value = or_die (Api.eval a db) in
   Printf.printf "%s = %s (~ %g)\n" agg_s (Q.to_string value) (Q.to_float value);
   0
 
@@ -227,14 +151,12 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_j
   let db = read_database db_path in
   warn_schema q db;
   let a = make_agg_query agg_s tau_s q in
-  let fallback, mc_seed = parse_fallback fallback_s in
-  (match jobs with
-   | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
-   | _ -> ());
+  let fallback, mc_seed = or_die (Api.parse_fallback fallback_s) in
+  let score = or_die (Api.parse_score score_s) in
+  check_jobs jobs;
   (match block_jobs with
    | Some b when b < 1 -> die "--block-jobs must be at least 1 (got %d)" b
-   | Some b -> Engine.set_block_jobs b
-   | None -> ());
+   | other -> or_die (Api.set_block_jobs other));
   if stats then begin
     Aggshap_arith.Bigint.reset_stats ();
     Aggshap_core.Tables.reset_stats ();
@@ -244,56 +166,32 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_j
     (match jobs with Some j -> j > 1 | None -> false)
     || (match block_jobs with Some b -> b > 1 | None -> false)
   in
-  if score_s = "banzhaf" then begin
-    (try
-       List.iter
-         (fun f ->
-           Printf.printf "%-30s %s\n"
-             (Aggshap_relational.Fact.to_string f)
-             (Q.to_string (Aggshap_core.Solver.banzhaf a db f)))
-         (match fact_s with
-          | None -> Database.endogenous db
-          | Some s -> (
-            match Parser.parse_fact s with
-            | Ok (f, _) -> [ f ]
-            | Error msg -> die "cannot parse fact %S: %s" s msg))
-     with Invalid_argument msg -> die "%s" msg);
-    if stats then print_kernel_stats parallel;
-    0
-  end
-  else if score_s <> "shapley" then die "unknown score %S (use shapley or banzhaf)" score_s
-  else begin
-  let print_outcome fact outcome =
-    match outcome with
-    | Solver.Exact v ->
-      Printf.printf "%-30s %s (~ %g)\n"
-        (Aggshap_relational.Fact.to_string fact)
-        (Q.to_string v) (Q.to_float v)
-    | Solver.Estimate e ->
-      Printf.printf "%-30s %.6f ± %.6f (%d samples)\n"
-        (Aggshap_relational.Fact.to_string fact)
-        e.Monte_carlo.mean e.Monte_carlo.std_error e.Monte_carlo.samples
+  let result =
+    match (score, fact_s) with
+    | Api.Banzhaf, fact -> or_die (Api.banzhaf_all ?fact a db)
+    | Api.Shapley, Some fact_s -> or_die (Api.shapley_fact ~fallback ?mc_seed a db fact_s)
+    | Api.Shapley, None -> or_die (Api.shapley_all ~fallback ?mc_seed ?jobs ~cache a db)
   in
-  (try
-     match fact_s with
-     | Some s -> begin
-       match Parser.parse_fact s with
-       | Error msg -> die "cannot parse fact %S: %s" s msg
-       | Ok (f, _) ->
-         let outcome, report = Solver.shapley ~fallback ?mc_seed a db f in
-         Printf.printf "class: %s; algorithm: %s\n" (Hierarchy.cls_to_string report.Solver.cls)
-           report.Solver.algorithm;
-         print_outcome f outcome
-     end
-     | None ->
-       let results, report = Solver.shapley_all ~fallback ?mc_seed ?jobs ~cache a db in
-       Printf.printf "class: %s; algorithm: %s\n" (Hierarchy.cls_to_string report.Solver.cls)
-         report.Solver.algorithm;
-       List.iter (fun (f, o) -> print_outcome f o) results
-   with Invalid_argument msg -> die "%s" msg);
+  (match result.Api.report with
+   | Some report ->
+     Printf.printf "class: %s; algorithm: %s\n"
+       (Hierarchy.cls_to_string report.Solver.cls)
+       report.Solver.algorithm
+   | None -> ());
+  List.iter
+    (fun (fact, outcome) ->
+      match (score, outcome) with
+      | Api.Banzhaf, Solver.Exact v ->
+        Printf.printf "%-30s %s\n" (Fact.to_string fact) (Q.to_string v)
+      | _, Solver.Exact v ->
+        Printf.printf "%-30s %s (~ %g)\n" (Fact.to_string fact) (Q.to_string v)
+          (Q.to_float v)
+      | _, Solver.Estimate e ->
+        Printf.printf "%-30s %.6f ± %.6f (%d samples)\n" (Fact.to_string fact)
+          e.Monte_carlo.mean e.Monte_carlo.std_error e.Monte_carlo.samples)
+    result.Api.values;
   if stats then print_kernel_stats parallel;
   0
-  end
 
 (* ------------------------------------------------------------------ *)
 (* session                                                             *)
@@ -316,16 +214,16 @@ let run_session query_s db_path agg_s tau_s updates_path jobs stats =
   let db = read_database db_path in
   warn_schema q db;
   let a = make_agg_query agg_s tau_s q in
-  (match jobs with
-   | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
-   | _ -> ());
+  check_jobs jobs;
   let ops =
     match Script.parse (read_file "update script" updates_path) with
     | Ok ops -> ops
     | Error msg -> die "%s: %s" updates_path msg
   in
   let session =
-    try Session.open_ ?jobs a db with Invalid_argument msg -> die "%s" msg
+    match Api.trap (fun () -> Session.open_ ?jobs a db) with
+    | Ok s -> s
+    | Error msg -> die "%s" msg
   in
   let print_step label =
     Printf.printf "step %s\n" label;
@@ -334,18 +232,176 @@ let run_session query_s db_path agg_s tau_s updates_path jobs stats =
     | results ->
       List.iter
         (fun (f, v) ->
-          Printf.printf "  %-28s %s\n" (Aggshap_relational.Fact.to_string f) (Q.to_string v))
+          Printf.printf "  %-28s %s\n" (Fact.to_string f) (Q.to_string v))
         results
   in
   print_step "0 (initial)";
   List.iteri
     (fun i (line, op) ->
-      (try Session.apply session op
-       with Invalid_argument msg -> die "%s: line %d: %s" updates_path line msg);
+      (match Api.trap (fun () -> Session.apply session op) with
+       | Ok () -> ()
+       | Error msg -> die "%s: line %d: %s" updates_path line msg);
       print_step (Printf.sprintf "%d (%s)" (i + 1) (Update.to_string op)))
     ops;
   if stats then print_endline (Session.stats_to_string (Session.stats session));
   0
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve socket max_sessions state_dir jobs quiet =
+  check_jobs jobs;
+  if max_sessions < 1 then die "--max-sessions must be at least 1 (got %d)" max_sessions;
+  let log =
+    if quiet then fun _ -> ()
+    else fun msg -> Printf.eprintf "shapctl serve: %s\n%!" msg
+  in
+  match
+    Server.run
+      { Server.socket; max_sessions; state_dir; default_jobs = jobs; log }
+  with
+  | Ok () -> 0
+  | Error msg -> die "%s" msg
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let need_session action = function
+  | Some s -> s
+  | None -> die "client %s needs a SESSION argument" action
+
+let client_error = function
+  | Protocol.Error { line = Some n; message } -> die "server error (line %d): %s" n message
+  | Protocol.Error { line = None; message } -> die "server error: %s" message
+  | _ -> die "unexpected response from server"
+
+let run_client action session socket query_s db_path agg_s tau_s jobs updates_path op_s
+    retry_ms =
+  check_jobs jobs;
+  let one req print =
+    or_die
+      (Client.with_connection ~retry_ms socket (fun c ->
+           match Client.request c req with
+           | Ok r -> Ok (print r)
+           | Error msg -> Error msg))
+  in
+  match action with
+  | "open" ->
+    let session = need_session action session in
+    let query = match query_s with Some q -> q | None -> die "client open needs --query" in
+    let db_path = match db_path with Some d -> d | None -> die "client open needs --database" in
+    let db = read_file "database" db_path in
+    let spec = { Api.query; db; agg = agg_s; tau = tau_s; jobs } in
+    one (Protocol.Open { session; spec }) (function
+      | Protocol.Opened { session; facts } ->
+        Printf.printf "opened %s (%d facts)\n" session facts
+      | r -> client_error r);
+    0
+  | "solve" ->
+    let session = need_session action session in
+    one (Protocol.Solve { session }) (function
+      | Protocol.Solved { values; _ } ->
+        if values = [] then print_endline "(no endogenous facts)"
+        else List.iter (fun (fact, v) -> Printf.printf "%-28s %s\n" fact v) values
+      | r -> client_error r);
+    0
+  | "update" ->
+    let session = need_session action session in
+    let script =
+      match (updates_path, op_s) with
+      | Some path, None -> read_file "update script" path
+      | None, Some op -> op
+      | Some _, Some _ -> die "client update takes --updates or --op, not both"
+      | None, None -> die "client update needs --updates FILE or --op LINE"
+    in
+    one (Protocol.Update { session; script }) (function
+      | Protocol.Updated { applied; _ } ->
+        Printf.printf "applied %d update%s\n" applied (if applied = 1 then "" else "s")
+      | r -> client_error r);
+    0
+  | "set-tau" ->
+    let session = need_session action session in
+    let tau = match tau_s with Some t -> t | None -> die "client set-tau needs --tau" in
+    one (Protocol.Set_tau { session; tau }) (function
+      | Protocol.Tau_set _ -> print_endline "tau set"
+      | r -> client_error r);
+    0
+  | "explain" ->
+    let session = need_session action session in
+    one (Protocol.Explain { session }) (function
+      | Protocol.Explained { cls; frontier; within_frontier; algorithm; _ } ->
+        Printf.printf "class: %s\n" cls;
+        Printf.printf "frontier: %s\n" frontier;
+        Printf.printf "within frontier: %s\n"
+          (if within_frontier then "yes (polynomial)" else "no (#P-hard)");
+        Printf.printf "algorithm: %s\n" algorithm
+      | r -> client_error r);
+    0
+  | "stats" ->
+    one (Protocol.Stats { session }) (function
+      | Protocol.Session_stats { session; stats } ->
+        Printf.printf
+          "session %s: steps=%d games=%d computed/%d reused flushes=%d facts=%d \
+           endogenous=%d\n"
+          session stats.Protocol.steps stats.Protocol.games_computed
+          stats.Protocol.games_reused stats.Protocol.full_recomputes
+          stats.Protocol.facts stats.Protocol.endogenous
+      | Protocol.Server_stats { sessions; requests; evictions; restores } ->
+        List.iter
+          (fun (name, live) ->
+            Printf.printf "session %s (%s)\n" name (if live then "live" else "evicted"))
+          sessions;
+        Printf.printf "requests=%d evictions=%d restores=%d\n" requests evictions
+          restores
+      | r -> client_error r);
+    0
+  | "close" ->
+    let session = need_session action session in
+    one (Protocol.Close { session }) (function
+      | Protocol.Closed { session } -> Printf.printf "closed %s\n" session
+      | r -> client_error r);
+    0
+  | "ping" ->
+    one Protocol.Ping (function
+      | Protocol.Pong -> print_endline "ok"
+      | r -> client_error r);
+    0
+  | "shutdown" ->
+    one Protocol.Shutdown (function
+      | Protocol.Shutting_down -> print_endline "server shutting down"
+      | r -> client_error r);
+    0
+  | "raw" ->
+    (* One raw protocol line per non-blank stdin line; replies are
+       printed verbatim, in order. *)
+    let text = In_channel.input_all stdin in
+    let lines = Aggshap_incr.Script.lines text in
+    or_die
+      (Client.with_connection ~retry_ms socket (fun c ->
+           let rec go = function
+             | [] -> Ok ()
+             | line :: rest ->
+               if String.trim line = "" then go rest
+               else begin
+                 match Client.send_line c line with
+                 | Error _ as e -> e
+                 | Ok () -> (
+                   match Client.recv_line c with
+                   | Error _ as e -> e
+                   | Ok reply ->
+                     print_endline reply;
+                     go rest)
+               end
+           in
+           go lines));
+    0
+  | _ ->
+    die
+      "unknown client action %S (use open, solve, update, set-tau, explain, stats, \
+       close, ping, shutdown, or raw)"
+      action
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -354,7 +410,7 @@ let run_session query_s db_path agg_s tau_s updates_path jobs stats =
 let run_fuzz seed trials max_endo jobs max_failures updates verbose =
   if trials < 1 then die "--trials must be at least 1 (got %d)" trials;
   if max_endo < 1 then die "--max-endo must be at least 1 (got %d)" max_endo;
-  (match jobs with Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j | _ -> ());
+  check_jobs jobs;
   if max_failures < 1 then die "--max-failures must be at least 1 (got %d)" max_failures;
   let module Fuzz = Aggshap_check.Fuzz in
   let module Trial = Aggshap_check.Trial in
@@ -508,6 +564,79 @@ let session_cmd =
              the state dirtied by each update is recomputed.")
     Term.(const run_session $ query_arg $ db_arg $ agg_arg $ tau_arg $ updates_file_arg $ jobs_arg $ session_stats_arg)
 
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Path of the server's Unix-domain socket.")
+
+let max_sessions_arg =
+  Arg.(value & opt int 16 & info [ "max-sessions" ] ~docv:"N"
+         ~doc:"Resident-session capacity (default 16). The least-recently \
+               used session beyond it is snapshotted and evicted; evicted \
+               sessions are restored transparently on their next request.")
+
+let state_dir_arg =
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+         ~doc:"Directory for session snapshots (created if absent). \
+               Sessions found there are re-registered at startup, so they \
+               survive server restarts. Without it, eviction keeps \
+               snapshots in memory only.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress lifecycle logging on stderr.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-tenant session server: named incremental solver \
+             sessions (one per tenant/database) behind a newline-delimited \
+             JSON protocol over a Unix-domain socket, with LRU eviction \
+             and snapshot/restore of session state. Answers are \
+             bit-identical to 'shapctl solve' and 'shapctl session' on \
+             the same inputs.")
+    Term.(const run_serve $ socket_arg $ max_sessions_arg $ state_dir_arg $ jobs_arg $ quiet_arg)
+
+let client_action_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION"
+         ~doc:"One of open, solve, update, set-tau, explain, stats, close, \
+               ping, shutdown, raw.")
+
+let client_session_arg =
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"SESSION"
+         ~doc:"Session (tenant) name; required by every action except \
+               ping, shutdown, raw, and server-wide stats.")
+
+let client_query_arg =
+  Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY"
+         ~doc:"Conjunctive query for 'open'.")
+
+let client_db_arg =
+  Arg.(value & opt (some string) None & info [ "d"; "database" ] ~docv:"FILE"
+         ~doc:"Database file for 'open' (sent to the server as text).")
+
+let client_updates_arg =
+  Arg.(value & opt (some string) None & info [ "u"; "updates" ] ~docv:"FILE"
+         ~doc:"Update script file for 'update'.")
+
+let client_op_arg =
+  Arg.(value & opt (some string) None & info [ "op" ] ~docv:"LINE"
+         ~doc:"A single update-script line for 'update', e.g. 'insert R(4, 7)'.")
+
+let retry_ms_arg =
+  Arg.(value & opt int 5000 & info [ "retry-ms" ] ~docv:"MS"
+         ~doc:"How long to keep retrying the initial connection while the \
+               server is still starting (default 5000).")
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Drive a running 'shapctl serve' instance: one request per \
+             invocation (open/solve/update/set-tau/explain/stats/close/\
+             ping/shutdown), or 'raw' to stream newline-delimited JSON \
+             requests from stdin and print the raw replies.")
+    Term.(const run_client $ client_action_arg $ client_session_arg $ socket_arg
+          $ client_query_arg $ client_db_arg $ agg_arg $ tau_arg $ jobs_arg
+          $ client_updates_arg $ client_op_arg $ retry_ms_arg)
+
 let seed_arg =
   Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED"
          ~doc:"Master seed; every trial derives deterministically from it.")
@@ -548,6 +677,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "shapctl" ~version:"1.0.0"
        ~doc:"Shapley values for aggregate conjunctive queries")
-    [ classify_cmd; explain_cmd; eval_cmd; solve_cmd; session_cmd; fuzz_cmd ]
+    [ classify_cmd; explain_cmd; eval_cmd; solve_cmd; session_cmd; serve_cmd;
+      client_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -72,8 +72,59 @@ let parse_line line =
       Error
         (Printf.sprintf "unknown update %S (expected insert, delete, or set_tau)" op))
 
+(* Incremental line reader. Scripts and wire streams arrive in chunks
+   (a file read, a socket [recv]); the reader buffers partial lines
+   across chunks, strips [\r\n] endings, and — crucially — surfaces the
+   final line even when the stream ends without a trailing newline.
+   Dropping that line silently is exactly the bug class a line-oriented
+   protocol must not have: the request (or update) is acknowledged by
+   exit code 0 but never applied. Both [parse] below and the server's
+   request loop read through this one reader. *)
+module Reader = struct
+  type t = { buf : Buffer.t; mutable closed : bool }
+
+  let create () = { buf = Buffer.create 256; closed = false }
+
+  let strip_cr line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+  let feed t ?(off = 0) ?len chunk =
+    if t.closed then invalid_arg "Script.Reader.feed: reader is closed";
+    let len = match len with Some l -> l | None -> String.length chunk - off in
+    if off < 0 || len < 0 || off + len > String.length chunk then
+      invalid_arg "Script.Reader.feed: offset/length out of bounds";
+    let lines = ref [] in
+    for i = off to off + len - 1 do
+      match chunk.[i] with
+      | '\n' ->
+        lines := strip_cr (Buffer.contents t.buf) :: !lines;
+        Buffer.clear t.buf
+      | c -> Buffer.add_char t.buf c
+    done;
+    List.rev !lines
+
+  let close t =
+    if t.closed then None
+    else begin
+      t.closed <- true;
+      if Buffer.length t.buf = 0 then None
+      else begin
+        let line = strip_cr (Buffer.contents t.buf) in
+        Buffer.clear t.buf;
+        Some line
+      end
+    end
+
+  let pending t = Buffer.length t.buf > 0
+end
+
+let lines contents =
+  let r = Reader.create () in
+  let complete = Reader.feed r contents in
+  match Reader.close r with None -> complete | Some last -> complete @ [ last ]
+
 let parse contents =
-  let lines = String.split_on_char '\n' contents in
   let rec go lineno acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
@@ -82,7 +133,7 @@ let parse contents =
       | Ok (Some u) -> go (lineno + 1) ((lineno, u) :: acc) rest
       | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
   in
-  go 1 [] lines
+  go 1 [] (lines contents)
 
 let to_string ops =
   String.concat "" (List.map (fun u -> Update.to_string u ^ "\n") ops)

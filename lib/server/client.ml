@@ -1,0 +1,86 @@
+(* Client side of the wire protocol: a blocking connection speaking one
+   request line / one response line at a time. Used by [shapctl client]
+   and the load generator. *)
+
+module Script = Aggshap_incr.Script
+
+let ( let* ) = Result.bind
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Script.Reader.t;
+  mutable pending : string list;  (* complete lines read ahead of need *)
+}
+
+(* The server may still be binding its socket when the first client
+   arrives (CI boots them back to back), so connection errors that look
+   like "not up yet" retry until the deadline. *)
+let connect ?(retry_ms = 5000) path =
+  let deadline = Unix.gettimeofday () +. (float_of_int retry_ms /. 1000.0) in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; reader = Script.Reader.create (); pending = [] }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED) as err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+      else
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message err))
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message err))
+  in
+  go ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Unix.write t.fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (err, _, _) ->
+        Error (Printf.sprintf "cannot send request: %s" (Unix.error_message err))
+  in
+  go 0
+
+let recv_line t =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match t.pending with
+    | line :: rest ->
+      t.pending <- rest;
+      Ok line
+    | [] -> (
+      match Unix.read t.fd buf 0 (Bytes.length buf) with
+      | exception Unix.Unix_error (err, _, _) ->
+        Error (Printf.sprintf "cannot read response: %s" (Unix.error_message err))
+      | 0 -> (
+        match Script.Reader.close t.reader with
+        | Some line -> Ok line
+        | None -> Error "connection closed by server")
+      | n ->
+        t.pending <- Script.Reader.feed t.reader (Bytes.sub_string buf 0 n);
+        go ())
+  in
+  go ()
+
+let request t req =
+  let* () = send_line t (Protocol.encode_request req) in
+  let* line = recv_line t in
+  match Protocol.decode_response line with
+  | Ok r -> Ok r
+  | Error msg -> Error (Printf.sprintf "bad response from server: %s" msg)
+
+let with_connection ?retry_ms path f =
+  let* t = connect ?retry_ms path in
+  let result = f t in
+  close t;
+  result

@@ -1,0 +1,27 @@
+(** Client side of the wire protocol: a blocking connection speaking
+    one request line / one response line at a time. Used by
+    [shapctl client] and [bench/loadgen.exe]. *)
+
+type t
+
+val connect : ?retry_ms:int -> string -> (t, string) result
+(** Connects to the server's Unix-domain socket, retrying
+    connection-refused/socket-absent for up to [retry_ms] (default
+    5000) milliseconds — the server may still be binding when CI boots
+    client and server back to back. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> (unit, string) result
+(** Sends one raw protocol line (newline appended). *)
+
+val recv_line : t -> (string, string) result
+(** Receives the next response line (blocking). A final unterminated
+    line before EOF is returned, not dropped. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** [send_line] of the encoded request, then one decoded response. *)
+
+val with_connection :
+  ?retry_ms:int -> string -> (t -> ('a, string) result) -> ('a, string) result
+(** Connects, runs, and always closes the connection. *)

@@ -1,0 +1,58 @@
+(** The server's session table: many named sessions (one per
+    tenant/database), at most [max_live] resident in memory, the rest
+    evicted to durable {!Aggshap_api.Api.session_spec} form — written
+    to [state_dir] as SHAPSESS_v1 JSON snapshots when one is given, so
+    sessions survive server restarts.
+
+    Eviction is LRU: every access stamps the entry with a logical
+    clock; crossing [max_live] evicts the least-recently-used resident
+    (never the entry being accessed). Restoring replays
+    {!Aggshap_api.Api.open_session} on the spec; values are
+    bit-identical because the solver is deterministic. *)
+
+module Api = Aggshap_api.Api
+module Session = Aggshap_incr.Session
+
+type t
+
+type entry = {
+  name : string;
+  mutable spec : Api.session_spec;
+      (** The durable state; [db]/[tau] are refreshed at eviction and
+          snapshot time. Callers handling [set_tau] must update
+          [spec.tau] themselves (the live session does not retain the
+          spec string). *)
+  mutable session : Session.t option;  (** [None] = evicted *)
+  mutable last_used : int;
+}
+
+val create :
+  ?state_dir:string -> ?log:(string -> unit) -> max_live:int -> unit ->
+  (t, string) result
+(** Creates the table, creating [state_dir] if needed and registering
+    every snapshot found there as an evicted session (restored lazily
+    on first touch; malformed snapshot files are logged and skipped).
+    [max_live] must be at least 1. *)
+
+val open_session : t -> string -> Api.session_spec -> (int, string) result
+(** Creates (or replaces) the named session from its spec, eagerly —
+    errors surface here, not on first use. Returns the database size.
+    Writes the initial snapshot and applies the LRU limit. *)
+
+val with_session :
+  t -> string -> (entry -> Session.t -> ('a, string) result) -> ('a, string) result
+(** Runs [f] on the named live session, restoring it first if it was
+    evicted. Touches the LRU stamp and applies the limit. *)
+
+val close : t -> string -> (unit, string) result
+(** Drops the session and deletes its snapshot. *)
+
+val snapshot_all : t -> unit
+(** Refreshes and writes the snapshot of every resident session (used
+    at shutdown). *)
+
+val sessions : t -> (string * bool) list
+(** All sessions by name (sorted), with resident-in-memory flag. *)
+
+val evictions : t -> int
+val restores : t -> int

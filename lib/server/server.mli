@@ -1,0 +1,27 @@
+(** The [shapctl serve] event loop: a single-process, [select]-based
+    multiplexer serving the {!Protocol} over a Unix-domain socket.
+
+    Requests on one connection execute in arrival order, one response
+    line per request line; solve parallelism comes from the session's
+    Domain pool ([jobs] in the spec — {!Aggshap_core.Batch} workers),
+    so answers stay bit-identical to the CLI's. Each connection reads
+    through {!Aggshap_incr.Script.Reader}, so a request on a final
+    unterminated line is processed, not dropped, and malformed requests
+    get error replies carrying the 1-based connection line number.
+
+    Sessions are snapshotted at open, at LRU eviction, and at clean
+    shutdown (the [shutdown] op, SIGINT, or SIGTERM); with a
+    [state_dir] they survive restarts (see {!Registry}). *)
+
+type config = {
+  socket : string;  (** path of the Unix-domain socket (replaced if stale) *)
+  max_sessions : int;  (** LRU capacity: resident sessions, at least 1 *)
+  state_dir : string option;  (** snapshot directory; [None] = in-memory only *)
+  default_jobs : int option;
+      (** worker domains for sessions whose [open] gave no [jobs] *)
+  log : string -> unit;  (** one line per lifecycle event *)
+}
+
+val run : config -> (unit, string) result
+(** Binds, listens, and serves until shutdown; removes the socket file
+    on exit. Errors are pre-loop failures (bad state dir, bind). *)

@@ -1,0 +1,145 @@
+The session server: many named incremental solver sessions behind a
+newline-delimited JSON protocol on a Unix-domain socket. Sockets need
+short paths, so the server state lives under a fresh temp directory.
+
+  $ D=$(mktemp -d)
+  $ S=$D/srv.sock
+  $ shapctl serve --socket $S --max-sessions 2 --state-dir $D/state --quiet &
+  $ shapctl client ping --socket $S
+  ok
+
+Two tenants, each with its own session over the same database:
+
+  $ shapctl client open alice --socket $S -q "Q(x) <- R(x,y), S(y)" -d db.facts -a sum -t id:R:0
+  opened alice (5 facts)
+  $ shapctl client open bob --socket $S -q "Q(x) <- R(x,y), S(y)" -d db.facts -a count
+  opened bob (5 facts)
+
+Server answers are the exact rationals of the batch solver — compare
+with `shapctl solve` on the same inputs below:
+
+  $ shapctl client solve alice --socket $S
+  R(1, 10)                     1/2
+  R(2, 10)                     1
+  R(3, 20)                     3
+  S(10)                        3/2
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a sum -t id:R:0
+  class: all-hierarchical; algorithm: sum/count via linearity + Boolean DP
+  R(1, 10)                       1/2 (~ 0.5)
+  R(2, 10)                       1 (~ 1)
+  R(3, 20)                       3 (~ 3)
+  S(10)                          3/2 (~ 1.5)
+  $ shapctl client solve bob --socket $S
+  R(1, 10)                     1/2
+  R(2, 10)                     1/2
+  R(3, 20)                     1
+  S(10)                        1
+  $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a count
+  class: all-hierarchical; algorithm: sum/count via linearity + Boolean DP
+  R(1, 10)                       1/2 (~ 0.5)
+  R(2, 10)                       1/2 (~ 0.5)
+  R(3, 20)                       1 (~ 1)
+  S(10)                          1 (~ 1)
+
+Concurrent updates hit only their own tenant: alice absorbs an insert
+and a delete while bob's values stay put.
+
+  $ shapctl client update alice --socket $S --op "insert R(4, 20)"
+  applied 1 update
+  $ printf 'delete R(1, 10)\ninsert S(30)' > updates.txt
+  $ shapctl client update alice --socket $S --updates updates.txt
+  applied 2 updates
+  $ shapctl client solve alice --socket $S
+  R(2, 10)                     1
+  R(3, 20)                     3
+  R(4, 20)                     4
+  S(10)                        1
+  S(30)                        0
+  $ shapctl client solve bob --socket $S
+  R(1, 10)                     1/2
+  R(2, 10)                     1/2
+  R(3, 20)                     1
+  S(10)                        1
+
+set_tau re-points the value function without reopening:
+
+  $ shapctl client set-tau alice --socket $S -t const:R:5
+  tau set
+  $ shapctl client solve alice --socket $S
+  R(2, 10)                     5/2
+  R(3, 20)                     5
+  R(4, 20)                     5
+  S(10)                        5/2
+  S(30)                        0
+
+Explain and per-session statistics:
+
+  $ shapctl client explain alice --socket $S
+  class: all-hierarchical
+  frontier: exists-hierarchical
+  within frontier: yes (polynomial)
+  algorithm: sum/count via linearity + Boolean DP
+  $ shapctl client stats alice --socket $S
+  session alice: steps=4 games=6 computed/3 reused flushes=0 facts=6 endogenous=5
+  $ shapctl client stats --socket $S
+  session alice (live)
+  session bob (live)
+  requests=14 evictions=0 restores=0
+
+Malformed requests get error replies carrying the connection's request
+line number; the final line has no trailing newline and is still
+answered:
+
+  $ printf 'garbage\n{"op":"nope"}\n{"op":"ping"}' | shapctl client raw --socket $S
+  {"ok": false, "line": 1, "error": "malformed request: not a JSON line (at offset 0: malformed number \"\")"}
+  {"ok": false, "line": 2, "error": "unknown op \"nope\""}
+  {"ok": true, "op": "ping"}
+
+A clean shutdown snapshots every session:
+
+  $ shapctl client shutdown --socket $S
+  server shutting down
+  $ wait
+  $ ls $D/state
+  alice.session.json
+  bob.session.json
+
+Restart over the same state directory: both sessions come back, and
+with --max-sessions 1 touching one evicts the other (LRU). Values
+survive the round-trip through the SHAPSESS_v1 snapshot bit-for-bit —
+alice still shows the updated database and the const:R:5 τ.
+
+  $ shapctl serve --socket $S --max-sessions 1 --state-dir $D/state --quiet &
+  $ shapctl client solve alice --socket $S
+  R(2, 10)                     5/2
+  R(3, 20)                     5
+  R(4, 20)                     5
+  S(10)                        5/2
+  S(30)                        0
+  $ shapctl client stats --socket $S
+  session alice (live)
+  session bob (evicted)
+  requests=2 evictions=0 restores=1
+  $ shapctl client solve bob --socket $S
+  R(1, 10)                     1/2
+  R(2, 10)                     1/2
+  R(3, 20)                     1
+  S(10)                        1
+  $ shapctl client stats --socket $S
+  session alice (evicted)
+  session bob (live)
+  requests=4 evictions=1 restores=2
+
+Closing a session removes its snapshot; unknown sessions are errors:
+
+  $ shapctl client close bob --socket $S
+  closed bob
+  $ shapctl client solve bob --socket $S
+  shapctl: server error (line 1): no such session "bob" (open it first)
+  [1]
+  $ ls $D/state
+  alice.session.json
+  $ shapctl client shutdown --socket $S
+  server shutting down
+  $ wait
+  $ rm -rf $D
