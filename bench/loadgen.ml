@@ -157,12 +157,10 @@ let run_client ~tenant ~out_path =
 (* Aggregation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) rank))
+(* Nearest-rank percentile, total on every sample count (a 1-sample run
+   reports that sample for every percentile). Lives in [Percentile] so
+   the rank arithmetic is unit tested. *)
+let percentile = Percentile.percentile
 
 let read_latencies path =
   let ic = open_in path in

@@ -7,7 +7,9 @@
    prints one table per experiment (E1..E16). A final section runs one
    Bechamel micro-benchmark per experiment.
 
-   Usage: bench/main.exe [--quick]   (--quick shrinks the sweeps) *)
+   Usage: bench/main.exe [--quick] [--only e14,e18] [--json FILE]
+   (--quick shrinks the sweeps; --only restricts to the named
+   experiments, for calibration loops) *)
 
 module B = Aggshap_arith.Bigint
 module Q = Aggshap_arith.Rational
@@ -46,6 +48,17 @@ let json_path =
     | [] -> None
   in
   find (Array.to_list Sys.argv)
+
+(* [--only e14,e18]: restrict the run to the named experiments. *)
+let only =
+  let rec find = function
+    | "--only" :: names :: _ -> Some (String.split_on_char ',' names)
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let want name = match only with None -> true | Some names -> List.mem name names
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -474,7 +487,11 @@ let e14 () =
               ("divmod", Int bs.B.divmod);
               ("gcd", Int bs.B.gcd);
               ("acc_mul", Int bs.B.acc_mul);
+              ("promotions", Int bs.B.promotions);
+              ("demotions", Int bs.B.demotions);
               ("convolve", Int ts.Core.Tables.convolve);
+              ("convolve_small", Int ts.Core.Tables.convolve_small);
+              ("convolve_ntt", Int ts.Core.Tables.convolve_ntt);
               ("convolve_rat", Int ts.Core.Tables.convolve_rat);
               ("tree_folds", Int ts.Core.Tables.tree_folds);
               ("weighted_sums", Int ts.Core.Tables.weighted_sums) ]
@@ -713,6 +730,94 @@ let e16 () =
     (if quick then [ 60 ] else [ 200; 400 ]);
   List.rev !results
 
+(* E18: the RNS/NTT convolution tier, before vs after. Each workload is
+   solved twice over identical inputs — once with the tier disabled
+   ([Tables.ntt_threshold := max_int], so every convolution takes the
+   classic schoolbook/Karatsuba scatter) and once with the default
+   three-tier dispatch — and the two result sets must be bit-identical:
+   the CRT magnitude bound makes the NTT tier exact, not approximate
+   (DESIGN.md §8). Speedup is classic wall over NTT wall. *)
+let e18 () =
+  header "E18 (NTT tier): classic vs RNS/NTT convolution, bit-identical";
+  Printf.printf "%-18s %6s %8s %11s %11s %9s %10s %7s\n" "workload" "rows" "players"
+    "classic" "ntt" "speedup" "ntt_convs" "agree";
+  let results = ref [] in
+  let emit workload rows players wall extra kernels =
+    let open Bench_json in
+    results :=
+      Obj
+        ([ ("experiment", String "E18");
+           ("workload", String workload);
+           ("n", Int rows);
+           ("players", Int players);
+           ("wall_s", Float wall) ]
+        @ extra @ kernels)
+      :: !results
+  in
+  let run workload sizes make_db make_agg =
+    List.iter
+      (fun rows ->
+        let db = make_db rows in
+        let a = make_agg () in
+        let players = Database.endo_size db in
+        let solve () = fst (Core.Batch.shapley_all ~jobs:1 ~cache:true a db) in
+        let saved = !Core.Tables.ntt_threshold in
+        Core.Tables.ntt_threshold := max_int;
+        B.reset_stats ();
+        Core.Tables.reset_stats ();
+        let classic, t_classic =
+          Fun.protect
+            ~finally:(fun () -> Core.Tables.ntt_threshold := saved)
+            (fun () -> time solve)
+        in
+        let bs_classic = B.stats () in
+        let ts_classic = Core.Tables.stats () in
+        B.reset_stats ();
+        Core.Tables.reset_stats ();
+        let ntt, t_ntt = time solve in
+        let bs = B.stats () in
+        let ts = Core.Tables.stats () in
+        let same =
+          List.equal
+            (fun (f1, v1) (f2, v2) -> Fact.equal f1 f2 && Q.equal v1 v2)
+            classic ntt
+        in
+        let speedup = t_classic /. Stdlib.max 1e-9 t_ntt in
+        Printf.printf "%-18s %6d %8d %10.4fs %10.4fs %8.2fx %10d %7s\n" workload rows
+          players t_classic t_ntt speedup ts.Core.Tables.convolve_ntt
+          (if same then "ok" else "MISMATCH");
+        if not same then failwith "E18: NTT and classic convolution results diverge";
+        let kernels_of bs ts =
+          [ ( "kernels",
+              Bench_json.(
+                Obj
+                  [ ("mul_schoolbook", Int bs.B.mul_schoolbook);
+                    ("mul_karatsuba", Int bs.B.mul_karatsuba);
+                    ("mul_small", Int bs.B.mul_small);
+                    ("promotions", Int bs.B.promotions);
+                    ("demotions", Int bs.B.demotions);
+                    ("convolve", Int ts.Core.Tables.convolve);
+                    ("convolve_small", Int ts.Core.Tables.convolve_small);
+                    ("convolve_ntt", Int ts.Core.Tables.convolve_ntt);
+                    ("tree_folds", Int ts.Core.Tables.tree_folds) ]) ) ]
+        in
+        emit (workload ^ ":classic") rows players t_classic []
+          (kernels_of bs_classic ts_classic);
+        emit (workload ^ ":ntt") rows players t_ntt
+          [ ("speedup_vs_classic", Bench_json.Float speedup) ]
+          (kernels_of bs ts))
+      sizes
+  in
+  run "max_q_xyy"
+    (if quick then [ 40 ] else [ 60; 120; 200 ])
+    xyy_db
+    (fun () -> Agg_query.make Aggregate.Max (vid "R" 0) Catalog.q_xyy);
+  run "dup_q1"
+    (if quick then [ 30 ] else [ 40; 100; 160 ])
+    q1_db
+    (fun () -> Agg_query.make Aggregate.Has_duplicates (vmod "R" 0) Catalog.q1_sq);
+  List.rev !results
+
 let write_json path rows =
   let report =
     Bench_json.Obj
@@ -873,27 +978,21 @@ let run_bechamel () =
 
 let () =
   Printf.printf "aggshap benchmark harness%s\n" (if quick then " (--quick)" else "");
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  let e14_rows = e14 () in
-  let e15_rows = e15 () in
-  let e16_rows = e16 () in
-  a1 ();
-  a2 ();
-  run_bechamel ();
+  List.iter
+    (fun (name, f) -> if want name then f ())
+    [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+      ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
+      ("e13", e13) ];
+  let rows_of name f = if want name then f () else [] in
+  let e14_rows = rows_of "e14" e14 in
+  let e15_rows = rows_of "e15" e15 in
+  let e16_rows = rows_of "e16" e16 in
+  let e18_rows = rows_of "e18" e18 in
+  if want "a1" then a1 ();
+  if want "a2" then a2 ();
+  if want "bechamel" then run_bechamel ();
   (match json_path with
-   | Some path -> write_json path (e14_rows @ e15_rows @ e16_rows)
+   | Some path -> write_json path (e14_rows @ e15_rows @ e16_rows @ e18_rows)
    | None -> ());
   print_newline ();
   print_endline "all experiments completed; every cross-check above reports 'ok'"

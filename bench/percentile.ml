@@ -1,0 +1,16 @@
+(* Nearest-rank percentile of a sorted sample array.
+
+   [percentile sorted p] for [p] in [0, 1] picks the sample at
+   one-based rank [ceil (p * n)], clamped into the array — the
+   classic nearest-rank method, which needs no interpolation and is
+   total on every sample count: a 1-sample run reports that sample for
+   every percentile (rank clamps to 0) and an empty run reports 0.
+   Extracted from the load generator so the index arithmetic is unit
+   tested instead of trusted. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))

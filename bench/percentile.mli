@@ -1,0 +1,7 @@
+(** Nearest-rank percentile for the latency reports. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] is the nearest-rank [p]-percentile (one-based
+    rank [ceil (p * n)], clamped) of the ascending-sorted samples;
+    [0.0] on an empty array. Total for every sample count — a single
+    sample is reported as every percentile. *)

@@ -63,9 +63,11 @@ let load path =
     | Ok () -> json)
 
 (* The regression gate covers the deterministic benchmark experiments;
-   E17 latency rows (load-dependent) are informational only. *)
+   E17 latency rows (load-dependent) are informational only. E18 is
+   pinned so the convolution-tier wins stay locked in: a regression in
+   either the classic paths or the dispatch shows up as a slower row. *)
 let pinned experiment =
-  List.mem experiment [ "E13"; "E14"; "E15"; "E16" ]
+  List.mem experiment [ "E13"; "E14"; "E15"; "E16"; "E18" ]
 
 let compare_reports ~tolerance ~base_path baseline current =
   let open Bench_json in
@@ -75,7 +77,7 @@ let compare_reports ~tolerance ~base_path baseline current =
     List.find_opt (fun r -> row_key r = key) cur_rows
   in
   Printf.printf "\nregression gate: vs %s, tolerance %+.0f%% on pinned rows (%s)\n"
-    base_path tolerance "E13-E16";
+    base_path tolerance "E13-E16, E18";
   Printf.printf "%-44s %10s %10s %8s  %s\n" "row" "baseline" "current" "delta" "gate";
   let failures =
     List.fold_left

@@ -119,14 +119,12 @@ let run_eval query_s db_path agg_s tau_s =
 (* ------------------------------------------------------------------ *)
 
 (* --stats: per-kernel counter report after a solve. The counters are
-   plain (non-atomic) globals, so under --jobs > 1 the numbers are
-   approximate — flagged in the output. *)
-let print_kernel_stats parallel =
+   Atomic.t, so the totals are exact whatever --jobs says. *)
+let print_kernel_stats () =
   let bs = Aggshap_arith.Bigint.stats () in
   let ts = Aggshap_core.Tables.stats () in
   let es = Engine.stats () in
-  let approx = if parallel then " (approximate: parallelism enabled)" else "" in
-  Printf.printf "kernel counters%s:\n" approx;
+  Printf.printf "kernel counters:\n";
   List.iter
     (fun (name, v) -> Printf.printf "  %-18s %d\n" name v)
     [ ("mul_schoolbook", bs.Aggshap_arith.Bigint.mul_schoolbook);
@@ -136,7 +134,11 @@ let print_kernel_stats parallel =
       ("divmod", bs.Aggshap_arith.Bigint.divmod);
       ("gcd", bs.Aggshap_arith.Bigint.gcd);
       ("acc_mul", bs.Aggshap_arith.Bigint.acc_mul);
+      ("promotions", bs.Aggshap_arith.Bigint.promotions);
+      ("demotions", bs.Aggshap_arith.Bigint.demotions);
       ("convolve", ts.Aggshap_core.Tables.convolve);
+      ("convolve_small", ts.Aggshap_core.Tables.convolve_small);
+      ("convolve_ntt", ts.Aggshap_core.Tables.convolve_ntt);
       ("convolve_rat", ts.Aggshap_core.Tables.convolve_rat);
       ("tree_folds", ts.Aggshap_core.Tables.tree_folds);
       ("weighted_sums", ts.Aggshap_core.Tables.weighted_sums);
@@ -162,10 +164,6 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_j
     Aggshap_core.Tables.reset_stats ();
     Engine.reset_stats ()
   end;
-  let parallel =
-    (match jobs with Some j -> j > 1 | None -> false)
-    || (match block_jobs with Some b -> b > 1 | None -> false)
-  in
   let result =
     match (score, fact_s) with
     | Api.Banzhaf, fact -> or_die (Api.banzhaf_all ?fact a db)
@@ -190,7 +188,7 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_j
         Printf.printf "%-30s %.6f ± %.6f (%d samples)\n" (Fact.to_string fact)
           e.Monte_carlo.mean e.Monte_carlo.std_error e.Monte_carlo.samples)
     result.Api.values;
-  if stats then print_kernel_stats parallel;
+  if stats then print_kernel_stats ();
   0
 
 (* ------------------------------------------------------------------ *)
@@ -407,11 +405,19 @@ let run_client action session socket query_s db_path agg_s tau_s jobs updates_pa
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed trials max_endo jobs max_failures updates verbose =
+let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold verbose =
   if trials < 1 then die "--trials must be at least 1 (got %d)" trials;
   if max_endo < 1 then die "--max-endo must be at least 1 (got %d)" max_endo;
   check_jobs jobs;
   if max_failures < 1 then die "--max-failures must be at least 1 (got %d)" max_failures;
+  (match ntt_threshold with
+   | None -> ()
+   | Some t ->
+     if t < 0 then die "--ntt-threshold must be non-negative (got %d)" t;
+     Aggshap_core.Tables.ntt_threshold := t;
+     Printf.printf "fuzz: NTT tier %s\n%!"
+       (if t = 0 then "forced on every convolution (differential campaign)"
+        else Printf.sprintf "threshold set to %d" t));
   let module Fuzz = Aggshap_check.Fuzz in
   let module Trial = Aggshap_check.Trial in
   let module Utrial = Aggshap_check.Utrial in
@@ -664,6 +670,13 @@ let updates_flag_arg =
                live session, cross-checking every step against a \
                from-scratch batch solve.")
 
+let ntt_threshold_arg =
+  Arg.(value & opt (some int) None & info [ "ntt-threshold" ] ~docv:"L"
+         ~doc:"Override the RNS/NTT convolution tier threshold for the \
+               campaign. $(b,0) forces the tier on every convolution \
+               (cost model bypassed) so fuzz-sized tables exercise the \
+               transform differentially against the naive oracle.")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
@@ -671,7 +684,7 @@ let fuzz_cmd =
              databases, cross-validating the polynomial DPs against naive \
              enumeration, the Shapley axioms, and every engine \
              configuration; failures are shrunk to a minimal reproducer.")
-    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ updates_flag_arg $ verbose_arg)
+    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ updates_flag_arg $ ntt_threshold_arg $ verbose_arg)
 
 let main_cmd =
   Cmd.group

@@ -43,12 +43,12 @@ let answer_values t db =
     | None -> invalid_arg "Agg_query.answer_bag: localization atom missing"
   in
   (* Map each answer tuple to its τ-value; check localization consistency. *)
-  let values =
-    List.fold_left
-      (fun acc sigma ->
-        let answer = Eval.apply_head t.query sigma in
-        let r_fact = Eval.atom_image r_atom sigma in
-        let v = Value_fn.apply t.tau r_fact.Fact.args in
+  let values = ref TupleMap.empty in
+  Eval.visit_homomorphisms t.query db (fun sigma ->
+      let answer = Eval.apply_head t.query sigma in
+      let r_fact = Eval.atom_image r_atom sigma in
+      let v = Value_fn.apply t.tau r_fact.Fact.args in
+      values :=
         TupleMap.update answer
           (function
             | None -> Some v
@@ -58,11 +58,9 @@ let answer_values t db =
                 invalid_arg
                   "Agg_query: value function is not localized on this database \
                    (one answer, two τ-values)")
-          acc)
-      TupleMap.empty
-      (Eval.homomorphisms t.query db)
-  in
-  TupleMap.bindings values
+          !values;
+      true);
+  TupleMap.bindings !values
 
 let answer_bag t db =
   List.fold_left (fun bag (_, v) -> Bag.add v bag) Bag.empty (answer_values t db)

@@ -1,22 +1,41 @@
-(* Sign-magnitude bignums, little-endian limbs in base 2^30.
+(* Sign-magnitude bignums with a tagged small-integer fast path.
 
-   Base 2^30 keeps every intermediate product of two limbs below 2^60 and
-   every product-plus-carry below 2^62, which fits comfortably in OCaml's
-   63-bit native integers. Division is Knuth's Algorithm D (TAOCP vol. 2,
-   4.3.1); the classic qhat estimation and add-back correction are kept
-   exactly as in the reference formulation. Multiplication switches from
-   schoolbook to Karatsuba above [karatsuba_threshold] limbs, string
-   conversion is divide-and-conquer above [string_threshold] limbs, and
-   gcd is a hybrid of Euclid division steps and a word-sized binary
-   (Stein) finish. *)
+   A value is either [Small n] — a native 63-bit OCaml integer — or
+   [Big], a sign-magnitude little-endian limb array in base 2^30. The
+   representation is canonical: every integer that fits a native [int]
+   (except [min_int], whose negation overflows, so it always lives on
+   the [Big] side) is [Small], and every operation demotes a limb-array
+   result back to [Small] the moment it fits. Canonical forms make
+   structural equality coincide with numeric equality and keep the many
+   tiny DP-table entries produced early in the recursions off the heap
+   entirely: a [Small] is an immediate, unboxed value.
+
+   Small/small operations run in native arithmetic guarded by exact
+   overflow checks (promote only on demand); everything else promotes to
+   limbs. Base 2^30 keeps every intermediate product of two limbs below
+   2^60 and every product-plus-carry below 2^62, which fits comfortably
+   in OCaml's 63-bit native integers. Division is Knuth's Algorithm D
+   (TAOCP vol. 2, 4.3.1); the classic qhat estimation and add-back
+   correction are kept exactly as in the reference formulation.
+   Multiplication switches from schoolbook to Karatsuba above
+   [karatsuba_threshold] limbs, string conversion is divide-and-conquer
+   above [string_threshold] limbs, and gcd is a hybrid of Euclid
+   division steps and a word-sized binary (Stein) finish. *)
 
 let limb_bits = 30
 let base = 1 lsl limb_bits
 let limb_mask = base - 1
 
-type t = { sign : int; mag : int array }
+type big = { sign : int; mag : int array }
 (* Invariants: [sign] is -1, 0 or 1; [mag] has no trailing (most
    significant) zero limb; [sign = 0] iff [mag] is empty. *)
+
+type t = Small of int | Big of big
+(* Canonical forms: [Small n] for every native [n] except [min_int];
+   [Big] only for values outside [[-max_int, max_int]] (which includes
+   [min_int] itself). Internal kernels work on [big] records and may
+   produce small magnitudes; [demote] restores canonicity at the public
+   boundary. *)
 
 type stats = {
   mul_schoolbook : int;
@@ -26,48 +45,55 @@ type stats = {
   divmod : int;
   gcd : int;
   acc_mul : int;
+  promotions : int;
+  demotions : int;
 }
 
-(* Plain mutable counters: increments from concurrent domains may be
-   lost, which is acceptable for instrumentation that only feeds
-   [--stats] and bench reports. *)
-let c_mul_schoolbook = ref 0
-let c_mul_karatsuba = ref 0
-let c_mul_small = ref 0
-let c_sqr = ref 0
-let c_divmod = ref 0
-let c_gcd = ref 0
-let c_acc_mul = ref 0
+(* Atomic counters: increments from concurrent domains are never lost,
+   so [--stats] and BENCH_v1 kernel counts are exact under --jobs N. *)
+let c_mul_schoolbook = Atomic.make 0
+let c_mul_karatsuba = Atomic.make 0
+let c_mul_small = Atomic.make 0
+let c_sqr = Atomic.make 0
+let c_divmod = Atomic.make 0
+let c_gcd = Atomic.make 0
+let c_acc_mul = Atomic.make 0
+let c_promotions = Atomic.make 0
+let c_demotions = Atomic.make 0
 
 let stats () =
-  { mul_schoolbook = !c_mul_schoolbook;
-    mul_karatsuba = !c_mul_karatsuba;
-    mul_small = !c_mul_small;
-    sqr = !c_sqr;
-    divmod = !c_divmod;
-    gcd = !c_gcd;
-    acc_mul = !c_acc_mul }
+  { mul_schoolbook = Atomic.get c_mul_schoolbook;
+    mul_karatsuba = Atomic.get c_mul_karatsuba;
+    mul_small = Atomic.get c_mul_small;
+    sqr = Atomic.get c_sqr;
+    divmod = Atomic.get c_divmod;
+    gcd = Atomic.get c_gcd;
+    acc_mul = Atomic.get c_acc_mul;
+    promotions = Atomic.get c_promotions;
+    demotions = Atomic.get c_demotions }
 
 let reset_stats () =
-  c_mul_schoolbook := 0;
-  c_mul_karatsuba := 0;
-  c_mul_small := 0;
-  c_sqr := 0;
-  c_divmod := 0;
-  c_gcd := 0;
-  c_acc_mul := 0
+  Atomic.set c_mul_schoolbook 0;
+  Atomic.set c_mul_karatsuba 0;
+  Atomic.set c_mul_small 0;
+  Atomic.set c_sqr 0;
+  Atomic.set c_divmod 0;
+  Atomic.set c_gcd 0;
+  Atomic.set c_acc_mul 0;
+  Atomic.set c_promotions 0;
+  Atomic.set c_demotions 0
 
 type fault = [ `None | `Karatsuba_split ]
 
 let fault : fault ref = ref `None
 
-let zero = { sign = 0; mag = [||] }
+let big_zero = { sign = 0; mag = [||] }
 
 let normalize sign mag =
   let n = Array.length mag in
   let rec top i = if i > 0 && mag.(i - 1) = 0 then top (i - 1) else i in
   let len = top n in
-  if len = 0 then zero
+  if len = 0 then big_zero
   else if len = n then { sign; mag }
   else { sign; mag = Array.sub mag 0 len }
 
@@ -82,9 +108,9 @@ let trim mag =
   let len = trim_len mag in
   if len = Array.length mag then mag else Array.sub mag 0 len
 
-let of_small n =
+let big_of_small n =
   (* [n] must satisfy [0 <= n]. *)
-  if n = 0 then zero
+  if n = 0 then big_zero
   else if n < base then { sign = 1; mag = [| n |] }
   else if n < base * base then { sign = 1; mag = [| n land limb_mask; n lsr limb_bits |] }
   else
@@ -94,12 +120,12 @@ let of_small n =
            (n lsr limb_bits) land limb_mask;
            n lsr (2 * limb_bits) |] }
 
-let of_int n =
-  if n = 0 then zero
-  else if n > 0 then of_small n
+let big_of_int n =
+  if n = 0 then big_zero
+  else if n > 0 then big_of_small n
   else if n = min_int then
     (* [-n] overflows; build from [max_int] instead. *)
-    let m = of_small max_int in
+    let m = big_of_small max_int in
     let m1 = { m with mag = Array.copy m.mag } in
     let mag = m1.mag in
     (* max_int + 1: increment with carry. *)
@@ -118,17 +144,63 @@ let of_int n =
       end
     in
     { sign = -1; mag = inc 0 1 mag }
-  else { (of_small (-n)) with sign = -1 }
+  else { (big_of_small (-n)) with sign = -1 }
 
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
+(* Demote a limb-array result to [Small] when the value fits a native
+   int other than [min_int]; restores the canonical-form invariant. *)
+let demote b =
+  let small =
+    match Array.length b.mag with
+    | 0 -> Some 0
+    | 1 -> Some (b.sign * b.mag.(0))
+    | 2 -> Some (b.sign * ((b.mag.(1) lsl limb_bits) lor b.mag.(0)))
+    | 3 ->
+      let high = b.mag.(2) in
+      if high < 1 lsl (62 - (2 * limb_bits)) then
+        Some (b.sign * ((high lsl (2 * limb_bits)) lor (b.mag.(1) lsl limb_bits) lor b.mag.(0)))
+      else None
+    | _ -> None
+  in
+  match small with
+  | Some n ->
+    Atomic.incr c_demotions;
+    Small n
+  | None -> Big b
 
-let sign t = t.sign
-let is_zero t = t.sign = 0
-let is_negative t = t.sign < 0
-let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
-let is_even t = t.sign = 0 || t.mag.(0) land 1 = 0
+(* Promote to the limb representation on demand. *)
+let big_of = function
+  | Big b -> b
+  | Small n ->
+    Atomic.incr c_promotions;
+    big_of_int n
+
+let zero = Small 0
+let one = Small 1
+let two = Small 2
+let minus_one = Small (-1)
+
+let of_int n = if n = min_int then Big (big_of_int min_int) else Small n
+
+let is_small = function Small _ -> true | Big _ -> false
+
+let small_value = function
+  | Small n -> n
+  | Big _ -> invalid_arg "Bigint.small_value: promoted value"
+
+let sign = function
+  | Small n -> Stdlib.compare n 0
+  | Big b -> b.sign
+
+let is_zero = function Small 0 -> true | _ -> false
+let is_one = function Small 1 -> true | _ -> false
+
+let is_negative = function
+  | Small n -> n < 0
+  | Big b -> b.sign < 0
+
+let is_even = function
+  | Small n -> n land 1 = 0
+  | Big b -> b.mag.(0) land 1 = 0
 
 let compare_mag a b =
   let la = Array.length a and lb = Array.length b in
@@ -141,21 +213,37 @@ let compare_mag a b =
     in
     go (la - 1)
 
-let compare a b =
+let big_compare a b =
   if a.sign <> b.sign then Stdlib.compare a.sign b.sign
   else if a.sign >= 0 then compare_mag a.mag b.mag
   else compare_mag b.mag a.mag
 
+let compare a b =
+  match (a, b) with
+  | Small x, Small y -> Stdlib.compare x y
+  | Big x, Big y -> big_compare x y
+  (* A canonical [Big] is larger in magnitude than any [Small]. *)
+  | Small _, Big y -> if y.sign > 0 then -1 else 1
+  | Big x, Small _ -> if x.sign > 0 then 1 else -1
+
 let equal a b = compare a b = 0
 
-let hash t =
-  Array.fold_left (fun acc limb -> (acc * 31 + limb) land max_int) t.sign t.mag
+let hash = function
+  | Small n -> n land max_int
+  | Big b ->
+    Array.fold_left (fun acc limb -> ((acc * 31) + limb) land max_int) b.sign b.mag
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
-let abs t = if t.sign < 0 then { t with sign = 1 } else t
+let neg = function
+  | Small n -> Small (-n) (* [n <> min_int] by the canonical-form invariant *)
+  | Big b -> Big { b with sign = -b.sign }
+
+let abs t =
+  match t with
+  | Small n -> if n < 0 then Small (-n) else t
+  | Big b -> if b.sign < 0 then Big { b with sign = 1 } else t
 
 (* Magnitude addition: no sign involved. *)
 let add_mag a b =
@@ -195,15 +283,29 @@ let sub_mag a b =
   assert (!borrow = 0);
   out
 
-let add a b =
+let big_add a b =
   if a.sign = 0 then b
   else if b.sign = 0 then a
   else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
   else
     match compare_mag a.mag b.mag with
-    | 0 -> zero
+    | 0 -> big_zero
     | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
     | _ -> normalize b.sign (sub_mag b.mag a.mag)
+
+let add a b =
+  match (a, b) with
+  | Small 0, _ -> b
+  | _, Small 0 -> a
+  | Small x, Small y ->
+    let s = x + y in
+    if (x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0) then
+      (* Native overflow: the true sum exceeds [max_int] in magnitude,
+         so the limb-path result stays [Big] with no demotion check. *)
+      Big (big_add (big_of_int x) (big_of_int y))
+    else if s = min_int then Big (big_of_int min_int)
+    else Small s
+  | _ -> demote (big_add (big_of a) (big_of b))
 
 let sub a b = add a (neg b)
 
@@ -211,7 +313,7 @@ let mul_mag_school a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then [||]
   else begin
-    incr c_mul_schoolbook;
+    Atomic.incr c_mul_schoolbook;
     let out = Array.make (la + lb) 0 in
     for i = 0 to la - 1 do
       let carry = ref 0 in
@@ -262,7 +364,7 @@ let rec mul_mag a b =
     let lmin = Stdlib.min la lb in
     if lmin < Stdlib.max 4 !karatsuba_threshold then mul_mag_school a b
     else begin
-      incr c_mul_karatsuba;
+      Atomic.incr c_mul_karatsuba;
       let m = (lmin + 1) / 2 in
       let lo x = Array.sub x 0 m in
       let hi x = Array.sub x m (Array.length x - m) in
@@ -380,63 +482,111 @@ let karatsuba_split_corrupt a b r =
     let bump = shift_left_bits (mul_mag_school a1 b1) 2 in
     normalize r.sign (add_mag r.mag bump)
 
+let big_mul a b =
+  if a.sign = 0 || b.sign = 0 then big_zero
+  else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+(* The fault applies to every multiplication — including the native
+   small/small fast path — so randomized trials on tiny operands can
+   still observe it. *)
+let apply_mul_fault a b r =
+  demote (karatsuba_split_corrupt (big_of a) (big_of b) (big_of r))
+
+(* Both factors strictly below 2^31 in magnitude multiply without
+   overflow (product < 2^62 <= max_int); the quick-accept test keeps
+   the dominant tiny-operand case free of the division-based check. *)
+let small_prod_bound = 1 lsl 31
+
 let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else begin
+  match (a, b) with
+  | Small 0, _ | _, Small 0 -> Small 0
+  | Small x, Small y ->
     let r =
-      if Array.length a.mag = 1 && Array.length b.mag = 1 then begin
-        (* Single-limb operands: the product fits in 60 bits, so build
-           the exact-size result directly — no kernel dispatch, no
-           oversized buffer, no trim copy. The DP convolutions hit this
-           case overwhelmingly often. *)
-        incr c_mul_small;
-        let p = a.mag.(0) * b.mag.(0) in
-        let sign = a.sign * b.sign in
-        if p < base then { sign; mag = [| p |] }
-        else { sign; mag = [| p land limb_mask; p lsr limb_bits |] }
+      let ax = if x < 0 then -x else x in
+      let ay = if y < 0 then -y else y in
+      if ax < small_prod_bound && ay < small_prod_bound then begin
+        Atomic.incr c_mul_small;
+        Small (x * y)
       end
-      else normalize (a.sign * b.sign) (mul_mag a.mag b.mag)
+      else
+        let p = x * y in
+        (* [p = min_int] is either a wrap or the one in-range product
+           [Small] cannot hold; [p / y = x] certifies no overflow
+           (a wrapped product differs from the true one by a multiple
+           of 2^63, farther than any |y| < 2^62 rounding slack). *)
+        if p <> min_int && p / y = x then begin
+          Atomic.incr c_mul_small;
+          Small p
+        end
+        else demote (big_mul (big_of_int x) (big_of_int y))
     in
-    match !fault with
-    | `None -> r
-    | `Karatsuba_split -> karatsuba_split_corrupt a b r
-  end
+    (match !fault with
+     | `None -> r
+     | `Karatsuba_split -> apply_mul_fault a b r)
+  | _ ->
+    let r = demote (big_mul (big_of a) (big_of b)) in
+    (match !fault with
+     | `None -> r
+     | `Karatsuba_split -> apply_mul_fault a b r)
 
 let mul_schoolbook a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else normalize (a.sign * b.sign) (mul_mag_school a.mag b.mag)
+  match (a, b) with
+  | Small 0, _ | _, Small 0 -> Small 0
+  | _ ->
+    let a = big_of a and b = big_of b in
+    demote (normalize (a.sign * b.sign) (mul_mag_school a.mag b.mag))
 
 let sqr a =
-  if a.sign = 0 then zero
-  else begin
-    incr c_sqr;
-    let r = normalize 1 (sqr_mag a.mag) in
-    match !fault with
-    | `None -> r
-    | `Karatsuba_split -> karatsuba_split_corrupt a a r
-  end
+  match a with
+  | Small 0 -> Small 0
+  | Small x ->
+    Atomic.incr c_sqr;
+    let r =
+      let ax = if x < 0 then -x else x in
+      if ax < small_prod_bound then Small (x * x)
+      else
+        let p = x * x in
+        if p <> min_int && p / x = x then Small p
+        else demote (normalize 1 (sqr_mag (big_of_int x).mag))
+    in
+    (match !fault with
+     | `None -> r
+     | `Karatsuba_split -> apply_mul_fault a a r)
+  | Big b ->
+    Atomic.incr c_sqr;
+    let r = demote (normalize 1 (sqr_mag b.mag)) in
+    (match !fault with
+     | `None -> r
+     | `Karatsuba_split -> apply_mul_fault a a r)
+
+(* The dedicated scalar loop admits any |n| < 2^32: limb*scalar plus
+   carry stays below 2^62. *)
+let mul_int_bound = 1 lsl 32
 
 let mul_int a n =
-  if a.sign = 0 || n = 0 then zero
-  else begin
-    let m = if n < 0 then -n else n in
-    if m > 0 && m < base then begin
-      (* Dedicated small-scalar limb loop: one pass, no intermediate
-         bignum for the scalar. *)
-      incr c_mul_small;
-      let la = Array.length a.mag in
-      let out = Array.make (la + 1) 0 in
-      let carry = ref 0 in
-      for i = 0 to la - 1 do
-        let cur = (a.mag.(i) * m) + !carry in
-        out.(i) <- cur land limb_mask;
-        carry := cur lsr limb_bits
-      done;
-      out.(la) <- !carry;
-      normalize (if n < 0 then -a.sign else a.sign) out
-    end
-    else mul a (of_int n)
-  end
+  match a with
+  | Small _ -> mul a (of_int n)
+  | Big b ->
+    if n = 0 then Small 0
+    else
+      let m = if n < 0 then -n else n in
+      if m > 0 && m < mul_int_bound then begin
+        (* Dedicated small-scalar limb loop: one pass, no intermediate
+           bignum for the scalar. *)
+        Atomic.incr c_mul_small;
+        let la = Array.length b.mag in
+        let out = Array.make (la + 2) 0 in
+        let carry = ref 0 in
+        for i = 0 to la - 1 do
+          let cur = (b.mag.(i) * m) + !carry in
+          out.(i) <- cur land limb_mask;
+          carry := cur lsr limb_bits
+        done;
+        out.(la) <- !carry land limb_mask;
+        out.(la + 1) <- !carry lsr limb_bits;
+        demote (normalize (if n < 0 then -b.sign else b.sign) out)
+      end
+      else mul a (of_int n)
 
 let add_int a n = add a (of_int n)
 let succ a = add a one
@@ -510,12 +660,11 @@ let divmod_knuth u v =
   let r = shift_right_bits (Array.sub un 0 n) s in
   (q, r)
 
-let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
-  else if compare_mag a.mag b.mag < 0 then (zero, a)
+let big_divmod a b =
+  if a.sign = 0 then (big_zero, big_zero)
+  else if compare_mag a.mag b.mag < 0 then (big_zero, a)
   else begin
-    incr c_divmod;
+    Atomic.incr c_divmod;
     let qmag, rmag =
       if Array.length b.mag = 1 then begin
         let q, r = divmod_small_mag a.mag b.mag.(0) in
@@ -527,6 +676,20 @@ let divmod a b =
     let r = normalize a.sign rmag in
     (q, r)
   end
+
+let divmod a b =
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+    (* Native truncated division; [min_int / -1], the only overflowing
+       case, cannot arise because [Small] never holds [min_int]. *)
+    (Small (x / y), Small (x mod y))
+  | Small x, Big _ ->
+    (* A canonical [Big] divisor exceeds any [Small] in magnitude. *)
+    (Small 0, Small x)
+  | Big _, _ ->
+    let q, r = big_divmod (big_of a) (big_of b) in
+    (demote q, demote r)
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
@@ -573,64 +736,86 @@ let gcd_word x y =
     !x lsl shift
   end
 
-(* At most 2 limbs always fits 62 bits, hence a non-negative native
-   int; 3-limb values may not. *)
-let fits_word t = Array.length t.mag <= 2
-
-let word_of t =
-  match Array.length t.mag with
-  | 0 -> 0
-  | 1 -> t.mag.(0)
-  | _ -> (t.mag.(1) lsl limb_bits) lor t.mag.(0)
-
 (* Hybrid gcd: Euclid division steps shrink multi-limb operands fast
    (a subtraction-only multi-limb Stein loop measured slower at every
    size), then the word-sized binary gcd finishes allocation-free --
-   and handles the overwhelmingly common small case of
-   [Rational.make] normalization directly. *)
+   and handles the overwhelmingly common case of [Rational.make]
+   normalization directly, since both operands of a reduced rational
+   are usually [Small]. *)
 let gcd a b =
-  if a.sign = 0 then abs b
-  else if b.sign = 0 then abs a
-  else if fits_word a && fits_word b then of_small (gcd_word (word_of a) (word_of b))
-  else begin
-    incr c_gcd;
+  match (a, b) with
+  | Small 0, _ -> abs b
+  | _, Small 0 -> abs a
+  | Small x, Small y ->
+    Small (gcd_word (if x < 0 then -x else x) (if y < 0 then -y else y))
+  | _ ->
+    Atomic.incr c_gcd;
     let rec go a b =
-      if is_zero b then a
-      else if fits_word a && fits_word b then
-        of_small (gcd_word (word_of a) (word_of b))
-      else go b (rem a b)
+      match (a, b) with
+      | _, Small 0 -> a
+      | Small x, Small y ->
+        Small (gcd_word (if x < 0 then -x else x) (if y < 0 then -y else y))
+      | _ -> go b (rem a b)
     in
     go (abs a) (abs b)
-  end
 
 let lcm a b =
-  if a.sign = 0 || b.sign = 0 then zero
+  if is_zero a || is_zero b then zero
   else abs (mul (div a (gcd a b)) b)
 
-let to_int_opt t =
-  (* A native int holds at most 63 bits: up to 3 limbs with constraints. *)
-  match Array.length t.mag with
-  | 0 -> Some 0
-  | 1 -> Some (t.sign * t.mag.(0))
-  | 2 -> Some (t.sign * ((t.mag.(1) lsl limb_bits) lor t.mag.(0)))
-  | 3 ->
-    let high = t.mag.(2) in
-    let v () = (high lsl (2 * limb_bits)) lor (t.mag.(1) lsl limb_bits) lor t.mag.(0) in
-    if high < 1 lsl (62 - 2 * limb_bits) then Some (t.sign * v ())
-    else if t.sign < 0 && high = 1 lsl (62 - 2 * limb_bits) && t.mag.(1) = 0 && t.mag.(0) = 0
+let to_int_opt = function
+  | Small n -> Some n
+  | Big b ->
+    (* Canonical [Big]: only [min_int] still fits a native int. *)
+    if b.sign < 0
+       && Array.length b.mag = 3
+       && b.mag.(2) = 1 lsl (62 - (2 * limb_bits))
+       && b.mag.(1) = 0
+       && b.mag.(0) = 0
     then Some min_int
     else None
-  | _ -> None
 
 let to_int_exn t =
   match to_int_opt t with
   | Some n -> n
   | None -> failwith "Bigint.to_int_exn: out of native int range"
 
-let to_float t =
-  let basef = float_of_int base in
-  let m = Array.fold_right (fun limb acc -> (acc *. basef) +. float_of_int limb) t.mag 0.0 in
-  float_of_int t.sign *. m
+let to_float = function
+  | Small n -> float_of_int n
+  | Big b ->
+    let basef = float_of_int base in
+    let m = Array.fold_right (fun limb acc -> (acc *. basef) +. float_of_int limb) b.mag 0.0 in
+    float_of_int b.sign *. m
+
+(* Number of bits in |t|: 0 for zero, otherwise the position of the
+   highest set bit plus one. O(1): limb count plus the top limb's
+   width. *)
+let word_bits n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let bit_length = function
+  | Small 0 -> 0
+  | Small n -> word_bits (if n < 0 then -n else n)
+  | Big b ->
+    let l = Array.length b.mag in
+    ((l - 1) * limb_bits) + word_bits (b.mag.(l - 1))
+
+(* Remainder modulo a native [m], allocation-free: a Horner fold over
+   the limbs. Each step keeps [r < m < 2^32], so [r lsl 30 lor limb]
+   stays below 2^62. Result has the sign of [t] (truncated division),
+   matching [rem t (of_int m)]. *)
+let rem_int t m =
+  if m <= 0 || m >= mul_int_bound then
+    invalid_arg "Bigint.rem_int: modulus must be in [1, 2^32)";
+  match t with
+  | Small x -> x mod m
+  | Big b ->
+    let r = ref 0 in
+    for i = Array.length b.mag - 1 downto 0 do
+      r := ((!r lsl limb_bits) lor b.mag.(i)) mod m
+    done;
+    b.sign * !r
 
 let chunk_base = 1_000_000_000
 let chunk_digits = 9
@@ -693,14 +878,13 @@ let rec mag_to_digits buf mag pad =
     mag_to_digits buf r pd
   end
 
-let to_string t =
-  if t.sign = 0 then "0"
-  else begin
-    let buf = Buffer.create (Array.length t.mag * 10) in
-    if t.sign < 0 then Buffer.add_char buf '-';
-    mag_to_digits buf t.mag 0;
+let to_string = function
+  | Small n -> string_of_int n
+  | Big b ->
+    let buf = Buffer.create (Array.length b.mag * 10) in
+    if b.sign < 0 then Buffer.add_char buf '-';
+    mag_to_digits buf b.mag 0;
     Buffer.contents buf
-  end
 
 (* Above this many digits, parsing splits the digit string in half and
    recombines with one multiplication by a power of ten. *)
@@ -724,7 +908,7 @@ let of_string s =
     let rec go acc e = if e = 0 then acc else go (acc * 10) (e - 1) in
     go 1 e
   in
-  let ten = of_small 10 in
+  let ten = Small 10 in
   let rec parse off len =
     if len <= of_string_threshold then begin
       let acc = ref zero in
@@ -732,8 +916,16 @@ let of_string s =
       let stop = off + len in
       while !i < stop do
         let take = Stdlib.min chunk_digits (stop - !i) in
-        let part_val = int_of_string (String.sub s !i take) in
-        acc := add (mul_int !acc (int_pow10 take)) (of_small part_val);
+        (* Accumulate the chunk digit by digit: strictly decimal by
+           construction on every path, where delegating to
+           [int_of_string] would also admit OCaml integer-literal
+           syntax (hex/octal/binary prefixes, '_' separators, nested
+           signs) if it ever saw unvalidated input. *)
+        let part_val = ref 0 in
+        for k = !i to !i + take - 1 do
+          part_val := (!part_val * 10) + (Char.code s.[k] - Char.code '0')
+        done;
+        acc := add (mul_int !acc (int_pow10 take)) (Small !part_val);
         i := !i + take
       done;
       !acc
@@ -756,7 +948,9 @@ let pp fmt t = Format.pp_print_string fmt (to_string t)
    operation of every DP in this project. Going through [mul] + [add]
    allocates a product magnitude and a fresh sum per term; [Acc]
    instead accumulates limb products into a growable mutable buffer
-   (one per sign) and materialises a bigint only once at the end. *)
+   (one per sign) and materialises a bigint only once at the end.
+   Small/small terms never touch a limb array at all: the native
+   product is folded in as a three-limb carry ripple. *)
 module Acc = struct
   type buf = { mutable limbs : int array; mutable len : int }
 
@@ -784,6 +978,23 @@ module Acc = struct
       let limbs = Array.make !n' 0 in
       Array.blit buf.limbs 0 limbs 0 buf.len;
       buf.limbs <- limbs
+    end
+
+  (* buf += w, for a native word 0 <= w < 2^62: spread over limbs with
+     the carry rippling in place (slots past [len] are zero). *)
+  let add_word buf w =
+    if w > 0 then begin
+      ensure buf (buf.len + 4);
+      let limbs = buf.limbs in
+      let carry = ref w in
+      let i = ref 0 in
+      while !carry <> 0 do
+        let s = limbs.(!i) + (!carry land limb_mask) in
+        limbs.(!i) <- s land limb_mask;
+        carry := (!carry lsr limb_bits) + (s lsr limb_bits);
+        incr i
+      done;
+      buf.len <- Stdlib.max buf.len !i
     end
 
   (* buf += src, where [src] is a working magnitude. *)
@@ -835,33 +1046,88 @@ module Acc = struct
     done;
     buf.len <- Stdlib.max buf.len (Stdlib.max !top (la + lb))
 
+  (* buf += w * src, for a single-limb scalar 0 < w < 2^30: one fused
+     pass, no promotion of the small operand and no product bignum. *)
+  let madd_word buf w src =
+    let ls = Array.length src in
+    ensure buf (Stdlib.max buf.len (ls + 1) + 1);
+    let limbs = buf.limbs in
+    let carry = ref 0 in
+    for j = 0 to ls - 1 do
+      let cur = limbs.(j) + (w * src.(j)) + !carry in
+      limbs.(j) <- cur land limb_mask;
+      carry := cur lsr limb_bits
+    done;
+    let k = ref ls in
+    while !carry <> 0 do
+      let cur = limbs.(!k) + !carry in
+      limbs.(!k) <- cur land limb_mask;
+      carry := cur lsr limb_bits;
+      incr k
+    done;
+    buf.len <- Stdlib.max buf.len (Stdlib.max !k ls)
+
+  let add_mul_big acc a b =
+    let a = big_of a and b = big_of b in
+    let buf = if a.sign * b.sign > 0 then acc.pos else acc.neg in
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    if Stdlib.min la lb >= Stdlib.max 4 !karatsuba_threshold then
+      (* Large operands: compute the product with Karatsuba, then
+         fold it into the buffer. *)
+      add_mag_into buf (mul_mag a.mag b.mag)
+    else madd buf a.mag b.mag
+
   let add_mul acc a b =
-    if a.sign <> 0 && b.sign <> 0 then begin
-      incr c_acc_mul;
-      let buf = if a.sign * b.sign > 0 then acc.pos else acc.neg in
-      let la = Array.length a.mag and lb = Array.length b.mag in
-      if Stdlib.min la lb >= Stdlib.max 4 !karatsuba_threshold then
-        (* Large operands: compute the product with Karatsuba, then
-           fold it into the buffer. *)
-        add_mag_into buf (mul_mag a.mag b.mag)
-      else madd buf a.mag b.mag
-    end
+    match (a, b) with
+    | Small 0, _ | _, Small 0 -> ()
+    | Small x, Small y ->
+      Atomic.incr c_acc_mul;
+      let ax = if x < 0 then -x else x in
+      let ay = if y < 0 then -y else y in
+      if ax < small_prod_bound && ay < small_prod_bound then
+        add_word (if (x >= 0) = (y >= 0) then acc.pos else acc.neg) (ax * ay)
+      else begin
+        let p = x * y in
+        if p <> min_int && p / y = x then
+          add_word
+            (if p > 0 then acc.pos else acc.neg)
+            (if p < 0 then -p else p)
+        else add_mul_big acc a b
+      end
+    | (Small x, Big b | Big b, Small x) when Stdlib.abs x < 1 lsl limb_bits ->
+      (* Mixed small/limb product with a single-limb scalar — the bulk
+         shape of dense convolutions over tables holding both small
+         edge entries and factorial-scale middles. [x <> 0]: zeros were
+         matched above, and [Small] never holds [min_int] so [abs] is
+         exact. *)
+      Atomic.incr c_acc_mul;
+      madd_word
+        (if (x >= 0) = (b.sign > 0) then acc.pos else acc.neg)
+        (Stdlib.abs x) b.mag
+    | _ ->
+      if not (is_zero a || is_zero b) then begin
+        Atomic.incr c_acc_mul;
+        add_mul_big acc a b
+      end
 
   let add acc a =
-    if a.sign <> 0 then
-      add_mag_into (if a.sign > 0 then acc.pos else acc.neg) a.mag
+    match a with
+    | Small 0 -> ()
+    | Small n ->
+      add_word (if n > 0 then acc.pos else acc.neg) (if n < 0 then -n else n)
+    | Big b -> add_mag_into (if b.sign > 0 then acc.pos else acc.neg) b.mag
 
   let buf_mag buf = trim (Array.sub buf.limbs 0 buf.len)
 
   let value acc =
     let p = buf_mag acc.pos and n = buf_mag acc.neg in
-    if Array.length n = 0 then normalize 1 p
-    else if Array.length p = 0 then normalize (-1) n
+    if Array.length n = 0 then demote (normalize 1 p)
+    else if Array.length p = 0 then demote (normalize (-1) n)
     else
       match compare_mag p n with
       | 0 -> zero
-      | c when c > 0 -> normalize 1 (sub_mag p n)
-      | _ -> normalize (-1) (sub_mag n p)
+      | c when c > 0 -> demote (normalize 1 (sub_mag p n))
+      | _ -> demote (normalize (-1) (sub_mag n p))
 end
 
 module Infix = struct

@@ -1,28 +1,38 @@
 (** Arbitrary-precision signed integers.
 
-    Sign-magnitude representation with little-endian limbs in base [2^30].
-    All operations are purely functional. This module exists because the
-    Shapley coefficients [k!(n-k-1)!/n!] and the subset counts manipulated
-    by the dynamic programs exceed 63-bit integers for any interesting
-    database size, and no bignum package is available in this environment. *)
+    Tagged representation: every value that fits a native 63-bit [int]
+    (except [min_int], whose negation overflows) is an immediate,
+    unboxed small integer; everything else is a sign-magnitude record
+    with little-endian limbs in base [2^30]. Small/small operations run
+    in native arithmetic behind exact overflow checks and promote to
+    limb arrays only on demand; limb results demote back the moment
+    they fit, so the representation is canonical and the many tiny
+    DP-table entries early in the recursions never touch the heap.
+    All operations are purely functional. This module exists because
+    the Shapley coefficients [k!(n-k-1)!/n!] and the subset counts
+    manipulated by the dynamic programs exceed 63-bit integers for any
+    interesting database size, and no bignum package is available in
+    this environment. *)
 
 type t
 
 (** {1 Instrumentation}
 
-    Cheap per-process call counters for the arithmetic kernels, read by
-    [shapctl solve --stats] and the bench JSON reports. The counters are
-    plain mutable state: increments coming from concurrent domains may
-    be lost, so treat the numbers as approximate under [--jobs > 1]. *)
+    Per-process call counters for the arithmetic kernels, read by
+    [shapctl solve --stats] and the bench JSON reports. The counters
+    are [Atomic.t]s: increments from concurrent domains are never
+    lost, so the numbers are exact under [--jobs > 1]. *)
 
 type stats = {
   mul_schoolbook : int;  (** schoolbook magnitude multiplications *)
   mul_karatsuba : int;  (** Karatsuba recursion steps *)
-  mul_small : int;  (** single-limb products and small-scalar [mul_int] loops *)
+  mul_small : int;  (** native small products and small-scalar [mul_int] loops *)
   sqr : int;  (** squarings (the [pow] fast path) *)
   divmod : int;  (** non-trivial divisions *)
-  gcd : int;  (** binary gcd runs *)
+  gcd : int;  (** multi-limb gcd runs *)
   acc_mul : int;  (** {!Acc.add_mul} multiply-accumulate calls *)
+  promotions : int;  (** small values promoted to limb arrays *)
+  demotions : int;  (** limb results demoted back to small ints *)
 }
 
 val stats : unit -> stats
@@ -51,6 +61,18 @@ val of_int : int -> t
 
 val to_int_opt : t -> int option
 (** [None] if the value does not fit in a native [int]. *)
+
+val is_small : t -> bool
+(** [true] iff the value is held in the unboxed small-integer
+    representation — every native [int] except [min_int]. Exposed for
+    the promotion/demotion property tests. *)
+
+val small_value : t -> int
+(** The native value of a small-representation number, without
+    allocating (unlike {!to_int_opt}). Pair with {!is_small}: this is
+    the extraction primitive for kernels that batch-convert whole
+    tables into the int domain (see {!Aggshap_core.Tables.convolve}).
+    @raise Invalid_argument on a promoted (limb-array) value. *)
 
 val to_int_exn : t -> int
 (** @raise Failure if the value does not fit in a native [int]. *)
@@ -118,10 +140,17 @@ val div : t -> t -> t
 val rem : t -> t -> t
 
 val mul_int : t -> int -> t
-(** Dedicated single-pass limb loop when [|n|] fits in one limb; falls
-    back to a full multiplication otherwise. *)
+(** Dedicated single-pass limb loop when [|n| < 2^32]; falls back to a
+    full multiplication otherwise. *)
 
 val add_int : t -> int -> t
+
+val rem_int : t -> int -> int
+(** [rem_int t m] for [1 <= m < 2^32] is [to_int_exn (rem t (of_int m))]
+    computed allocation-free by a Horner fold over the limbs (truncated
+    semantics: the result carries the sign of [t]). This is the residue
+    extraction primitive of the RNS/NTT convolution tier.
+    @raise Invalid_argument if [m] is outside [1, 2^32). *)
 
 val pow : t -> int -> t
 (** [pow b e] for [e >= 0], squaring via {!sqr}.
@@ -140,6 +169,11 @@ val gcd_euclid : t -> t -> t
 val lcm : t -> t -> t
 (** Least common multiple; always non-negative; zero if either argument
     is zero. *)
+
+val bit_length : t -> int
+(** Number of bits in [|t|]: [0] for zero, otherwise the index of the
+    highest set bit plus one ([bit_length t = ceil (log2 (|t| + 1))]).
+    O(1). Used for the RNS magnitude bound. *)
 
 (** {1 Multiply-accumulate}
 

@@ -29,9 +29,21 @@ let lookup t ~extend n =
         let snap = Atomic.get t.state in
         if n < snap.filled then snap.data.(n)
         else begin
-          let cap = max (n + 1) (2 * Array.length snap.data) in
-          let data = Array.make cap snap.data.(0) in
-          Array.blit snap.data 0 data 0 snap.filled;
+          (* Reallocate only when capacity is exhausted — single-step
+             growth (n = filled, the ascending-query pattern of the row
+             caches) must not double the backing array each call. Slots
+             in [filled .. cap) were never readable in any published
+             snapshot, so filling them in place keeps the contract that
+             published filled prefixes are immutable. *)
+          let data =
+            if n < Array.length snap.data then snap.data
+            else begin
+              let cap = max (n + 1) (2 * Array.length snap.data) in
+              let data = Array.make cap snap.data.(0) in
+              Array.blit snap.data 0 data 0 snap.filled;
+              data
+            end
+          in
           for i = snap.filled to n do
             data.(i) <- extend data i
           done;
@@ -46,19 +58,39 @@ let factorial n =
   if n < 0 then invalid_arg "Combinat.factorial: negative argument";
   lookup factorial_table n ~extend:(fun data i -> Bigint.mul_int data.(i - 1) i)
 
+(* Pascal rows: row [n] is [|C(n,0); ...; C(n,n)|]. Each new row costs
+   [n] bignum additions off the previous one — no factorial-scale
+   multiply/divide per entry — and is then shared: the DP tables
+   request whole rows ({!Tables.full}, binomial padding) at every
+   decomposition node, so [binomial] must be a plain array read. *)
+let binomial_row_table = make_table [| Bigint.one |]
+
+let binomial_row n =
+  if n < 0 then invalid_arg "Combinat.binomial_row: negative n";
+  lookup binomial_row_table n ~extend:(fun data i ->
+      let prev = data.(i - 1) in
+      Array.init (i + 1) (fun k ->
+          if k = 0 || k = i then Bigint.one else Bigint.add prev.(k - 1) prev.(k)))
+
 let binomial n k =
   if n < 0 then invalid_arg "Combinat.binomial: negative n";
-  if k < 0 || k > n then Bigint.zero
-  else
-    let k = min k (n - k) in
-    Bigint.div (factorial n) (Bigint.mul (factorial k) (factorial (n - k)))
+  if k < 0 || k > n then Bigint.zero else (binomial_row n).(k)
+
+(* Row [n] is [|w_0; ...; w_{n-1}|] with [w_k = k! (n-k-1)!] — the
+   Shapley numerators over the shared denominator [n!]. One row serves
+   every fact of an [n]-player game, so the per-fact dot products
+   ({!Sumk}) never rebuild the factorial products. *)
+let shapley_weight_table = make_table [||]
+
+let shapley_weights players =
+  if players < 0 then invalid_arg "Combinat.shapley_weights: negative players";
+  lookup shapley_weight_table players ~extend:(fun _ i ->
+      Array.init i (fun k -> Bigint.mul (factorial k) (factorial (i - k - 1))))
 
 let shapley_coefficient ~players ~before =
   if before < 0 || before >= players then
     invalid_arg "Combinat.shapley_coefficient: need 0 <= before < players";
-  Rational.make
-    (Bigint.mul (factorial before) (factorial (players - before - 1)))
-    (factorial players)
+  Rational.make (shapley_weights players).(before) (factorial players)
 
 let harmonic_table = make_table Rational.zero
 

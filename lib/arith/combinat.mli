@@ -12,6 +12,18 @@ val binomial : int -> int -> Bigint.t
 (** [binomial n k] is [C(n, k)]; [0] when [k < 0] or [k > n].
     @raise Invalid_argument on negative [n]. *)
 
+val binomial_row : int -> Bigint.t array
+(** [binomial_row n] is the shared Pascal row [|C(n,0); ...; C(n,n)|].
+    The array is the memo table's own storage: callers must treat it as
+    read-only (copy before mutating).
+    @raise Invalid_argument on negative [n]. *)
+
+val shapley_weights : int -> Bigint.t array
+(** [shapley_weights n] is the shared row [|w_0; ...; w_{n-1}|] with
+    [w_k = k! (n-k-1)!], the Shapley numerators over the common
+    denominator [n!]. Read-only, like {!binomial_row}.
+    @raise Invalid_argument on negative [n]. *)
+
 val shapley_coefficient : players:int -> before:int -> Rational.t
 (** [shapley_coefficient ~players:n ~before:k] is
     [q_k = k! (n-k-1)! / n!] — the probability that, drawing players

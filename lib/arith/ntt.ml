@@ -1,0 +1,366 @@
+(* Exact integer convolution by residue number system + NTT.
+
+   The dynamic programs convolve count tables whose entries are exact
+   bignums; the schoolbook forms in [Tables] cost O(la*lb) bignum
+   multiplications. This module instead:
+
+   1. bounds the magnitude of every output coefficient:
+      |c_k| <= min(la,lb) * max|a| * max|b| < 2^B with
+      B = bits(max|a|) + bits(max|b|) + ceil(log2 (min la lb));
+   2. picks NTT-friendly primes p_i = c * 2^s + 1 (all below 2^31, so
+      a product of two residues fits OCaml's native 63-bit ints) until
+      their product P >= 2^(B+1) > 2 * 2^B;
+   3. reduces both tables mod each p_i ([Bigint.rem_int], one
+      allocation-free Horner fold per entry), convolves each residue
+      image in O(m log m) with an iterative radix-2 NTT, and
+   4. reconstructs each output entry exactly with Garner's mixed-radix
+      CRT, lifting to the balanced range (-P/2, P/2] — which contains
+      [-2^B, 2^B] by step 2, so the reconstruction equals the true
+      integer coefficient. The result is bit-identical to the
+      schoolbook convolution by construction, not by rounding luck.
+
+   Deviation from the sketch in ISSUE 7: the issue suggests "2-3
+   62-bit primes", but two 62-bit residues cannot be multiplied
+   without 124-bit intermediates, which native OCaml ints do not have.
+   We use 31-bit primes (residue products < 2^62) and proportionally
+   more of them; the prime pool grows on demand per 2-adic order and
+   the whole tier reports [None] (callers fall back to the classic
+   paths) if a transform length ever exhausts the supply. *)
+
+type fault = [ `None | `Prime_drop ]
+
+(* [`Prime_drop]: simulate losing the first CRT digit — the
+   mixed-radix digit for p_0 is zeroed before the remaining digits are
+   chained from it, as if one residue channel's buffer were dropped.
+   Every output entry not divisible by p_0 reconstructs wrong. Synced
+   from [Tables.set_fault]; see the fault-injection oracle in
+   [lib/check]. *)
+let fault : fault ref = ref `None
+
+(* ------------------------------------------------------------------ *)
+(* Modular arithmetic on native ints, moduli < 2^31                    *)
+(* ------------------------------------------------------------------ *)
+
+let mulmod p a b = a * b mod p
+
+let powmod p b e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mulmod p acc b) (mulmod p b b) (e lsr 1)
+    else go acc (mulmod p b b) (e lsr 1)
+  in
+  go 1 (b mod p) e
+
+(* Modular inverse via Fermat: [p] prime, [a] not divisible by [p]. *)
+let invmod p a = powmod p a (p - 2)
+
+(* Deterministic Miller-Rabin: the witness set {2, 3, 5, 7} is exact
+   for every n < 3,215,031,751, which covers all candidates < 2^31. *)
+let is_prime n =
+  if n < 2 then false
+  else if n land 1 = 0 then n = 2
+  else begin
+    let d = ref (n - 1) and s = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr s
+    done;
+    let strong_witness a =
+      (* true if [a] proves n composite *)
+      let a = a mod n in
+      if a = 0 then false
+      else begin
+        let x = ref (powmod n a !d) in
+        if !x = 1 || !x = n - 1 then false
+        else begin
+          let composite = ref true in
+          (try
+             for _ = 2 to !s do
+               x := mulmod n !x !x;
+               if !x = n - 1 then begin
+                 composite := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !composite
+        end
+      end
+    in
+    not (List.exists strong_witness [ 2; 3; 5; 7 ])
+  end
+
+(* A root of multiplicative order exactly [2^order] mod [p], for
+   [p = c * 2^order + 1]: [x^((p-1)/2^order)] has order dividing
+   [2^order], and order exactly [2^order] iff its [2^(order-1)]-th
+   power is not 1. Non-residues are dense, so the scan is short. *)
+let root_of_order p order =
+  let q = (p - 1) lsr order in
+  let rec try_x x =
+    let w = powmod p x q in
+    if w <> 0 && powmod p w (1 lsl (order - 1)) <> 1 then w else try_x (x + 1)
+  in
+  try_x 2
+
+(* ------------------------------------------------------------------ *)
+(* Prime pools, one per 2-adic order                                   *)
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  mutable entries : (int * int) array;
+      (* (p, root of order exactly [2^order]), found in descending c *)
+  mutable next_c : int;  (* next multiplier to probe; 0 = exhausted *)
+}
+
+let pools : (int, pool) Hashtbl.t = Hashtbl.create 8
+let pools_mutex = Mutex.create ()
+
+let pool_for order =
+  match Hashtbl.find_opt pools order with
+  | Some p -> p
+  | None ->
+    let pool = { entries = [||]; next_c = ((1 lsl 31) - 2) lsr order } in
+    Hashtbl.add pools order pool;
+    pool
+
+(* Probe downward from the pool cursor for the next prime of the form
+   [c * 2^order + 1]; false when the order's supply is exhausted. *)
+let grow pool order =
+  let rec go c =
+    if c < 1 then begin
+      pool.next_c <- 0;
+      false
+    end
+    else
+      let p = (c lsl order) + 1 in
+      if is_prime p then begin
+        pool.next_c <- c - 1;
+        pool.entries <- Array.append pool.entries [| (p, root_of_order p order) |];
+        true
+      end
+      else go (c - 1)
+  in
+  go pool.next_c
+
+let floor_log2 n =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+(* Shortest pool prefix whose prime product exceeds [2^(min_bits+1)]
+   (hence [> 2 * 2^min_bits], enough to separate balanced residues of
+   magnitude [<= 2^min_bits - 1]); grows the pool on demand. [None] if
+   no such prefix exists for this transform order. The pools are
+   shared across domains; the mutex covers lookup and growth, and the
+   returned array is a fresh copy. *)
+let primes_for ~order ~min_bits =
+  Mutex.protect pools_mutex (fun () ->
+    let pool = pool_for order in
+    let target = min_bits + 1 in
+    let rec collect i acc_bits =
+      if acc_bits >= target then Some (Array.sub pool.entries 0 i)
+      else if i < Array.length pool.entries then
+        collect (i + 1) (acc_bits + floor_log2 (fst pool.entries.(i)))
+      else if grow pool order then collect i acc_bits
+      else None
+    in
+    collect 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* Iterative radix-2 NTT                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bit_reverse a =
+  let n = Array.length a in
+  let j = ref 0 in
+  for i = 1 to n - 1 do
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit;
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end
+  done
+
+(* In-place transform of [a] (length a power of two, <= [2^order])
+   mod [p]; [root] has order exactly [2^order]. Cooley-Tukey with
+   bit-reversed input ordering; [invert] runs the inverse transform
+   including the [1/n] scaling. *)
+let ntt p root order a ~invert =
+  bit_reverse a;
+  let n = Array.length a in
+  let len = ref 2 in
+  while !len <= n do
+    let wlen = powmod p root ((1 lsl order) / !len) in
+    let wlen = if invert then invmod p wlen else wlen in
+    let half = !len lsr 1 in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref 1 in
+      for k = !i to !i + half - 1 do
+        let u = a.(k) and v = mulmod p a.(k + half) !w in
+        let s = u + v in
+        a.(k) <- (if s >= p then s - p else s);
+        let d = u - v in
+        a.(k + half) <- (if d < 0 then d + p else d);
+        w := mulmod p !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done;
+  if invert then begin
+    let ninv = invmod p n in
+    for k = 0 to n - 1 do
+      a.(k) <- mulmod p a.(k) ninv
+    done
+  end
+
+(* Cyclic convolution of the zero-padded residue images mod [p]; [m]
+   is a power of two at least [la + lb - 1], so the wrap-around never
+   touches live coefficients and the result is the linear convolution. *)
+let convolve_mod p root order ra rb m =
+  let fa = Array.make m 0 and fb = Array.make m 0 in
+  Array.blit ra 0 fa 0 (Array.length ra);
+  Array.blit rb 0 fb 0 (Array.length rb);
+  ntt p root order fa ~invert:false;
+  ntt p root order fb ~invert:false;
+  for i = 0 to m - 1 do
+    fa.(i) <- mulmod p fa.(i) fb.(i)
+  done;
+  ntt p root order fa ~invert:true;
+  fa
+
+(* ------------------------------------------------------------------ *)
+(* CRT reconstruction (Garner's mixed-radix algorithm)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Precomputed tables for a prime basis:
+   [pmod.(i).(j)] = p_j mod p_i (j < i), and
+   [inv.(i)] = (p_0 * ... * p_(i-1))^(-1) mod p_i. *)
+let garner_tables primes =
+  let np = Array.length primes in
+  let pmod = Array.make np [||] in
+  let inv = Array.make np 0 in
+  for i = 0 to np - 1 do
+    let p = primes.(i) in
+    let row = Array.make i 0 in
+    let prod = ref 1 in
+    for j = 0 to i - 1 do
+      let pj = primes.(j) mod p in
+      row.(j) <- pj;
+      prod := mulmod p !prod pj
+    done;
+    pmod.(i) <- row;
+    inv.(i) <- (if i = 0 then 1 else invmod p !prod)
+  done;
+  (pmod, inv)
+
+(* Mixed-radix digits of the unique [v] in [0, P) with
+   [v = residues.(i) mod p_i]:
+   [v = d_0 + d_1*p_0 + d_2*p_0*p_1 + ...]. O(np^2) per entry.
+   [start] lets the fault path re-chain the upper digits from an
+   already-corrupted digit 0. *)
+let garner_digits ?(start = 0) primes pmod inv residues d =
+  let np = Array.length primes in
+  for i = start to np - 1 do
+    let p = primes.(i) in
+    let row = pmod.(i) in
+    (* Horner fold of the digits found so far, mod p_i. *)
+    let t = ref 0 in
+    for j = i - 1 downto 0 do
+      t := ((!t * row.(j)) + d.(j)) mod p
+    done;
+    let x = residues.(i) - !t in
+    let x = if x < 0 then x + p else x in
+    d.(i) <- mulmod p x inv.(i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Public entry point                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ceil_log2 n =
+  let rec go sz e = if sz >= n then e else go (sz * 2) (e + 1) in
+  go 1 0
+
+let max_bits arr =
+  Array.fold_left (fun m x -> Stdlib.max m (Bigint.bit_length x)) 0 arr
+
+let convolve a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then None
+  else
+    let n = la + lb - 1 in
+    if n < 2 then None
+    else
+      let ba = max_bits a and bb = max_bits b in
+      if ba = 0 || bb = 0 then Some (Array.make n Bigint.zero)
+      else begin
+        let bound = ba + bb + ceil_log2 (Stdlib.min la lb) in
+        (* Under [`Prime_drop] the basis must have at least two primes:
+           with a single prime, zeroing digit 0 silently zeroes the
+           whole table instead of corrupting it. *)
+        let min_bits =
+          match !fault with `Prime_drop -> Stdlib.max bound 32 | `None -> bound
+        in
+        let order = ceil_log2 n in
+        let m = 1 lsl order in
+        match primes_for ~order ~min_bits with
+        | None -> None
+        | Some basis ->
+          let np = Array.length basis in
+          let primes = Array.map fst basis in
+          (* Residue images of every entry, per prime. *)
+          let images =
+            Array.map
+              (fun (p, root) ->
+                let residue x =
+                  let r = Bigint.rem_int x p in
+                  if r < 0 then r + p else r
+                in
+                let ra = Array.map residue a and rb = Array.map residue b in
+                convolve_mod p root order ra rb m)
+              basis
+          in
+          let pmod, inv = garner_tables primes in
+          (* P and P/2 for the balanced lift; P is odd, so
+             [half = (P-1)/2] and residues beyond it are negative. *)
+          let prod =
+            Array.fold_left
+              (fun acc p -> Bigint.mul_int acc p)
+              Bigint.one primes
+          in
+          let half = Bigint.div prod Bigint.two in
+          let residues = Array.make np 0 in
+          let d = Array.make np 0 in
+          let drop = match !fault with `Prime_drop -> true | `None -> false in
+          let out =
+            Array.init n (fun k ->
+              for i = 0 to np - 1 do
+                residues.(i) <- images.(i).(k)
+              done;
+              if drop then begin
+                (* Digit 0 is "lost" (zeroed); the remaining digits are
+                   chained from the corrupted value, exactly as a real
+                   dropped residue buffer would propagate. *)
+                d.(0) <- 0;
+                garner_digits ~start:1 primes pmod inv residues d
+              end
+              else garner_digits primes pmod inv residues d;
+              (* Assemble [d_0 + p_0*(d_1 + p_1*(...))] by Horner; the
+                 multiplier is always a 31-bit prime, so every step
+                 takes the dedicated small-scalar path. *)
+              let acc = ref (Bigint.of_int d.(np - 1)) in
+              for i = np - 2 downto 0 do
+                acc := Bigint.add_int (Bigint.mul_int !acc primes.(i)) d.(i)
+              done;
+              let v = !acc in
+              if Bigint.compare v half > 0 then Bigint.sub v prod else v)
+          in
+          Some out
+      end

@@ -1,0 +1,49 @@
+(** Exact integer convolution by residue number system + NTT.
+
+    Convolves two arrays of exact integers in O(m log m) modular word
+    operations instead of O(la*lb) bignum multiplications: reduce both
+    tables modulo enough NTT-friendly 31-bit primes [c * 2^s + 1] to
+    cover a magnitude bound on the output coefficients, transform and
+    pointwise-multiply each residue image, then reconstruct each entry
+    exactly with Garner's mixed-radix CRT and a balanced lift. The
+    result is bit-identical to the schoolbook convolution by
+    construction (the prime product strictly dominates twice the
+    coefficient bound), never by floating-point luck.
+
+    This is the third convolution tier behind [Tables.convolve]; see
+    DESIGN.md §8 for the dispatch policy and the exactness argument. *)
+
+val convolve : Bigint.t array -> Bigint.t array -> Bigint.t array option
+(** [convolve a b] is the linear convolution [c] with
+    [c.(k) = sum_i a.(i) * b.(k - i)] and
+    [length c = length a + length b - 1], or [None] when the tier does
+    not apply: an empty operand, an output of length < 2, or a
+    transform length whose NTT prime supply is exhausted (callers then
+    fall back to the classic scatter / multiply-accumulate paths).
+    Signed entries are fine; an all-zero operand short-circuits to an
+    all-zero result. *)
+
+(** {1 Fault injection}
+
+    Differential-testing hook (see [Tables.set_fault]): under
+    [`Prime_drop] the first CRT digit is zeroed before the remaining
+    mixed-radix digits are chained from it — the footprint of losing
+    one residue channel's buffer. Every output entry whose true value
+    is not divisible by the first basis prime reconstructs wrong. The
+    basis is forced to hold at least two primes under the fault, so
+    the corruption garbles values instead of zeroing the whole table. *)
+
+type fault = [ `None | `Prime_drop ]
+
+val fault : fault ref
+
+(**/**)
+
+(* Exposed for the property tests and the dispatch cost model. *)
+
+val is_prime : int -> bool
+val primes_for : order:int -> min_bits:int -> (int * int) array option
+val max_bits : Bigint.t array -> int
+val ceil_log2 : int -> int
+
+(**/**)

@@ -127,8 +127,9 @@ module Make (A : TABLE_ALGEBRA) = struct
       in
       incr c_merges;
       let blocks, dropped = faulty_partition q root db in
+      let subst = Cq.substituter q root in
       let eval_block (v, block) =
-        (v, block, go ?memo ~par:false ctx (Cq.substitute q root v) block)
+        (v, block, go ?memo ~par:false ctx (subst v) block)
       in
       let jobs = !block_jobs_ref in
       let tables =

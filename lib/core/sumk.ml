@@ -37,11 +37,11 @@ let shapley_of_vectors_int ~players with_f without_f =
     else if B.is_one l then Q.num q
     else B.mul (Q.num q) (B.div l (Q.den q))
   in
+  let weights = C.shapley_weights players in
   let acc = B.Acc.create () in
   for k = 0 to players - 1 do
     let diff = B.sub (lift with_f.(k)) (lift without_f.(k)) in
-    if not (B.is_zero diff) then
-      B.Acc.add_mul acc (B.mul (C.factorial k) (C.factorial (players - k - 1))) diff
+    if not (B.is_zero diff) then B.Acc.add_mul acc weights.(k) diff
   done;
   Q.make (B.Acc.value acc) (B.mul (C.factorial players) l)
 

@@ -1,34 +1,43 @@
 module B = Aggshap_arith.Bigint
 module Q = Aggshap_arith.Rational
 module C = Aggshap_arith.Combinat
+module N = Aggshap_arith.Ntt
 
 type counts = B.t array
 
 type stats = {
   convolve : int;
+  convolve_small : int;
+  convolve_ntt : int;
   convolve_rat : int;
   tree_folds : int;
   weighted_sums : int;
 }
 
-(* Plain mutable counters, same caveat as [Bigint.stats]: approximate
-   under concurrent domains. *)
-let c_convolve = ref 0
-let c_convolve_rat = ref 0
-let c_tree_folds = ref 0
-let c_weighted_sums = ref 0
+(* Atomic counters, same contract as [Bigint.stats]: exact under
+   concurrent domains. *)
+let c_convolve = Atomic.make 0
+let c_convolve_small = Atomic.make 0
+let c_convolve_ntt = Atomic.make 0
+let c_convolve_rat = Atomic.make 0
+let c_tree_folds = Atomic.make 0
+let c_weighted_sums = Atomic.make 0
 
 let stats () =
-  { convolve = !c_convolve;
-    convolve_rat = !c_convolve_rat;
-    tree_folds = !c_tree_folds;
-    weighted_sums = !c_weighted_sums }
+  { convolve = Atomic.get c_convolve;
+    convolve_small = Atomic.get c_convolve_small;
+    convolve_ntt = Atomic.get c_convolve_ntt;
+    convolve_rat = Atomic.get c_convolve_rat;
+    tree_folds = Atomic.get c_tree_folds;
+    weighted_sums = Atomic.get c_weighted_sums }
 
 let reset_stats () =
-  c_convolve := 0;
-  c_convolve_rat := 0;
-  c_tree_folds := 0;
-  c_weighted_sums := 0
+  Atomic.set c_convolve 0;
+  Atomic.set c_convolve_small 0;
+  Atomic.set c_convolve_ntt 0;
+  Atomic.set c_convolve_rat 0;
+  Atomic.set c_tree_folds 0;
+  Atomic.set c_weighted_sums 0
 
 let zeros n = Array.make (n + 1) B.zero
 
@@ -37,7 +46,10 @@ let delta n k0 =
   c.(k0) <- B.one;
   c
 
-let full n = Array.init (n + 1) (fun k -> C.binomial n k)
+(* Copied, not aliased: counts arrays are treated as immutable
+   everywhere, but the Pascal row is the combinatorics memo's own
+   storage and must not be reachable from a caller. *)
+let full n = Array.copy (C.binomial_row n)
 
 let check_same_length a b =
   if Array.length a <> Array.length b then
@@ -59,16 +71,19 @@ type fault =
   | `Tree_fold_skew
   | `Karatsuba_split
   | `Stale_block
-  | `Block_drop ]
+  | `Block_drop
+  | `Ntt_prime_drop ]
 
 let fault : fault ref = ref `None
 
-(* [`Karatsuba_split] lives in the arithmetic layer (it must corrupt
-   the multiplications of every caller, not just convolutions), so the
-   setter keeps [Bigint.fault] in sync. *)
+(* [`Karatsuba_split] and [`Ntt_prime_drop] live in the arithmetic
+   layer (the first must corrupt the multiplications of every caller,
+   the second the CRT reconstruction inside [Ntt]), so the setter
+   keeps [Bigint.fault] and [Ntt.fault] in sync. *)
 let set_fault f =
   fault := f;
-  B.fault := (match f with `Karatsuba_split -> `Karatsuba_split | _ -> `None)
+  B.fault := (match f with `Karatsuba_split -> `Karatsuba_split | _ -> `None);
+  N.fault := (match f with `Ntt_prime_drop -> `Prime_drop | _ -> `None)
 
 let current_fault () = !fault
 
@@ -80,52 +95,169 @@ let current_fault () = !fault
    dense square ones (combining whole sub-instance tables). *)
 let acc_threshold = 8
 
+(* Minimum length (of the shorter operand) before the RNS/NTT tier is
+   even considered; below it the transform's fixed costs (prime basis,
+   residue images, CRT tables) cannot win. Exposed for tests and for
+   the bench harness to disable the tier ([:= max_int]) when measuring
+   the classic paths; [0] forces the tier on every eligible call (cost
+   model bypassed — the differential fuzz campaigns use this to drive
+   fuzz-sized tables through the transform). *)
+let ntt_threshold = ref 24
+
 let count_nonzero a =
   let c = ref 0 in
   Array.iter (fun x -> if not (B.is_zero x) then incr c) a;
   !c
 
-let convolve a b =
-  incr c_convolve;
-  let la = Array.length a and lb = Array.length b in
-  let out = Array.make (la + lb - 1) B.zero in
-  (* Shape dispatch: the multiply-accumulate path amortizes only when
-     most term products are live. Thin operands and sparse tables (the
-     per-key tables of the keyed DPs are mostly zeros) go through the
-     zero-skipping scatter loop instead; the density scan is O(la+lb)
-     against the O(la*lb) convolution itself. *)
-  let dense =
-    Stdlib.min la lb >= acc_threshold
-    && 2 * count_nonzero a * count_nonzero b >= la * lb
+(* Cost model for the third tier, in rough limb-multiplication units:
+   the classic paths pay one limb-level schoolbook product per live
+   term pair, the NTT pays 3 transforms + pointwise products per
+   prime, a Horner residue fold per input entry, and an O(np^2) Garner
+   reconstruction per output entry. Modular word operations carry a
+   fudge factor (a 62-bit [mod] costs several limb multiply-adds);
+   calibrated against the E18 crossover sweep. *)
+let ntt_profitable ~la ~lb ~nza ~nzb ~ba ~bb =
+  let n = la + lb - 1 in
+  let lmin = Stdlib.min la lb in
+  let np = ((ba + bb + N.ceil_log2 lmin) / 30) + 1 in
+  let logm = N.ceil_log2 n in
+  let m = 1 lsl logm in
+  let lim_a = (ba + 29) / 30 and lim_b = (bb + 29) / 30 in
+  let classic = nza * nzb * lim_a * lim_b in
+  let ntt_cost =
+    (np * m * logm * 6) + (n * np * np * 2) + ((la + lb) * np * (lim_a + lim_b))
   in
-  if not dense then
-    (* Scatter with zero skipping: sparse or thin operands. *)
-    for i = 0 to la - 1 do
-      if not (B.is_zero a.(i)) then
-        for j = 0 to lb - 1 do
-          if not (B.is_zero b.(j)) then
-            out.(i + j) <- B.add out.(i + j) (B.mul a.(i) b.(j))
+  ntt_cost < classic
+
+(* Second tier: when every entry of both tables is in the small-int
+   representation, the whole convolution runs in the int domain — two
+   flat [int array]s, native products and sums, no constructor
+   dispatch, no per-term [Bigint] calls. Every product and partial sum
+   is overflow-checked with the same tests [Bigint.mul]/[add] use; any
+   overflow aborts to the generic paths, which recompute from scratch
+   (rare: one table entry past 62 bits sends the whole convolution to
+   the classic tier, and the aborted int work is at most one pass).
+   Inputs hold no [min_int] (excluded from the small representation),
+   so [abs] and the division check below are exact. *)
+exception Int_overflow
+
+let small_values a =
+  Array.map
+    (fun x -> if B.is_small x then B.small_value x else raise_notrace Int_overflow)
+    a
+
+let small_convolve ai bi n =
+  let la = Array.length ai and lb = Array.length bi in
+  let out = Array.make n 0 in
+  for i = 0 to la - 1 do
+    let x = ai.(i) in
+    if x <> 0 then
+      for j = 0 to lb - 1 do
+        let y = bi.(j) in
+        if y <> 0 then begin
+          let p =
+            if abs x < 0x40000000 && abs y < 0x40000000 then x * y
+            else
+              let p = x * y in
+              if p = min_int || p / y <> x then raise_notrace Int_overflow else p
+          in
+          let k = i + j in
+          let o = out.(k) in
+          let s = o + p in
+          if (o >= 0) = (p >= 0) && (s >= 0) <> (p >= 0) then
+            raise_notrace Int_overflow;
+          out.(k) <- s
+        end
+      done
+  done;
+  out
+
+let convolve a b =
+  Atomic.incr c_convolve;
+  let la = Array.length a and lb = Array.length b in
+  let n = la + lb - 1 in
+  let lmin = Stdlib.min la lb in
+  (* Tier dispatch. The RNS/NTT tier is tried first when the shapes
+     can pay for the transforms (or unconditionally under the
+     [`Ntt_prime_drop] fault, so the differential oracle exercises the
+     faulty reconstruction on fuzz-sized tables); [Ntt.convolve]
+     returning [None] (tiny output, exhausted prime supply) falls back
+     to the classic paths. *)
+  let forced =
+    ((match !fault with `Ntt_prime_drop -> true | _ -> false) || !ntt_threshold = 0)
+    && lmin >= 1 && n >= 2
+  in
+  let via_ntt =
+    if forced then N.convolve a b
+    else if lmin >= !ntt_threshold then begin
+      let nza = count_nonzero a and nzb = count_nonzero b in
+      let ba = N.max_bits a and bb = N.max_bits b in
+      if ba = 0 || bb = 0 then N.convolve a b (* all-zero: O(n) short-circuit *)
+      else if ntt_profitable ~la ~lb ~nza ~nzb ~ba ~bb then N.convolve a b
+      else None
+    end
+    else None
+  in
+  let via_small =
+    match via_ntt with
+    | Some _ -> None
+    | None -> (
+      match small_convolve (small_values a) (small_values b) n with
+      | ints ->
+        Atomic.incr c_convolve_small;
+        Some (Array.map B.of_int ints)
+      | exception Int_overflow -> None)
+  in
+  let out =
+    match via_ntt with
+    | Some out ->
+      Atomic.incr c_convolve_ntt;
+      out
+    | None ->
+    match via_small with
+    | Some out -> out
+    | None ->
+      let out = Array.make n B.zero in
+      (* Shape dispatch: the multiply-accumulate path amortizes only when
+         most term products are live. Thin operands and sparse tables (the
+         per-key tables of the keyed DPs are mostly zeros) go through the
+         zero-skipping scatter loop instead; the density scan is O(la+lb)
+         against the O(la*lb) convolution itself. *)
+      let dense =
+        lmin >= acc_threshold
+        && 2 * count_nonzero a * count_nonzero b >= la * lb
+      in
+      if not dense then
+        (* Scatter with zero skipping: sparse or thin operands. *)
+        for i = 0 to la - 1 do
+          if not (B.is_zero a.(i)) then
+            for j = 0 to lb - 1 do
+              if not (B.is_zero b.(j)) then
+                out.(i + j) <- B.add out.(i + j) (B.mul a.(i) b.(j))
+            done
         done
-    done
-  else begin
-    (* Dense path: one multiply-accumulate buffer reused across output
-       entries — no intermediate product or partial-sum bignum is
-       allocated per term. *)
-    let acc = B.Acc.create () in
-    for k = 0 to la + lb - 2 do
-      B.Acc.clear acc;
-      let i0 = Stdlib.max 0 (k - lb + 1) and i1 = Stdlib.min (la - 1) k in
-      for i = i0 to i1 do
-        B.Acc.add_mul acc a.(i) b.(k - i)
-      done;
-      out.(k) <- B.Acc.value acc
-    done
-  end;
+      else begin
+        (* Dense path: one multiply-accumulate buffer reused across output
+           entries — no intermediate product or partial-sum bignum is
+           allocated per term. *)
+        let acc = B.Acc.create () in
+        for k = 0 to la + lb - 2 do
+          B.Acc.clear acc;
+          let i0 = Stdlib.max 0 (k - lb + 1) and i1 = Stdlib.min (la - 1) k in
+          for i = i0 to i1 do
+            B.Acc.add_mul acc a.(i) b.(k - i)
+          done;
+          out.(k) <- B.Acc.value acc
+        done
+      end;
+      out
+  in
   (match !fault with
    | `Convolve_off_by_one ->
      if la > 1 && lb > 1 then
        out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one
-   | `None | `Tree_fold_skew | `Karatsuba_split | `Stale_block | `Block_drop -> ());
+   | `None | `Tree_fold_skew | `Karatsuba_split | `Stale_block | `Block_drop
+   | `Ntt_prime_drop -> ());
   out
 
 let convolve_many ts =
@@ -133,7 +265,7 @@ let convolve_many ts =
   | [] -> [| B.one |]
   | [ t ] -> t
   | ts ->
-    incr c_tree_folds;
+    Atomic.incr c_tree_folds;
     (* Balanced pairwise reduction: adjacent tables are convolved level
        by level, so each input table participates in O(log n) products
        of comparable size instead of being re-traversed by an
@@ -163,7 +295,8 @@ let convolve_many ts =
          out.(len - 1) <- out.(len - 2);
          out.(len - 2) <- t
        end
-     | `None | `Convolve_off_by_one | `Karatsuba_split | `Stale_block | `Block_drop -> ());
+     | `None | `Convolve_off_by_one | `Karatsuba_split | `Stale_block | `Block_drop
+     | `Ntt_prime_drop -> ());
     out
 
 let pad p c = if p = 0 then c else convolve c (full p)
@@ -188,7 +321,7 @@ let den_lcm acc q =
   if B.is_one d || B.equal d acc then acc else B.lcm acc d
 
 let convolve_rat a b =
-  incr c_convolve_rat;
+  Atomic.incr c_convolve_rat;
   (* Common-denominator form: lift both operands to integer arrays over
      one denominator each, convolve exactly as integers, and normalize
      once per entry at the end — instead of one gcd per term inside
@@ -209,7 +342,7 @@ let pad_rat p c =
   else convolve_rat c (Array.map Q.of_bigint (full p))
 
 let weighted_sum n pairs =
-  incr c_weighted_sums;
+  Atomic.incr c_weighted_sums;
   (* Σ_i w_i * c_i over the lcm of the weights' denominators: all-integer
      accumulation, one gcd per subset size at the very end. *)
   let d = List.fold_left (fun acc (w, _) -> den_lcm acc w) B.one pairs in

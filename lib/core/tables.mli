@@ -14,11 +14,14 @@ type counts = Aggshap_arith.Bigint.t array
 (** {1 Instrumentation}
 
     Call counters for the convolution layer, surfaced by
-    [shapctl solve --stats] and the bench JSON reports. Approximate
-    under concurrent domains (see {!Aggshap_arith.Bigint.stats}). *)
+    [shapctl solve --stats] and the bench JSON reports. Backed by
+    [Atomic.t], so the counts are exact under concurrent domains (see
+    {!Aggshap_arith.Bigint.stats}). *)
 
 type stats = {
   convolve : int;  (** pairwise convolutions (including inside folds) *)
+  convolve_small : int;  (** convolutions taken by the all-native int tier *)
+  convolve_ntt : int;  (** convolutions taken by the RNS/NTT tier *)
   convolve_rat : int;  (** rational convolutions (common-denominator) *)
   tree_folds : int;  (** balanced {!convolve_many} reductions *)
   weighted_sums : int;  (** {!weighted_sum} accumulations *)
@@ -48,9 +51,23 @@ val complement : int -> counts -> counts
 val convolve : counts -> counts -> counts
 (** [convolve a b] has length [(|a|-1) + (|b|-1) + 1]; entry [k] is
     [Σ_{k1+k2=k} a.(k1) * b.(k2)] — the table of a conjunction over two
-    disjoint fact sets. Each entry is computed with a multiply-accumulate
-    buffer ({!Aggshap_arith.Bigint.Acc}), never allocating intermediate
-    products or partial sums. *)
+    disjoint fact sets. Tiered dispatch (see DESIGN.md §8): shapes
+    past {!ntt_threshold} where the cost model says the transforms win
+    go through the exact RNS/NTT tier ({!Aggshap_arith.Ntt}); tables
+    whose entries all fit the small-int representation run wholly in
+    the native int domain (overflow-checked, aborting to the tier
+    below); everything else takes the classic paths — a zero-skipping
+    scatter loop for sparse/thin operands, a multiply-accumulate
+    buffer ({!Aggshap_arith.Bigint.Acc}) for dense ones. All tiers
+    produce bit-identical results. *)
+
+val ntt_threshold : int ref
+(** Minimum length of the shorter operand before the RNS/NTT tier is
+    considered (the cost model still decides per shape). The bench
+    harness sets it to [max_int] to measure the classic paths; [0]
+    forces the tier on every eligible call, cost model bypassed — the
+    differential fuzz campaigns ([shapctl fuzz --ntt-threshold 0]) use
+    this to drive fuzz-sized tables through the transform. *)
 
 val convolve_many : counts list -> counts
 (** Balanced pairwise reduction of [convolve] over the list (neutral
@@ -65,7 +82,8 @@ type fault =
   | `Tree_fold_skew
   | `Karatsuba_split
   | `Stale_block
-  | `Block_drop ]
+  | `Block_drop
+  | `Ntt_prime_drop ]
 (** Test-only fault injection for the differential-testing oracle
     ({!Aggshap_check}):
     - [`Convolve_off_by_one] makes {!convolve} corrupt its top entry
@@ -87,13 +105,18 @@ type fault =
       blocks to null-player padding, simulating a lost hierarchy block.
       The kernels themselves ignore this variant; it corrupts every
       aggregate's DP at the decomposition layer instead.
+    - [`Ntt_prime_drop] forces {!convolve} through the RNS/NTT tier
+      (whatever the shape, so fuzz-sized tables reach it) and zeroes
+      the first CRT digit inside the reconstruction, simulating a lost
+      residue channel (see {!Aggshap_arith.Ntt.fault}).
 
     Every frontier DP funnels through these kernels, so the oracle must
     flag each corruption. Not domain-safe; only toggle around
     sequential ([jobs = 1]) runs. *)
 
 val set_fault : fault -> unit
-(** Also keeps [Bigint.fault] in sync for [`Karatsuba_split]. *)
+(** Also keeps [Bigint.fault] in sync for [`Karatsuba_split] and
+    [Ntt.fault] for [`Ntt_prime_drop]. *)
 
 val current_fault : unit -> fault
 

@@ -67,14 +67,41 @@ let find_atom q rel = List.find_opt (fun a -> String.equal a.rel rel) q.body
 
 let make_boolean q = { q with head = [] }
 
-let substitute q x a =
-  let subst_term = function
-    | Var y when String.equal y x -> Const a
-    | t -> t
+(* Substitution is staged: the engine substitutes the same root
+   variable into the same query once per root value (every block of
+   every merge step), so the per-query analysis — which head variables
+   survive, which term positions hold [x] — runs once, and each value
+   costs one array copy per affected atom. *)
+let substituter q x =
+  let head = List.filter (fun y -> not (String.equal y x)) q.head in
+  let prepared =
+    List.map
+      (fun at ->
+        let positions = ref [] in
+        Array.iteri
+          (fun i t ->
+            match t with
+            | Var y when String.equal y x -> positions := i :: !positions
+            | _ -> ())
+          at.terms;
+        (at, !positions))
+      q.body
   in
-  { q with
-    head = List.filter (fun y -> not (String.equal y x)) q.head;
-    body = List.map (fun at -> { at with terms = Array.map subst_term at.terms }) q.body }
+  fun a ->
+    let body =
+      List.map
+        (fun (at, positions) ->
+          match positions with
+          | [] -> at
+          | _ ->
+            let terms = Array.copy at.terms in
+            List.iter (fun i -> terms.(i) <- Const a) positions;
+            { at with terms })
+        prepared
+    in
+    { q with head; body }
+
+let substitute q x a = substituter q x a
 
 let restrict_to_relations q rels =
   let body = List.filter (fun a -> List.mem a.rel rels) q.body in
@@ -89,17 +116,35 @@ let induced_schema q =
       Aggshap_relational.Schema.declare a.rel (Array.length a.terms) s)
     Aggshap_relational.Schema.empty q.body
 
-let term_to_string = function
-  | Var x -> x
-  | Const v -> Value.to_string v
-
-let atom_to_string a =
-  Printf.sprintf "%s(%s)" a.rel
-    (String.concat ", " (Array.to_list (Array.map term_to_string a.terms)))
-
+(* The canonical [Q(head) <- R(t, ...), S(...)] rendering, built in one
+   pass: this string is the query half of every engine memo key
+   ({!Aggshap_cq.Decompose.block_key}), computed at every DP node, so
+   it is built without intermediate lists or format parsing. *)
 let to_string q =
-  Printf.sprintf "%s(%s) <- %s" q.name (String.concat ", " q.head)
-    (String.concat ", " (List.map atom_to_string q.body))
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf q.name;
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf x)
+    q.head;
+  Buffer.add_string buf ") <- ";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf a.rel;
+      Buffer.add_char buf '(';
+      Array.iteri
+        (fun j t ->
+          if j > 0 then Buffer.add_string buf ", ";
+          match t with
+          | Var x -> Buffer.add_string buf x
+          | Const v -> Buffer.add_string buf (Value.to_string v))
+        a.terms;
+      Buffer.add_char buf ')')
+    q.body;
+  Buffer.contents buf
 
 let pp fmt q = Format.pp_print_string fmt (to_string q)
 

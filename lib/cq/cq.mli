@@ -55,6 +55,12 @@ val relations : t -> string list
 val make_boolean : t -> t
 (** Drops the head: every variable becomes existential. *)
 
+val substituter : t -> string -> Aggshap_relational.Value.t -> t
+(** [substituter q x] stages [substitute q x]: the per-query analysis
+    (surviving head variables, term positions holding [x]) runs once,
+    and each application costs one array copy per atom mentioning [x].
+    The engine uses this at merge steps, once per root value. *)
+
 val substitute : t -> string -> Aggshap_relational.Value.t -> t
 (** [substitute q x a] is [Q_{x↦a}]: replaces body occurrences of [x] by
     the constant [a] and removes [x] from the head. *)

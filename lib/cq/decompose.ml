@@ -3,9 +3,34 @@ module Database = Aggshap_relational.Database
 
 let is_ground q = Cq.vars q = []
 
+(* Variable sharing between two atoms, without materializing var lists:
+   the engine asks for components at every DP node, and almost every
+   query it builds there has one or two atoms. *)
+let atoms_share_var (a : Cq.atom) (b : Cq.atom) =
+  Array.exists
+    (function
+      | Cq.Var x ->
+        Array.exists
+          (function Cq.Var y -> String.equal x y | Cq.Const _ -> false)
+          b.Cq.terms
+      | Cq.Const _ -> false)
+    a.Cq.terms
+
+let single_atom_component q (a : Cq.atom) =
+  let avars = Cq.atom_vars a in
+  { q with Cq.head = List.filter (fun x -> List.mem x avars) q.Cq.head; body = [ a ] }
+
 let connected_components q =
-  let atoms = Array.of_list q.Cq.body in
+  match q.Cq.body with
+  | [] -> []
+  | [ _ ] -> [ q ]
+  | [ a1; a2 ] ->
+    if atoms_share_var a1 a2 then [ q ]
+    else [ single_atom_component q a1; single_atom_component q a2 ]
+  | body ->
+  let atoms = Array.of_list body in
   let n = Array.length atoms in
+  let atom_vars = Array.map Cq.atom_vars atoms in
   let comp = Array.init n (fun i -> i) in
   let rec find i = if comp.(i) = i then i else find comp.(i) in
   let union i j =
@@ -14,7 +39,7 @@ let connected_components q =
   in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      let vi = Cq.atom_vars atoms.(i) and vj = Cq.atom_vars atoms.(j) in
+      let vi = atom_vars.(i) and vj = atom_vars.(j) in
       if List.exists (fun x -> List.mem x vj) vi then union i j
     done
   done;

@@ -1,9 +1,20 @@
 module Value = Aggshap_relational.Value
 module Fact = Aggshap_relational.Fact
 module Database = Aggshap_relational.Database
-module Subst = Map.Make (String)
 
-type subst = Value.t Subst.t
+(* An association list: the queries of this development have a handful
+   of variables (two or three for every catalog query), so a linear
+   scan over a few cons cells beats a balanced string map in the inner
+   loop of the join — and extending a binding is one cons, not a path
+   copy. Enumeration order does not depend on this representation. *)
+type subst = (string * Value.t) list
+
+let subst_find x sigma =
+  let rec go = function
+    | [] -> None
+    | (y, v) :: rest -> if String.equal x y then Some v else go rest
+  in
+  go sigma
 
 (* Try to extend [sigma] so that the atom matches the fact. *)
 let match_atom (a : Cq.atom) (f : Fact.t) sigma =
@@ -17,9 +28,9 @@ let match_atom (a : Cq.atom) (f : Fact.t) sigma =
         | Cq.Const v ->
           if Value.equal v f.args.(i) then go (i + 1) sigma else None
         | Cq.Var x -> begin
-          match Subst.find_opt x sigma with
+          match subst_find x sigma with
           | Some v -> if Value.equal v f.args.(i) then go (i + 1) sigma else None
-          | None -> go (i + 1) (Subst.add x f.args.(i) sigma)
+          | None -> go (i + 1) ((x, f.args.(i)) :: sigma)
         end
     in
     go 0 sigma
@@ -45,7 +56,7 @@ let visit_homomorphisms q db k =
       in
       try_facts facts
   in
-  ignore (go facts_by_rel Subst.empty)
+  ignore (go facts_by_rel [])
 
 let homomorphisms q db =
   let acc = ref [] in
@@ -54,14 +65,19 @@ let homomorphisms q db =
       true);
   List.rev !acc
 
+let head_value x sigma =
+  match subst_find x sigma with
+  | Some v -> v
+  | None -> invalid_arg ("Eval.apply_head: unbound head variable " ^ x)
+
+(* Heads of one or two variables (every catalog query) build their
+   answer tuple directly, without an intermediate list. *)
 let apply_head q sigma =
-  Array.of_list
-    (List.map
-       (fun x ->
-         match Subst.find_opt x sigma with
-         | Some v -> v
-         | None -> invalid_arg ("Eval.apply_head: unbound head variable " ^ x))
-       q.Cq.head)
+  match q.Cq.head with
+  | [] -> [||]
+  | [ x ] -> [| head_value x sigma |]
+  | [ x; y ] -> [| head_value x sigma; head_value y sigma |]
+  | head -> Array.of_list (List.map (fun x -> head_value x sigma) head)
 
 let atom_image (a : Cq.atom) sigma =
   { Fact.rel = a.rel;
@@ -70,7 +86,7 @@ let atom_image (a : Cq.atom) sigma =
         (function
           | Cq.Const v -> v
           | Cq.Var x -> (
-            match Subst.find_opt x sigma with
+            match subst_find x sigma with
             | Some v -> v
             | None -> invalid_arg ("Eval.atom_image: unbound variable " ^ x)))
         a.terms }

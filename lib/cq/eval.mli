@@ -5,9 +5,14 @@
     dynamic programs, and — crucially — inside the exact naive Shapley
     baseline, which evaluates the query on exponentially many subsets. *)
 
-module Subst : Map.S with type key = string
+type subst
+(** A homomorphism: a binding of query variables to database values.
+    Opaque; consume it with {!apply_head} and {!atom_image}. *)
 
-type subst = Aggshap_relational.Value.t Subst.t
+val visit_homomorphisms :
+  Cq.t -> Aggshap_relational.Database.t -> (subst -> bool) -> unit
+(** Enumerate homomorphisms without materializing them; the visitor
+    returns [true] to continue and [false] to stop early. *)
 
 val homomorphisms : Cq.t -> Aggshap_relational.Database.t -> subst list
 (** All homomorphisms from the query to the database. *)

@@ -24,23 +24,25 @@ let provenance db fact = FactMap.find_opt fact db
 let union a b = FactMap.union (fun _ _ pb -> Some pb) a b
 let filter = FactMap.filter
 
-let facts db = List.map fst (FactMap.bindings db)
+(* The three list views below are built by a single fold each — no
+   intermediate bindings list; [fold] ascends [Fact.compare] order, so
+   the accumulated list is reversed once at the end. *)
+let facts db = List.rev (FactMap.fold (fun f _ acc -> f :: acc) db [])
 
 let endogenous db =
-  FactMap.bindings db
-  |> List.filter_map (fun (f, p) -> if p = Endogenous then Some f else None)
+  List.rev (FactMap.fold (fun f p acc -> if p = Endogenous then f :: acc else acc) db [])
 
 let exogenous db =
-  FactMap.bindings db
-  |> List.filter_map (fun (f, p) -> if p = Exogenous then Some f else None)
+  List.rev (FactMap.fold (fun f p acc -> if p = Exogenous then f :: acc else acc) db [])
 
 let size = FactMap.cardinal
 let endo_size db = FactMap.fold (fun _ p n -> if p = Endogenous then n + 1 else n) db 0
 
 let relation db name =
-  FactMap.bindings db
-  |> List.filter_map (fun ((f : Fact.t), _) ->
-      if String.equal f.rel name then Some f else None)
+  List.rev
+    (FactMap.fold
+       (fun (f : Fact.t) _ acc -> if String.equal f.rel name then f :: acc else acc)
+       db [])
 
 let relations db =
   FactMap.fold (fun (f : Fact.t) _ acc ->

@@ -130,12 +130,23 @@ let dispatch (st : state) (req : Protocol.request) : Protocol.response =
 (* Connection plumbing                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* SIGINT/SIGTERM install real handlers (the stop flag), so every
+   blocking syscall in the loop can return [EINTR] mid-serve. The
+   select call already retries; reads and writes must too, or a signal
+   that merely requests shutdown kills the connection it lands on. *)
+let rec retry_intr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let read_retry fd buf off len = retry_intr (fun () -> Unix.read fd buf off len)
+
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let rec go off =
     if off < n then begin
-      let w = Unix.write fd b off (n - off) in
+      let w = retry_intr (fun () -> Unix.write fd b off (n - off)) in
       go (off + w)
     end
   in
@@ -169,8 +180,17 @@ let drop conns conn =
 
 let handle_readable st conns conn =
   let buf = Bytes.create 65536 in
-  match Unix.read conn.fd buf 0 (Bytes.length buf) with
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> drop conns conn
+  match read_retry conn.fd buf 0 (Bytes.length buf) with
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    (* Abrupt disconnect. Flush the reader exactly like the EOF path
+       below, so a request on a final unterminated line is still
+       processed and counted — the connection line numbering (and the
+       server request counter) must not depend on how the peer went
+       away. The reply write fails harmlessly: the peer is gone. *)
+    (match Script.Reader.close conn.reader with
+     | Some line -> ignore (handle_line st conn line)
+     | None -> ());
+    drop conns conn
   | 0 ->
     (* EOF. A final line without a trailing newline is still a request:
        flush the reader before closing. *)

@@ -25,3 +25,17 @@ type config = {
 val run : config -> (unit, string) result
 (** Binds, listens, and serves until shutdown; removes the socket file
     on exit. Errors are pre-loop failures (bad state dir, bind). *)
+
+(**/**)
+
+(* Exposed for the test suite: the loop installs SIGINT/SIGTERM
+   handlers, so its blocking syscalls must survive [EINTR]. *)
+
+val retry_intr : (unit -> 'a) -> 'a
+(** Re-runs [f] until it completes without raising
+    [Unix.Unix_error (EINTR, _, _)]. *)
+
+val read_retry : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read], retried across [EINTR]. *)
+
+(**/**)

@@ -7,6 +7,7 @@
 module B = Aggshap_arith.Bigint
 module Q = Aggshap_arith.Rational
 module C = Aggshap_arith.Combinat
+module N = Aggshap_arith.Ntt
 
 let check_b msg expected actual =
   Alcotest.(check string) msg expected (B.to_string actual)
@@ -45,6 +46,35 @@ let test_bigint_string_roundtrip () =
     (fun () -> ignore (B.of_string ""));
   Alcotest.check_raises "garbage" (Invalid_argument "Bigint.of_string: invalid character")
     (fun () -> ignore (B.of_string "12x4"))
+
+(* Regression tests for the of_string audit: the parser must accept
+   strictly [sign? digit+] and nothing else. Delegating chunks to
+   [int_of_string] would quietly admit OCaml integer-literal syntax —
+   radix prefixes, '_' separators, interior signs — on the short-string
+   path. *)
+let test_bigint_of_string_strict () =
+  let rejects s =
+    Alcotest.check_raises
+      (Printf.sprintf "rejects %S" s)
+      (Invalid_argument "Bigint.of_string: invalid character")
+      (fun () -> ignore (B.of_string s))
+  in
+  List.iter rejects
+    [ "0x10"; "0o7"; "0b101"; "1_000"; "1e5"; " 12"; "12 "; "+-5"; "--5";
+      "12-3"; "1.5" ];
+  (* Sign-only inputs have no digits at all (the "empty chunk"). *)
+  Alcotest.check_raises "plus only" (Invalid_argument "Bigint.of_string: no digits")
+    (fun () -> ignore (B.of_string "+"));
+  Alcotest.check_raises "minus only" (Invalid_argument "Bigint.of_string: no digits")
+    (fun () -> ignore (B.of_string "-"));
+  (* The divide-and-conquer path must reject malformed input too, even
+     with the bad character buried past the split point. *)
+  rejects (String.make 400 '7' ^ "_" ^ String.make 399 '7');
+  rejects (String.make 799 '7' ^ "x");
+  (* Leading zeros are legal decimal on both paths. *)
+  check_b "leading zeros short" "77" (B.of_string "0077");
+  check_b "leading zeros long" (String.make 300 '7')
+    (B.of_string (String.make 300 '0' ^ String.make 300 '7'))
 
 let test_bigint_arith_large () =
   let a = B.of_string "123456789012345678901234567890" in
@@ -241,6 +271,234 @@ let kernel_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Small-integer representation                                        *)
+(*                                                                     *)
+(* The tagged fast path keeps every value in [-max_int, max_int] as an *)
+(* unboxed native int and promotes to limb arrays only past the int63  *)
+(* boundary; these tests pin the canonical-form invariant (min_int is  *)
+(* the one native int that must stay on the big side) and check the    *)
+(* overflow-guarded operations right at the edge.                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_small_representation () =
+  Alcotest.(check bool) "0 is small" true (B.is_small B.zero);
+  Alcotest.(check bool) "max_int is small" true (B.is_small (B.of_int max_int));
+  Alcotest.(check bool) "min_int+1 is small" true (B.is_small (B.of_int (min_int + 1)));
+  Alcotest.(check bool) "min_int is big" false (B.is_small (B.of_int min_int));
+  Alcotest.(check bool) "max_int+1 is big" false (B.is_small (B.succ (B.of_int max_int)));
+  (* Demotion: a big-path computation whose result fits comes back
+     small, so structural equality keeps coinciding with numeric. *)
+  let back =
+    B.sub (B.mul (B.of_int max_int) (B.of_int 3)) (B.mul (B.of_int max_int) (B.of_int 2))
+  in
+  Alcotest.(check bool) "big-path result demotes" true (B.is_small back);
+  check_b "demoted value" (string_of_int max_int) back;
+  (* min_int asymmetry: |min_int| = max_int + 1 does not fit. *)
+  check_b "neg min_int" "4611686018427387904" (B.neg (B.of_int min_int));
+  Alcotest.(check bool) "neg min_int is big" false (B.is_small (B.neg (B.of_int min_int)));
+  Alcotest.(check (option int)) "to_int_opt min_int" (Some min_int)
+    (B.to_int_opt (B.of_int min_int));
+  Alcotest.(check (option int)) "to_int_opt -min_int" None
+    (B.to_int_opt (B.neg (B.of_int min_int)));
+  (* Additive boundary, both directions. *)
+  check_b "max_int + 1" "4611686018427387904" (B.add (B.of_int max_int) B.one);
+  check_b "min_int - 1" "-4611686018427387905" (B.pred (B.of_int min_int));
+  (* -max_int + -1 wraps to exactly min_int in native arithmetic — a
+     sum that is representable but must still land on the big side. *)
+  let min_via_add = B.add (B.of_int (-max_int)) B.minus_one in
+  check_b "-max_int - 1 = min_int" (string_of_int min_int) min_via_add;
+  Alcotest.(check bool) "that sum is canonical big" false (B.is_small min_via_add);
+  Alcotest.(check bool) "equal across representations" true
+    (B.equal min_via_add (B.of_int min_int));
+  (* Multiplicative boundary: products whose wrap lands on min_int or
+     just past the quick-accept window. *)
+  Alcotest.(check bool) "max*max matches schoolbook" true
+    (B.equal
+       (B.mul (B.of_int max_int) (B.of_int max_int))
+       (B.mul_schoolbook (B.of_int max_int) (B.of_int max_int)));
+  check_b "2 * 2^61 = 2^62" "4611686018427387904"
+    (B.mul B.two (B.of_int (1 lsl 61)));
+  check_b "-2 * 2^61 = min_int" (string_of_int min_int)
+    (B.mul (B.of_int (-2)) (B.of_int (1 lsl 61)));
+  (* min_int / -1 must not hit the native trap. *)
+  let q, r = B.divmod (B.of_int min_int) B.minus_one in
+  check_b "min_int / -1" "4611686018427387904" q;
+  check_b "min_int mod -1" "0" r
+
+(* Integers clustered at the int63 overflow boundary, plus uniform
+   noise across the full native range. *)
+let arb_int63 =
+  let gen =
+    QCheck.Gen.(
+      frequency
+        [ (2, map (fun d -> max_int - d) (int_range 0 2));
+          (2, map (fun d -> min_int + d) (int_range 0 2));
+          (1, map (fun d -> (1 lsl 31) - 2 + d) (int_range 0 3));
+          (2, int_range (-1_000_000) 1_000_000);
+          (3, int) ])
+  in
+  QCheck.make gen ~print:string_of_int
+
+(* Decimal negation of a numeral string: exact reference for [neg]
+   across the whole native range, min_int included. *)
+let string_neg s =
+  if s = "0" then s
+  else if s.[0] = '-' then String.sub s 1 (String.length s - 1)
+  else "-" ^ s
+
+let small_props =
+  [ prop "of_int round-trips, min_int stays big" 2000 arb_int63 (fun n ->
+        B.to_int_opt (B.of_int n) = Some n
+        && B.is_small (B.of_int n) = (n <> min_int)
+        && String.equal (B.to_string (B.of_int n)) (string_of_int n));
+    prop "add at the boundary agrees with the big path" 2000
+      QCheck.(pair arb_int63 arb_int63)
+      (fun (a, b) ->
+        (* Reference: the same sum routed through limb arithmetic via a
+           large anchor, so the overflow-checked native path is
+           cross-validated, not compared with itself. *)
+        let anchor = B.pow B.two 100 in
+        let reference =
+          B.sub (B.add (B.add (B.of_int a) anchor) (B.of_int b)) anchor
+        in
+        B.equal (B.add (B.of_int a) (B.of_int b)) reference);
+    prop "mul at the boundary agrees with schoolbook" 2000
+      QCheck.(pair arb_int63 arb_int63)
+      (fun (a, b) ->
+        B.equal
+          (B.mul (B.of_int a) (B.of_int b))
+          (B.mul_schoolbook (B.of_int a) (B.of_int b)));
+    prop "sqr at the boundary agrees with schoolbook" 1000 arb_int63 (fun a ->
+        B.equal (B.sqr (B.of_int a)) (B.mul_schoolbook (B.of_int a) (B.of_int a)));
+    prop "neg agrees with decimal negation" 2000 arb_int63 (fun n ->
+        B.equal (B.neg (B.of_int n)) (B.of_string (string_neg (string_of_int n))));
+    prop "promotion/demotion round-trip through string" 1000 arb_int63 (fun n ->
+        (* of_string builds through the limb path for long numerals and
+           the accumulator path for short ones; either way the value
+           must come back to the canonical small form. *)
+        let v = B.of_string (string_of_int n) in
+        B.equal v (B.of_int n) && B.is_small v = (n <> min_int));
+    prop "divmod at the boundary reconstructs" 1000
+      QCheck.(pair arb_int63 arb_int63)
+      (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q, r = B.divmod (B.of_int a) (B.of_int b) in
+        B.equal (B.of_int a) (B.add (B.mul q (B.of_int b)) r)
+        && B.compare (B.abs r) (B.abs (B.of_int b)) < 0);
+    prop "rem_int agrees with rem" 1000
+      QCheck.(pair arb_big (int_range 1 0x7FFFFFFF))
+      (fun (a, m) ->
+        B.equal (B.of_int (B.rem_int a m)) (B.rem a (B.of_int m)));
+    prop "bit_length bounds the value" 1000 arb_big (fun a ->
+        let bl = B.bit_length a in
+        if B.is_zero a then bl = 0
+        else
+          B.compare (B.abs a) (B.pow B.two bl) < 0
+          && B.compare (B.pow B.two (bl - 1)) (B.abs a) <= 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* RNS/NTT convolution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference convolution: quadratic scatter over schoolbook products,
+   touching none of the code under test. *)
+let conv_reference a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb - 1) B.zero in
+  for i = 0 to la - 1 do
+    for j = 0 to lb - 1 do
+      out.(i + j) <- B.add out.(i + j) (B.mul_schoolbook a.(i) b.(j))
+    done
+  done;
+  out
+
+let table_equal x y =
+  Array.length x = Array.length y && Array.for_all2 B.equal x y
+
+let table_print t =
+  "[" ^ String.concat "; " (Array.to_list (Array.map B.to_string t)) ^ "]"
+
+(* Tables mixing zeros, native-range entries, and multi-limb entries of
+   either sign — the value profile of the lifted rational tables the
+   DPs feed through [Tables.convolve]. *)
+let arb_table =
+  let gen_entry =
+    QCheck.Gen.(
+      frequency
+        [ (2, return B.zero);
+          (3, map B.of_int (int_range (-1_000_000) 1_000_000));
+          (2, map B.of_int int);
+          (2,
+           let* neg = bool in
+           let* ndigits = int_range 1 60 in
+           let* digits = list_size (return ndigits) (int_range 0 9) in
+           let s = String.concat "" (List.map string_of_int digits) in
+           return (B.of_string (if neg then "-" ^ s else s))) ])
+  in
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 40 in
+      array_size (return n) gen_entry)
+  in
+  QCheck.make gen ~print:table_print
+
+let ntt_convolves_exactly (a, b) =
+  QCheck.assume (Array.length a + Array.length b >= 3);
+  match N.convolve a b with
+  | None -> QCheck.Test.fail_report "NTT tier declined a feasible shape"
+  | Some out -> table_equal out (conv_reference a b)
+
+let test_ntt_adversarial_all_max () =
+  (* Every entry at the same maximal magnitude: the magnitude bound is
+     tight on every coefficient at once, so an off-by-one in the prime
+     budget or the balanced lift corrupts essentially every entry. *)
+  let huge = B.pred (B.pow B.two 900) in
+  List.iter
+    (fun (la, lb) ->
+      let a = Array.make la huge and b = Array.make lb (B.neg huge) in
+      match N.convolve a b with
+      | None -> Alcotest.fail "NTT tier declined the all-max table"
+      | Some out ->
+        Alcotest.(check bool)
+          (Printf.sprintf "all-max %dx%d matches reference" la lb)
+          true
+          (table_equal out (conv_reference a b)))
+    [ (33, 33); (32, 17); (2, 64); (64, 64) ]
+
+let test_ntt_zero_and_edges () =
+  (* All-zero operand short-circuits. *)
+  (match N.convolve (Array.make 5 B.zero) (Array.make 7 B.one) with
+   | Some out ->
+     Alcotest.(check bool) "zero table convolves to zeros" true
+       (Array.for_all B.is_zero out && Array.length out = 11)
+   | None -> Alcotest.fail "NTT declined the zero table");
+  (* 1x1 output is below the tier. *)
+  Alcotest.(check bool) "1x1 declined" true
+    (N.convolve [| B.one |] [| B.two |] = None);
+  Alcotest.(check bool) "empty declined" true (N.convolve [||] [| B.one |] = None);
+  (* The prime generator really produces NTT-friendly primes. *)
+  Alcotest.(check bool) "2^21-friendly primes exist" true
+    (match N.primes_for ~order:21 ~min_bits:120 with
+     | Some basis ->
+       Array.for_all
+         (fun (p, _) -> N.is_prime p && (p - 1) mod (1 lsl 21) = 0)
+         basis
+       && Array.length basis >= 4
+     | None -> false)
+
+let ntt_props =
+  [ prop "NTT agrees with schoolbook reference" 150
+      QCheck.(pair arb_table arb_table)
+      ntt_convolves_exactly;
+    prop "NTT exact on squared tables" 100 arb_table (fun a ->
+        QCheck.assume (Array.length a >= 2);
+        match N.convolve a a with
+        | None -> false
+        | Some out -> table_equal out (conv_reference a a));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Rational unit tests                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -388,14 +646,24 @@ let () =
     [ ( "bigint",
         [ Alcotest.test_case "basic" `Quick test_bigint_basic;
           Alcotest.test_case "string roundtrip" `Quick test_bigint_string_roundtrip;
+          Alcotest.test_case "of_string strict decimal" `Quick
+            test_bigint_of_string_strict;
           Alcotest.test_case "large arithmetic" `Quick test_bigint_arith_large;
           Alcotest.test_case "divmod signs" `Quick test_bigint_divmod_signs;
           Alcotest.test_case "pow and gcd" `Quick test_bigint_pow_gcd;
           Alcotest.test_case "compare" `Quick test_bigint_compare;
           Alcotest.test_case "to_float" `Quick test_bigint_to_float;
+          Alcotest.test_case "small representation boundary" `Quick
+            test_small_representation;
         ] );
       ("bigint properties", bigint_props);
+      ("small-int properties", small_props);
       ("kernel differentials", kernel_props);
+      ( "ntt",
+        Alcotest.test_case "adversarial all-max tables" `Quick
+          test_ntt_adversarial_all_max
+        :: Alcotest.test_case "zeros and edge shapes" `Quick test_ntt_zero_and_edges
+        :: ntt_props );
       ( "rational",
         [ Alcotest.test_case "basic" `Quick test_rational_basic;
           Alcotest.test_case "floor/ceil" `Quick test_rational_floor_ceil;

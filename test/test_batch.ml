@@ -269,6 +269,65 @@ let test_solver_all_monte_carlo_fallback () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Kernel counters under parallel solves                               *)
+(* ------------------------------------------------------------------ *)
+
+module B = Aggshap_arith.Bigint
+module Tables = Core.Tables
+
+(* With the memo cache off, the multiset of kernel invocations is a
+   function of the workload alone, so the Atomic counters in Bigint and
+   Tables must report exactly the same totals whatever the domain
+   count. This is what makes --stats trustworthy for cost-model work
+   under --jobs N: a racy int counter would drop increments. *)
+let test_kernel_counts_jobs_stable () =
+  let bstr (s : B.stats) =
+    Printf.sprintf
+      "school=%d karat=%d small=%d sqr=%d divmod=%d gcd=%d acc=%d promo=%d demo=%d"
+      s.B.mul_schoolbook s.B.mul_karatsuba s.B.mul_small s.B.sqr s.B.divmod s.B.gcd
+      s.B.acc_mul s.B.promotions s.B.demotions
+  in
+  let tstr (s : Tables.stats) =
+    Printf.sprintf "conv=%d small=%d ntt=%d rat=%d folds=%d wsum=%d" s.Tables.convolve
+      s.Tables.convolve_small s.Tables.convolve_ntt s.Tables.convolve_rat
+      s.Tables.tree_folds s.Tables.weighted_sums
+  in
+  let total_work = ref 0 in
+  List.iter
+    (fun (name, alpha, tau, query) ->
+      let a = Agg_query.make alpha tau query in
+      let db = Generate.random_database ~seed:7 ~config:small_config query in
+      if Database.endo_size db > 0 then begin
+        let solve jobs = ignore (Core.Batch.shapley_all ~jobs ~cache:false a db) in
+        (* Warm-up run: lazily built global tables (factorials, NTT
+           prime pools) must not be charged to the first measured run. *)
+        solve 1;
+        let measure jobs =
+          B.reset_stats ();
+          Tables.reset_stats ();
+          solve jobs;
+          (B.stats (), Tables.stats ())
+        in
+        let b1, t1 = measure 1 in
+        let bn, tn = measure 4 in
+        Alcotest.(check string)
+          (Printf.sprintf "%s: bigint counters jobs=1 vs jobs=4" name)
+          (bstr b1) (bstr bn);
+        Alcotest.(check string)
+          (Printf.sprintf "%s: table counters jobs=1 vs jobs=4" name)
+          (tstr t1) (tstr tn);
+        total_work :=
+          !total_work + b1.B.mul_small + b1.B.mul_schoolbook + b1.B.acc_mul
+          + t1.Tables.convolve
+      end)
+    [ ("max q_xyy", Aggregate.Max, vid "R" 0, Catalog.q_xyy);
+      ("dup q1", Aggregate.Has_duplicates, vmod "R" 0, Catalog.q1_sq);
+      ("median q4", Aggregate.Median, vid "R" 1, Catalog.q4_q) ];
+  (* Equality above must not be vacuous: the measured solves did real
+     kernel work. *)
+  Alcotest.(check bool) "measured runs exercised the kernels" true (!total_work > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Solver.banzhaf: fact lookup on the out-of-frontier path             *)
 (* ------------------------------------------------------------------ *)
 
@@ -333,6 +392,11 @@ let () =
           Alcotest.test_case "parallel = sequential" `Quick test_solver_all_parallel;
           Alcotest.test_case "naive fallback" `Quick test_solver_all_naive_fallback;
           Alcotest.test_case "monte-carlo fallback" `Quick test_solver_all_monte_carlo_fallback;
+        ] );
+      ( "kernel counters",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 counts identical" `Quick
+            test_kernel_counts_jobs_stable;
         ] );
       ( "banzhaf lookup",
         [

@@ -8,6 +8,8 @@
 module J = Aggshap_json.Json
 module Protocol = Aggshap_server.Protocol
 module Registry = Aggshap_server.Registry
+module Server = Aggshap_server.Server
+module Client = Aggshap_server.Client
 module Api = Aggshap_api.Api
 module Script = Aggshap_incr.Script
 module Session = Aggshap_incr.Session
@@ -320,9 +322,136 @@ let registry_tests =
           Alcotest.(check string) "message" "no such session \"ghost\" (open it first)" msg
         | Ok () -> Alcotest.fail "found a session that was never opened" ) ]
 
+(* ------------------------------------------------------------------ *)
+(* Serve-loop hardening: EINTR retries, abrupt-disconnect accounting   *)
+(* ------------------------------------------------------------------ *)
+
+(* The loop installs SIGINT/SIGTERM handlers, so any blocking syscall
+   can return EINTR mid-serve; and a client that dies with unread data
+   in its queue surfaces as ECONNRESET, not EOF. Both used to kill the
+   connection's pending work. *)
+
+let start_server socket =
+  match Unix.fork () with
+  | 0 ->
+    let config =
+      { Server.socket; max_sessions = 2; state_dir = None; default_jobs = Some 1;
+        log = ignore }
+    in
+    (match Server.run config with Ok () -> Unix._exit 0 | Error _ -> Unix._exit 1)
+  | pid ->
+    let rec poll tries =
+      if tries = 0 then Alcotest.fail "server did not come up"
+      else
+        match Client.with_connection socket (fun c -> Client.request c Protocol.Ping) with
+        | Ok Protocol.Pong -> ()
+        | _ ->
+          Unix.sleepf 0.05;
+          poll (tries - 1)
+    in
+    poll 100;
+    pid
+
+let server_requests socket =
+  match
+    Client.with_connection socket (fun c ->
+        Client.request c (Protocol.Stats { session = None }))
+  with
+  | Ok (Protocol.Server_stats { requests; _ }) -> requests
+  | Ok _ -> Alcotest.fail "unexpected reply to stats"
+  | Error msg -> Alcotest.fail msg
+
+let serve_tests =
+  [ ( "retry_intr retries EINTR and preserves other outcomes",
+      `Quick,
+      fun () ->
+        let calls = ref 0 in
+        let v =
+          Server.retry_intr (fun () ->
+              incr calls;
+              if !calls < 4 then raise (Unix.Unix_error (Unix.EINTR, "read", ""));
+              42)
+        in
+        Alcotest.(check int) "value after retries" 42 v;
+        Alcotest.(check int) "EINTR retried three times" 4 !calls;
+        Alcotest.check_raises "non-EINTR errors propagate"
+          (Unix.Unix_error (Unix.EBADF, "read", "")) (fun () ->
+            Server.retry_intr (fun () ->
+                raise (Unix.Unix_error (Unix.EBADF, "read", "")))) );
+    ( "read_retry survives SIGALRM interruptions",
+      `Quick,
+      fun () ->
+        let r, w = Unix.pipe () in
+        let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+        (* A repeating 20ms timer guarantees the blocking read below is
+           interrupted several times before the writer's 250ms delay
+           elapses; a bare [Unix.read] would raise EINTR here. *)
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = 0.02; it_interval = 0.02 });
+        Fun.protect
+          ~finally:(fun () ->
+            ignore
+              (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = 0.0; it_interval = 0.0 });
+            Sys.set_signal Sys.sigalrm old;
+            (try Unix.close r with Unix.Unix_error _ -> ()))
+          (fun () ->
+            match Unix.fork () with
+            | 0 ->
+              (* The itimer is not inherited: the child just waits long
+                 enough for the parent to block and take some alarms. *)
+              Unix.close r;
+              Unix.sleepf 0.25;
+              ignore (Unix.write_substring w "interrupted" 0 11);
+              Unix._exit 0
+            | pid ->
+              Unix.close w;
+              let buf = Bytes.create 64 in
+              let n = Server.read_retry r buf 0 64 in
+              Alcotest.(check string)
+                "payload delivered across interruptions" "interrupted"
+                (Bytes.sub_string buf 0 n);
+              ignore (Server.retry_intr (fun () -> Unix.waitpid [] pid))) );
+    ( "abrupt disconnect mid-line still counts the final request",
+      `Quick,
+      fun () ->
+        let socket = Filename.temp_file "aggshap_server" ".sock" in
+        Sys.remove socket;
+        let pid = start_server socket in
+        Fun.protect
+          ~finally:(fun () ->
+            ignore
+              (Client.with_connection socket (fun c ->
+                   Client.request c Protocol.Shutdown));
+            ignore (Server.retry_intr (fun () -> Unix.waitpid [] pid));
+            try Sys.remove socket with Sys_error _ -> ())
+          (fun () ->
+            let before = server_requests socket in
+            (* One complete request, then a second with no trailing
+               newline; close without reading the first reply, so the
+               server's next read sees ECONNRESET (a stream unix socket
+               that dies with unread data resets its peer) rather than
+               a clean EOF. Either way the unterminated line must be
+               flushed and counted. *)
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            let ping = Protocol.encode_request Protocol.Ping in
+            let payload = ping ^ "\n" ^ ping in
+            ignore (Unix.write_substring fd payload 0 (String.length payload));
+            (match Unix.select [ fd ] [] [] 5.0 with
+             | [ _ ], _, _ -> ()
+             | _ -> Alcotest.fail "no reply from server");
+            Unix.close fd;
+            (* Give the loop a round to observe the disconnect. *)
+            Unix.sleepf 0.2;
+            let after = server_requests socket in
+            (* The terminated ping, the flushed unterminated ping, and
+               the second stats request itself. *)
+            Alcotest.(check int) "both pings counted" 3 (after - before)) ) ]
+
 let () =
   Alcotest.run "server"
     [ ("json line round-trips", json_tests);
       ("SHAPWIRE_v1 round-trips", protocol_tests);
       ("streaming line reader", reader_tests);
-      ("registry LRU / snapshot / restore", registry_tests) ]
+      ("registry LRU / snapshot / restore", registry_tests);
+      ("serve loop hardening", serve_tests) ]
