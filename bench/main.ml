@@ -16,6 +16,7 @@ module Q = Aggshap_arith.Rational
 module Cq = Aggshap_cq.Cq
 module Parser = Aggshap_cq.Parser
 module Hierarchy = Aggshap_cq.Hierarchy
+module Plan = Aggshap_cq.Plan
 module Database = Aggshap_relational.Database
 module Fact = Aggshap_relational.Fact
 module Aggregate = Aggshap_agg.Aggregate
@@ -471,9 +472,13 @@ let e14 () =
         let players = Database.endo_size db in
         B.reset_stats ();
         Core.Tables.reset_stats ();
+        Database.reset_stats ();
+        Plan.reset_stats ();
         let (), wall = time (fun () -> act db) in
         let bs = B.stats () in
         let ts = Core.Tables.stats () in
+        let ds = Database.stats () in
+        let ps = Plan.stats () in
         Printf.printf "%-24s %6d %8d %9.4fs %12d %12d %10d %10d\n" workload rows
           players wall bs.B.mul_schoolbook bs.B.mul_small bs.B.acc_mul
           ts.Core.Tables.convolve;
@@ -494,7 +499,11 @@ let e14 () =
               ("convolve_ntt", Int ts.Core.Tables.convolve_ntt);
               ("convolve_rat", Int ts.Core.Tables.convolve_rat);
               ("tree_folds", Int ts.Core.Tables.tree_folds);
-              ("weighted_sums", Int ts.Core.Tables.weighted_sums) ]
+              ("weighted_sums", Int ts.Core.Tables.weighted_sums);
+              ("plan_compiles", Int ps.Plan.plan_compiles);
+              ("index_builds", Int ds.Database.index_builds);
+              ("index_probes", Int ds.Database.index_probes);
+              ("rel_scans", Int ds.Database.rel_scans) ]
         in
         results :=
           Obj
@@ -818,6 +827,96 @@ let e18 () =
     (fun () -> Agg_query.make Aggregate.Has_duplicates (vmod "R" 0) Catalog.q1_sq);
   List.rev !results
 
+(* E19: indexed storage and the compiled join planner, before vs after.
+   Each workload is solved twice over identical inputs — once with the
+   planner and secondary indexes disabled ([Plan.enabled := false]: the
+   legacy scan evaluator and the rescanning partition) and once with
+   the default indexed stack — and the two Shapley vectors must be
+   bit-identical: the planner changes only the enumeration order of
+   homomorphisms, never the set, and the indexed partition produces the
+   same blocks in the same order (DESIGN.md §9). Speedup is legacy wall
+   over indexed wall. *)
+let e19 () =
+  header "E19 (join planner): legacy scan vs indexed evaluation, bit-identical";
+  Printf.printf "%-18s %6s %8s %11s %11s %9s %11s %7s\n" "workload" "rows" "players"
+    "legacy" "indexed" "speedup" "idx_probes" "agree";
+  let results = ref [] in
+  let emit workload rows players wall extra kernels =
+    let open Bench_json in
+    results :=
+      Obj
+        ([ ("experiment", String "E19");
+           ("workload", String workload);
+           ("n", Int rows);
+           ("players", Int players);
+           ("wall_s", Float wall) ]
+        @ extra @ kernels)
+      :: !results
+  in
+  let reset () =
+    B.reset_stats ();
+    Core.Tables.reset_stats ();
+    Database.reset_stats ();
+    Plan.reset_stats ()
+  in
+  let run workload sizes make_db make_agg =
+    List.iter
+      (fun rows ->
+        let db = make_db rows in
+        let a = make_agg () in
+        let players = Database.endo_size db in
+        let solve () = fst (Core.Batch.shapley_all ~jobs:1 ~cache:true a db) in
+        reset ();
+        Plan.enabled := false;
+        let legacy, t_legacy =
+          Fun.protect ~finally:(fun () -> Plan.enabled := true) (fun () -> time solve)
+        in
+        let ds_legacy = Database.stats () in
+        let ps_legacy = Plan.stats () in
+        reset ();
+        let indexed, t_indexed = time solve in
+        let ds = Database.stats () in
+        let ps = Plan.stats () in
+        let same =
+          List.equal
+            (fun (f1, v1) (f2, v2) -> Fact.equal f1 f2 && Q.equal v1 v2)
+            legacy indexed
+        in
+        let speedup = t_legacy /. Stdlib.max 1e-9 t_indexed in
+        Printf.printf "%-18s %6d %8d %10.4fs %10.4fs %8.2fx %11d %7s\n" workload rows
+          players t_legacy t_indexed speedup ds.Database.index_probes
+          (if same then "ok" else "MISMATCH");
+        if not same then failwith "E19: indexed and legacy evaluation diverge";
+        let kernels_of (ds : Database.stats) (ps : Plan.stats) =
+          [ ( "kernels",
+              Bench_json.(
+                Obj
+                  [ ("plan_compiles", Int ps.Plan.plan_compiles);
+                    ("index_builds", Int ds.Database.index_builds);
+                    ("index_probes", Int ds.Database.index_probes);
+                    ("rel_scans", Int ds.Database.rel_scans) ]) ) ]
+        in
+        emit (workload ^ ":legacy") rows players t_legacy []
+          (kernels_of ds_legacy ps_legacy);
+        emit (workload ^ ":indexed") rows players t_indexed
+          [ ("speedup_vs_legacy", Bench_json.Float speedup) ]
+          (kernels_of ds ps))
+      sizes
+  in
+  run "dup_q1"
+    (if quick then [ 30 ] else [ 40; 100; 160 ])
+    q1_db
+    (fun () -> Agg_query.make Aggregate.Has_duplicates (vmod "R" 0) Catalog.q1_sq);
+  run "avg_q_xyy_full"
+    (if quick then [ 12 ] else [ 12; 16; 24 ])
+    xyy_db
+    (fun () -> Agg_query.make Aggregate.Avg (vid "R" 0) Catalog.q_xyy_full);
+  run "median_q_xyy_full"
+    (if quick then [ 12 ] else [ 12; 16 ])
+    xyy_db
+    (fun () -> Agg_query.make Aggregate.Median (vid "R" 0) Catalog.q_xyy_full);
+  List.rev !results
+
 let write_json path rows =
   let report =
     Bench_json.Obj
@@ -988,11 +1087,12 @@ let () =
   let e15_rows = rows_of "e15" e15 in
   let e16_rows = rows_of "e16" e16 in
   let e18_rows = rows_of "e18" e18 in
+  let e19_rows = rows_of "e19" e19 in
   if want "a1" then a1 ();
   if want "a2" then a2 ();
   if want "bechamel" then run_bechamel ();
   (match json_path with
-   | Some path -> write_json path (e14_rows @ e15_rows @ e16_rows @ e18_rows)
+   | Some path -> write_json path (e14_rows @ e15_rows @ e16_rows @ e18_rows @ e19_rows)
    | None -> ());
   print_newline ();
   print_endline "all experiments completed; every cross-check above reports 'ok'"

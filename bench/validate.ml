@@ -3,8 +3,8 @@
    Parse FILE and check it against the BENCH_v1 schema; exit 1 with a
    diagnostic otherwise. With [--compare], additionally gate wall-clock
    regressions against a committed baseline report: every pinned
-   experiment row of the baseline (E13–E16 — the deterministic kernel /
-   incremental / engine benchmarks) must be present in FILE and must
+   experiment row of the baseline (E13–E16, E18–E19 — the deterministic
+   kernel / incremental / engine benchmarks) must be present in FILE and must
    not be slower than baseline by more than the tolerance (default
    25%). A per-row delta table is always printed; E17 (server latency)
    and other unpinned rows are reported but never gate. CI runs this on
@@ -16,8 +16,10 @@ let usage () =
   exit 2
 
 (* Rows too fast for a stable ratio: an absolute floor below which a
-   regression cannot be claimed (timer noise dominates). *)
-let noise_floor_s = 0.001
+   regression cannot be claimed (timer noise dominates — the
+   sub-millisecond rows swing 2x between runs on an otherwise idle
+   machine). *)
+let noise_floor_s = 0.002
 
 type args = { path : string; compare : string option; tolerance : float }
 
@@ -63,11 +65,12 @@ let load path =
     | Ok () -> json)
 
 (* The regression gate covers the deterministic benchmark experiments;
-   E17 latency rows (load-dependent) are informational only. E18 is
-   pinned so the convolution-tier wins stay locked in: a regression in
-   either the classic paths or the dispatch shows up as a slower row. *)
+   E17 latency rows (load-dependent) are informational only. E18 and
+   E19 are pinned so the convolution-tier and join-planner wins stay
+   locked in: a regression in either arm of a before/after pair shows
+   up as a slower row. *)
 let pinned experiment =
-  List.mem experiment [ "E13"; "E14"; "E15"; "E16"; "E18" ]
+  List.mem experiment [ "E13"; "E14"; "E15"; "E16"; "E18"; "E19" ]
 
 let compare_reports ~tolerance ~base_path baseline current =
   let open Bench_json in
@@ -77,7 +80,7 @@ let compare_reports ~tolerance ~base_path baseline current =
     List.find_opt (fun r -> row_key r = key) cur_rows
   in
   Printf.printf "\nregression gate: vs %s, tolerance %+.0f%% on pinned rows (%s)\n"
-    base_path tolerance "E13-E16, E18";
+    base_path tolerance "E13-E16, E18-E19";
   Printf.printf "%-44s %10s %10s %8s  %s\n" "row" "baseline" "current" "delta" "gate";
   let failures =
     List.fold_left

@@ -124,6 +124,8 @@ let print_kernel_stats () =
   let bs = Aggshap_arith.Bigint.stats () in
   let ts = Aggshap_core.Tables.stats () in
   let es = Engine.stats () in
+  let ds = Aggshap_relational.Database.stats () in
+  let ps = Aggshap_cq.Plan.stats () in
   Printf.printf "kernel counters:\n";
   List.iter
     (fun (name, v) -> Printf.printf "  %-18s %d\n" name v)
@@ -146,7 +148,11 @@ let print_kernel_stats () =
       ("engine_leaves", es.Engine.leaves);
       ("engine_merges", es.Engine.merges);
       ("engine_combines", es.Engine.combines);
-      ("engine_par_merges", es.Engine.parallel_merges) ]
+      ("engine_par_merges", es.Engine.parallel_merges);
+      ("plan_compiles", ps.Aggshap_cq.Plan.plan_compiles);
+      ("index_builds", ds.Aggshap_relational.Database.index_builds);
+      ("index_probes", ds.Aggshap_relational.Database.index_probes);
+      ("rel_scans", ds.Aggshap_relational.Database.rel_scans) ]
 
 let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_jobs cache stats =
   let q = parse_query_arg query_s in
@@ -162,7 +168,9 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_j
   if stats then begin
     Aggshap_arith.Bigint.reset_stats ();
     Aggshap_core.Tables.reset_stats ();
-    Engine.reset_stats ()
+    Engine.reset_stats ();
+    Aggshap_relational.Database.reset_stats ();
+    Aggshap_cq.Plan.reset_stats ()
   end;
   let result =
     match (score, fact_s) with
@@ -405,7 +413,7 @@ let run_client action session socket query_s db_path agg_s tau_s jobs updates_pa
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold verbose =
+let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold legacy_eval verbose =
   if trials < 1 then die "--trials must be at least 1 (got %d)" trials;
   if max_endo < 1 then die "--max-endo must be at least 1 (got %d)" max_endo;
   check_jobs jobs;
@@ -418,6 +426,11 @@ let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold verbos
      Printf.printf "fuzz: NTT tier %s\n%!"
        (if t = 0 then "forced on every convolution (differential campaign)"
         else Printf.sprintf "threshold set to %d" t));
+  if legacy_eval then begin
+    Aggshap_cq.Plan.enabled := false;
+    Printf.printf
+      "fuzz: legacy scan evaluator forced (planner and indexes disabled)\n%!"
+  end;
   let module Fuzz = Aggshap_check.Fuzz in
   let module Trial = Aggshap_check.Trial in
   let module Utrial = Aggshap_check.Utrial in
@@ -670,6 +683,12 @@ let updates_flag_arg =
                live session, cross-checking every step against a \
                from-scratch batch solve.")
 
+let legacy_eval_arg =
+  Arg.(value & flag & info [ "legacy-eval" ]
+         ~doc:"Run the campaign on the legacy scan evaluator and the \
+               rescanning partition (planner and secondary indexes \
+               disabled), so both evaluation paths stay green.")
+
 let ntt_threshold_arg =
   Arg.(value & opt (some int) None & info [ "ntt-threshold" ] ~docv:"L"
          ~doc:"Override the RNS/NTT convolution tier threshold for the \
@@ -684,7 +703,7 @@ let fuzz_cmd =
              databases, cross-validating the polynomial DPs against naive \
              enumeration, the Shapley axioms, and every engine \
              configuration; failures are shrunk to a minimal reproducer.")
-    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ updates_flag_arg $ ntt_threshold_arg $ verbose_arg)
+    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ updates_flag_arg $ ntt_threshold_arg $ legacy_eval_arg $ verbose_arg)
 
 let main_cmd =
   Cmd.group

@@ -10,6 +10,18 @@ module Naive = Aggshap_core.Naive
 module Solver = Aggshap_core.Solver
 module Monte_carlo = Aggshap_core.Monte_carlo
 
+module Plan = Aggshap_cq.Plan
+
+(* Reference computations run on the legacy scan evaluator and the
+   rescanning partition: the system under test goes through the
+   planned/indexed stack, so every trial doubles as a differential test
+   of the two evaluation paths — and an index-maintenance fault
+   ([`Stale_index]) cannot corrupt both arms the same way. *)
+let with_legacy f =
+  let saved = !Plan.enabled in
+  Plan.enabled := false;
+  Fun.protect ~finally:(fun () -> Plan.enabled := saved) f
+
 type failure = {
   check : string;
   detail : string;
@@ -76,7 +88,14 @@ let run_checks ~par_jobs (t : Trial.t) =
     None
   end
   else begin
-    let players, game = Naive.game a db in
+    let players, game = with_legacy (fun () -> Naive.game a db) in
+    (* Every utility evaluation of the naive game — the reference for
+       agreement, efficiency and symmetry — goes through the legacy
+       evaluator, whatever check triggers it. *)
+    let game =
+      { game with
+        Game.utility = (fun mask -> with_legacy (fun () -> game.Game.utility mask)) }
+    in
     let reference = Game.shapley_all game in
     let within = Solver.within_frontier a.Agg_query.alpha a.Agg_query.query in
     let solve ?(a = a) ?(db = db) f =
@@ -110,7 +129,9 @@ let run_checks ~par_jobs (t : Trial.t) =
     let check_efficiency () =
       let total = Array.fold_left Q.add Q.zero (Lazy.force sut) in
       let exo = Database.filter (fun _ p -> p = Database.Exogenous) db in
-      let expected = Q.sub (Agg_query.eval a db) (Agg_query.eval a exo) in
+      let expected =
+        with_legacy (fun () -> Q.sub (Agg_query.eval a db) (Agg_query.eval a exo))
+      in
       if Q.equal total expected then None
       else
         fail "efficiency" "Σφ = %s, v(N) − v(∅) = %s" (Q.to_string total)
@@ -291,7 +312,11 @@ let run_update_checks (u : Utrial.t) =
   let db = ref t.Trial.db in
   let session = Session.open_ ~jobs:1 !a !db in
   let check_step step =
-    let reference = fst (Batch.shapley_all ~jobs:1 !a !db) in
+    (* The from-scratch reference solve runs on the legacy evaluation
+       stack: the independently rebuilt [!db] never shares index state
+       (or index bugs) with the session's incrementally maintained
+       database. *)
+    let reference = with_legacy (fun () -> fst (Batch.shapley_all ~jobs:1 !a !db)) in
     let got = Session.shapley_all session in
     same_exact_results (Printf.sprintf "session-vs-batch(step %d)" step) reference got
   in

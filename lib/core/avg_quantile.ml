@@ -207,8 +207,7 @@ let sum_k_memo ?memo (a : Agg_query.t) db =
     | Some q -> quantile_weight q
     | None -> avg_weight
   in
-  let db_rel, db_pad = Decompose.relevant a.query db in
-  let pad = Database.endo_size db_pad in
+  let db_rel, pad = Decompose.relevant_part a.query db in
   let values = List.sort_uniq Q.compare (List.map snd (Agg_query.answer_values a db)) in
   let n = Database.endo_size db in
   (* Collect every (weight, counts) term across all reference values and

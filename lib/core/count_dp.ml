@@ -39,6 +39,20 @@ let combine op t1 t2 =
   in
   { n = t1.n + t2.n; entries }
 
+(* [saturating cap op] lumps every answer count ≥ cap into the row
+   [cap]. Rows below the cap stay exact: a merged row ℓ < cap only
+   collects pairs whose true combination is ℓ, and saturation never
+   moves mass below the cap — for [+] a saturated operand forces the
+   sum ≥ cap, and for [*] either the other operand is 0 (row 0 either
+   way) or the product stays ≥ cap. Consumers reading only rows
+   [< cap] (Dup reads 0 and 1 with cap 2) see bit-identical counts,
+   while the accumulator keeps at most [cap + 1] rows instead of one
+   per answer. *)
+let saturating cap op =
+  match cap with
+  | None -> op
+  | Some c -> fun l1 l2 -> Stdlib.min c (op l1 l2)
+
 let pad_table p t =
   if p = 0 then t else { n = t.n + p; entries = IntMap.map (Tables.pad p) t.entries }
 
@@ -65,9 +79,12 @@ let memo_stats m =
    [ℓ] adds under union and multiplies under cross product. *)
 module Alg = struct
   type table = t
-  type ctx = { bool : Boolean_dp.memo option }
+  type ctx = { bool : Boolean_dp.memo option; cap : int option }
 
-  let memo_prefix _ = ""
+  (* A capped table is a different value than the exact one, so capped
+     and uncapped calls sharing a memo must not collide. *)
+  let memo_prefix ctx =
+    match ctx.cap with None -> "" | Some c -> string_of_int c ^ "\x02"
 
   let leaf ctx q db =
     if Cq.is_boolean q then begin
@@ -84,11 +101,13 @@ module Alg = struct
   let root_mode = `Free_root
   let root_error = "Count_dp: query is not q-hierarchical: "
 
-  let merge _ ~root:_ blocks =
-    List.fold_left (fun acc (_, _, t) -> combine ( + ) acc t) neutral_union blocks
+  let merge ctx ~root:_ blocks =
+    let op = saturating ctx.cap ( + ) in
+    List.fold_left (fun acc (_, _, t) -> combine op acc t) neutral_union blocks
 
-  let combine _ _ _ comps =
-    List.fold_left (fun acc (_, _, table) -> combine ( * ) acc (table ())) neutral_cross
+  let combine ctx _ _ comps =
+    let op = saturating ctx.cap ( * ) in
+    List.fold_left (fun acc (_, _, table) -> combine op acc (table ())) neutral_cross
       comps
 
   let pad _ p t = pad_table p t
@@ -96,7 +115,7 @@ end
 
 module E = Engine.Make (Alg)
 
-let ctx_of memo = { Alg.bool = Option.map (fun m -> m.bool) memo }
+let ctx_of memo cap = { Alg.bool = Option.map (fun m -> m.bool) memo; cap }
 
-let answer_counts ?memo q db =
-  E.eval_top ?memo:(Option.map (fun m -> m.self) memo) (ctx_of memo) q db
+let answer_counts ?memo ?cap q db =
+  E.eval_top ?memo:(Option.map (fun m -> m.self) memo) (ctx_of memo cap) q db

@@ -23,8 +23,16 @@ type memo
 val create_memo : unit -> memo
 val memo_stats : memo -> Memo.stats
 
-val answer_counts : ?memo:memo -> Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> t
-(** @raise Invalid_argument if the CQ is not q-hierarchical. *)
+val answer_counts :
+  ?memo:memo -> ?cap:int -> Aggshap_cq.Cq.t -> Aggshap_relational.Database.t -> t
+(** With [?cap], every answer count ℓ ≥ cap is lumped into the single
+    row [cap]; rows below the cap are bit-identical to the uncapped
+    table, and the per-node merge keeps O(cap) rows instead of one per
+    answer — the difference between cubic and quadratic work for
+    consumers that only read small rows (Dup reads ℓ ∈ {0, 1} with
+    [~cap:2]). Capped and uncapped tables are memoized under distinct
+    keys, so one memo may serve both.
+    @raise Invalid_argument if the CQ is not q-hierarchical. *)
 
 val get : t -> int -> Tables.counts
 (** [get t ℓ] (zeros when absent). *)

@@ -1,5 +1,6 @@
 module Cq = Aggshap_cq.Cq
 module Decompose = Aggshap_cq.Decompose
+module Plan = Aggshap_cq.Plan
 module Database = Aggshap_relational.Database
 module Value = Aggshap_relational.Value
 
@@ -55,6 +56,46 @@ let faulty_partition q x db =
     | [] -> assert false
   end
   | _ -> (blocks, dropped)
+
+(* Partition results are pure functions of (query, database) — the root
+   is chosen deterministically from the query — so they are shared
+   process-wide under the same injective key the DP memos use. The big
+   winners are solves that revisit the same sub-database with different
+   table contexts: Avg/Quantile re-runs the engine once per reference
+   value, and the per-fact batch loops revisit every block the fact is
+   not in. The cache is bypassed (neither read nor written) whenever a
+   fault is armed or the legacy evaluation stack is selected, so the
+   differential campaigns' reference arm shares none of the new
+   machinery. Bounded: wholesale reset at [partition_cache_cap]
+   entries — stale entries are never wrong (the key is injective),
+   only unused. *)
+let partition_cache :
+    (string, (Value.t * Database.t) list * Database.t) Hashtbl.t =
+  Hashtbl.create 1024
+
+let partition_lock = Mutex.create ()
+let partition_cache_cap = 8192
+
+let cached_partition q root db =
+  if (not !Plan.enabled) || Tables.current_fault () <> `None then
+    faulty_partition q root db
+  else begin
+    let key = Decompose.block_key q db in
+    Mutex.lock partition_lock;
+    match Hashtbl.find_opt partition_cache key with
+    | Some r ->
+      Mutex.unlock partition_lock;
+      r
+    | None ->
+      Mutex.unlock partition_lock;
+      let r = Decompose.partition q root db in
+      Mutex.lock partition_lock;
+      if Hashtbl.length partition_cache >= partition_cache_cap then
+        Hashtbl.reset partition_cache;
+      if not (Hashtbl.mem partition_cache key) then Hashtbl.add partition_cache key r;
+      Mutex.unlock partition_lock;
+      r
+  end
 
 let connected_root q =
   match Decompose.connected_components q with
@@ -126,7 +167,7 @@ module Make (A : TABLE_ALGEBRA) = struct
         | Some _ | None -> invalid_arg (A.root_error ^ Cq.to_string q)
       in
       incr c_merges;
-      let blocks, dropped = faulty_partition q root db in
+      let blocks, dropped = cached_partition q root db in
       let subst = Cq.substituter q root in
       let eval_block (v, block) =
         (v, block, go ?memo ~par:false ctx (subst v) block)
@@ -144,8 +185,8 @@ module Make (A : TABLE_ALGEBRA) = struct
   let eval ?memo ctx q db = go ?memo ~par:true ctx q db
 
   let eval_top ?memo ctx q db =
-    let db_rel, db_pad = Decompose.relevant q db in
-    A.pad ctx (Database.endo_size db_pad) (eval ?memo ctx q db_rel)
+    let db_rel, pad = Decompose.relevant_part q db in
+    A.pad ctx pad (eval ?memo ctx q db_rel)
 end
 
 type shape =

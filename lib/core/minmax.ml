@@ -226,8 +226,7 @@ let max_batch_worker ?memo (a : Agg_query.t) db =
   let plain f = Sumk.shapley_of (fun a db -> sum_k_memo ?memo a db) a db f in
   match Engine.connected_root q with
   | Some x ->
-    let db_rel, db_pad = Decompose.relevant q db in
-    let pad0 = Database.endo_size db_pad in
+    let db_rel, pad0 = Decompose.relevant_part q db in
     let blocks, _dropped = Engine.root_partition q ~root:x db_rel in
     let blocks = Array.of_list blocks in
     let g = Array.length blocks in

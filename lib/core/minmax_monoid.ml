@@ -185,8 +185,8 @@ let check m ~vars q =
 
 let sum_k m ~vars q db =
   check m ~vars q;
-  let db_rel, db_pad = Decompose.relevant q db in
-  let t = pad_table (Database.endo_size db_pad) (table m vars q db_rel) in
+  let db_rel, pad = Decompose.relevant_part q db in
+  let t = pad_table pad (table m vars q db_rel) in
   Tables.weighted_sum t.n (QMap.bindings t.by_value)
 
 let shapley m ~vars q db f = Sumk.shapley_of_db_fn (sum_k m ~vars q) db f

@@ -72,18 +72,23 @@ type fault =
   | `Karatsuba_split
   | `Stale_block
   | `Block_drop
-  | `Ntt_prime_drop ]
+  | `Ntt_prime_drop
+  | `Stale_index ]
 
 let fault : fault ref = ref `None
 
 (* [`Karatsuba_split] and [`Ntt_prime_drop] live in the arithmetic
    layer (the first must corrupt the multiplications of every caller,
-   the second the CRT reconstruction inside [Ntt]), so the setter
-   keeps [Bigint.fault] and [Ntt.fault] in sync. *)
+   the second the CRT reconstruction inside [Ntt]), and [`Stale_index]
+   in the relational storage layer (index maintenance skipped on
+   updates), so the setter keeps [Bigint.fault], [Ntt.fault] and
+   [Database.fault] in sync. *)
 let set_fault f =
   fault := f;
   B.fault := (match f with `Karatsuba_split -> `Karatsuba_split | _ -> `None);
-  N.fault := (match f with `Ntt_prime_drop -> `Prime_drop | _ -> `None)
+  N.fault := (match f with `Ntt_prime_drop -> `Prime_drop | _ -> `None);
+  Aggshap_relational.Database.fault :=
+    (match f with `Stale_index -> `Stale_index | _ -> `None)
 
 let current_fault () = !fault
 
@@ -115,19 +120,29 @@ let count_nonzero a =
    prime, a Horner residue fold per input entry, and an O(np^2) Garner
    reconstruction per output entry. Modular word operations carry a
    fudge factor (a 62-bit [mod] costs several limb multiply-adds);
-   calibrated against the E18 crossover sweep. *)
+   calibrated against the E18 crossover sweep, where the earlier 6/2
+   weights proved optimistic on the mid-sized dense tables (the NTT arm
+   dipped below the classic one around 130 players). The model's
+   [classic] estimate prices the schoolbook bigint path — when every
+   product fits the small-int tier the real fallback is an order of
+   magnitude cheaper than that estimate, so such calls never take the
+   transform. *)
 let ntt_profitable ~la ~lb ~nza ~nzb ~ba ~bb =
   let n = la + lb - 1 in
   let lmin = Stdlib.min la lb in
-  let np = ((ba + bb + N.ceil_log2 lmin) / 30) + 1 in
-  let logm = N.ceil_log2 n in
-  let m = 1 lsl logm in
-  let lim_a = (ba + 29) / 30 and lim_b = (bb + 29) / 30 in
-  let classic = nza * nzb * lim_a * lim_b in
-  let ntt_cost =
-    (np * m * logm * 6) + (n * np * np * 2) + ((la + lb) * np * (lim_a + lim_b))
-  in
-  ntt_cost < classic
+  let out_bits = ba + bb + N.ceil_log2 lmin in
+  if out_bits <= 62 then false (* the small-int tier wins outright *)
+  else begin
+    let np = (out_bits / 30) + 1 in
+    let logm = N.ceil_log2 n in
+    let m = 1 lsl logm in
+    let lim_a = (ba + 29) / 30 and lim_b = (bb + 29) / 30 in
+    let classic = nza * nzb * lim_a * lim_b in
+    let ntt_cost =
+      (np * m * logm * 7) + (n * np * np * 3) + ((la + lb) * np * (lim_a + lim_b))
+    in
+    ntt_cost < classic
+  end
 
 (* Second tier: when every entry of both tables is in the small-int
    representation, the whole convolution runs in the int domain — two
@@ -257,7 +272,7 @@ let convolve a b =
      if la > 1 && lb > 1 then
        out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one
    | `None | `Tree_fold_skew | `Karatsuba_split | `Stale_block | `Block_drop
-   | `Ntt_prime_drop -> ());
+   | `Ntt_prime_drop | `Stale_index -> ());
   out
 
 let convolve_many ts =
@@ -296,7 +311,7 @@ let convolve_many ts =
          out.(len - 2) <- t
        end
      | `None | `Convolve_off_by_one | `Karatsuba_split | `Stale_block | `Block_drop
-     | `Ntt_prime_drop -> ());
+     | `Ntt_prime_drop | `Stale_index -> ());
     out
 
 let pad p c = if p = 0 then c else convolve c (full p)

@@ -83,7 +83,8 @@ type fault =
   | `Karatsuba_split
   | `Stale_block
   | `Block_drop
-  | `Ntt_prime_drop ]
+  | `Ntt_prime_drop
+  | `Stale_index ]
 (** Test-only fault injection for the differential-testing oracle
     ({!Aggshap_check}):
     - [`Convolve_off_by_one] makes {!convolve} corrupt its top entry
@@ -109,14 +110,22 @@ type fault =
       (whatever the shape, so fuzz-sized tables reach it) and zeroes
       the first CRT digit inside the reconstruction, simulating a lost
       residue channel (see {!Aggshap_arith.Ntt.fault}).
+    - [`Stale_index] makes database updates keep the parent's built
+      secondary indexes instead of adjusting them (see
+      {!Aggshap_relational.Database.fault}): an index built before an
+      insert/delete/provenance flip keeps answering with the old
+      contents, so the planned evaluator and the indexed partition go
+      wrong wherever a stale index is probed. The kernels themselves
+      ignore this variant.
 
     Every frontier DP funnels through these kernels, so the oracle must
     flag each corruption. Not domain-safe; only toggle around
     sequential ([jobs = 1]) runs. *)
 
 val set_fault : fault -> unit
-(** Also keeps [Bigint.fault] in sync for [`Karatsuba_split] and
-    [Ntt.fault] for [`Ntt_prime_drop]. *)
+(** Also keeps [Bigint.fault] in sync for [`Karatsuba_split],
+    [Ntt.fault] for [`Ntt_prime_drop], and [Database.fault] for
+    [`Stale_index]. *)
 
 val current_fault : unit -> fault
 

@@ -87,13 +87,52 @@ let matches (a : Cq.atom) fixing (f : Aggshap_relational.Fact.t) =
     go 0 fixing
   end
 
+(* Relevance of a fact: matched by some body atom. [matches] rejects a
+   wrong-relation fact on its first comparison, so each fact is
+   effectively tested only against the atoms of its own relation
+   without materializing that sublist. *)
+let rec matched_by_some atoms f =
+  match atoms with [] -> false | a :: rest -> matches a [] f || matched_by_some rest f
+
+(* The engine only pads by the number of {e endogenous} irrelevant
+   facts; counting them first keeps the common case — nothing
+   irrelevant at the top of a solve — a single allocation-free pass
+   that returns the database {e as is}, built indexes and cached digest
+   alive. When something is irrelevant the relevant half is rebuilt by
+   inserting the survivors into an empty database: the membership games
+   of the incremental session keep only a thin slice of the database,
+   and deriving that slice by deleting the majority would pay a
+   log-sized path rebuild plus index maintenance per deletion. *)
+let relevant_part q db =
+  let irr = ref 0 and irr_endo = ref 0 in
+  Database.iter
+    (fun f p ->
+      if not (matched_by_some q.Cq.body f) then begin
+        incr irr;
+        match p with Database.Endogenous -> incr irr_endo | Database.Exogenous -> ()
+      end)
+    db;
+  if !irr = 0 then (db, 0)
+  else
+    ( Database.fold
+        (fun f p acc ->
+          if matched_by_some q.Cq.body f then Database.add ~provenance:p f acc else acc)
+        db Database.empty,
+      !irr_endo )
+
+(* The two-database split, for callers that need the irrelevant facts
+   themselves (none on the solve path — they pad by the count above). *)
 let relevant q db =
-  Database.filter
-    (fun f _ -> List.exists (fun a -> matches a [] f) q.Cq.body)
-    db,
-  Database.filter
-    (fun f _ -> not (List.exists (fun a -> matches a [] f) q.Cq.body))
-    db
+  let rel, _ = relevant_part q db in
+  let irr =
+    if rel == db then Database.empty
+    else
+      Database.fold
+        (fun f p acc ->
+          if matched_by_some q.Cq.body f then acc else Database.add ~provenance:p f acc)
+        db Database.empty
+  in
+  (rel, irr)
 
 module ValueSet = Set.Make (Value)
 
@@ -127,7 +166,7 @@ let root_values q x db =
    two blocks collide iff they are equal as provenance-tagged fact sets.
    Together with [Cq.to_string] (canonical — it backs [Cq.equal]) this
    keys the DP-table caches of the batch engine. *)
-let fingerprint db =
+let fingerprint_uncached db =
   let buf = Buffer.create 128 in
   Database.iter
     (fun (f : Aggshap_relational.Fact.t) p ->
@@ -152,9 +191,15 @@ let fingerprint db =
     db;
   Buffer.contents buf
 
+let fingerprint db = Database.cached_digest db fingerprint_uncached
+
 let block_key q db = Cq.to_string q ^ "\x00" ^ fingerprint db
 
-let partition q x db =
+(* The legacy partition: recompute the root values by scanning every
+   atom's relation, then filter the whole database once per value.
+   O(values × |db|) — kept as the reference arm of the equivalence
+   suite and for [Plan.enabled = false] runs. *)
+let partition_scan q x db =
   let values = root_values q x db in
   let block a =
     Database.filter
@@ -168,3 +213,83 @@ let partition q x db =
   in
   let dropped = Database.filter (fun f _ -> not (in_some_block f)) db in
   (blocks, dropped)
+
+module FactSet = Set.Make (Aggshap_relational.Fact)
+
+(* The first position of an atom holding the root variable — the index
+   position the partition probes. *)
+let var_position (a : Cq.atom) x =
+  let n = Array.length a.terms in
+  let rec go i =
+    if i >= n then None
+    else
+      match a.terms.(i) with
+      | Cq.Var y when String.equal y x -> Some i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+(* The indexed partition: one probe per atom of the (rel, root
+   position) secondary index groups the matching facts by root value —
+   a fact matching the atom with [x ↦ v] carries [v] at every
+   x-position, so the index group for [v] is a superset of the block's
+   slice of that relation and [matches] filters it exactly. The root
+   values are the intersection of the per-atom group keys (a value must
+   be realized by a matching fact in {e every} atom, as in
+   [root_values]); blocks are per-value unions across atoms.
+   O(Σ segments + Σ blocks·log) in one pass, not O(values × |db|). *)
+let partition_indexed q x db =
+  match q.Cq.body with
+  | [] -> ([], db)
+  | body ->
+    let groups =
+      List.map
+        (fun (a : Cq.atom) ->
+          match var_position a x with
+          | None -> Database.ValueMap.empty
+          | Some pos ->
+            Database.ValueMap.filter_map
+              (fun v g ->
+                let g' =
+                  Database.FactMap.filter (fun f _ -> matches a [ (x, v) ] f) g
+                in
+                if Database.FactMap.is_empty g' then None else Some g')
+              (Database.indexed db ~rel:a.rel ~pos))
+        body
+    in
+    let values =
+      match groups with
+      | [] -> ValueSet.empty
+      | first :: rest ->
+        List.fold_left
+          (fun acc g -> ValueSet.filter (fun v -> Database.ValueMap.mem v g) acc)
+          (Database.ValueMap.fold
+             (fun v _ acc -> ValueSet.add v acc)
+             first ValueSet.empty)
+          rest
+    in
+    let placed = ref FactSet.empty in
+    let blocks =
+      List.map
+        (fun v ->
+          let block =
+            List.fold_left
+              (fun acc g ->
+                match Database.ValueMap.find_opt v g with
+                | None -> acc
+                | Some fm ->
+                  Database.FactMap.fold
+                    (fun f p acc ->
+                      placed := FactSet.add f !placed;
+                      Database.add ~provenance:p f acc)
+                    fm acc)
+              Database.empty groups
+          in
+          (v, block))
+        (ValueSet.elements values)
+    in
+    let dropped = Database.filter (fun f _ -> not (FactSet.mem f !placed)) db in
+    (blocks, dropped)
+
+let partition q x db =
+  if !Plan.enabled then partition_indexed q x db else partition_scan q x db

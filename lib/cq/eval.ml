@@ -36,9 +36,11 @@ let match_atom (a : Cq.atom) (f : Fact.t) sigma =
     go 0 sigma
   end
 
-(* Enumerate homomorphisms with a visitor; [k] returns [true] to continue
-   and [false] to stop early. *)
-let visit_homomorphisms q db k =
+(* The legacy evaluator: atoms in body order, each matched against a
+   full relation scan. Kept as the differential-testing reference for
+   the planned evaluator below; [k] returns [true] to continue and
+   [false] to stop early. *)
+let visit_homomorphisms_scan q db k =
   let facts_by_rel =
     List.map (fun (a : Cq.atom) -> (a, Database.relation db a.rel)) q.Cq.body
   in
@@ -58,12 +60,55 @@ let visit_homomorphisms q db k =
   in
   ignore (go facts_by_rel [])
 
-let homomorphisms q db =
+(* The planned evaluator: an index nested-loop join. Each step draws
+   its candidates from the access path the plan compiled — an index
+   probe keyed by a constant or an already-bound variable, or a
+   relation scan when the atom has no bound position — and [match_atom]
+   verifies the remaining positions. Produces the same homomorphism set
+   as the scan evaluator (probes return a superset of the matching
+   facts of their relation), in a different enumeration order. *)
+let visit_planned (plan : Plan.t) db k =
+  let rec go steps sigma =
+    match steps with
+    | [] -> k sigma
+    | ({ Plan.atom; access } : Plan.step) :: rest ->
+      let candidates =
+        match access with
+        | Plan.Probe_const (pos, v) -> Database.probe db ~rel:atom.Cq.rel ~pos v
+        | Plan.Probe_var (pos, x) -> begin
+          match subst_find x sigma with
+          | Some v -> Database.probe db ~rel:atom.Cq.rel ~pos v
+          | None -> Database.relation db atom.Cq.rel (* unreachable for well-formed plans *)
+        end
+        | Plan.Scan -> Database.relation db atom.Cq.rel
+      in
+      let rec try_facts = function
+        | [] -> true
+        | f :: more -> begin
+          match match_atom atom f sigma with
+          | Some sigma' -> if go rest sigma' then try_facts more else false
+          | None -> try_facts more
+        end
+      in
+      try_facts candidates
+  in
+  ignore (go plan.Plan.steps [])
+
+let visit_homomorphisms q db k =
+  if !Plan.enabled then visit_planned (Plan.compile q) db k
+  else visit_homomorphisms_scan q db k
+
+(* The materializing entry points below are shared by the dispatching
+   evaluator and the [Legacy]/[Planned] modules: each takes the visitor
+   with the query and database already applied. *)
+let homomorphisms_via visit =
   let acc = ref [] in
-  visit_homomorphisms q db (fun sigma ->
+  visit (fun sigma ->
       acc := sigma :: !acc;
       true);
   List.rev !acc
+
+let homomorphisms q db = homomorphisms_via (visit_homomorphisms q db)
 
 let head_value x sigma =
   match subst_find x sigma with
@@ -108,25 +153,51 @@ module TupleSet = Set.Make (struct
     end
 end)
 
-let answers q db =
+let answers_via q visit =
   let set = ref TupleSet.empty in
-  visit_homomorphisms q db (fun sigma ->
+  visit (fun sigma ->
       set := TupleSet.add (apply_head q sigma) !set;
       true);
   TupleSet.elements !set
 
-let is_satisfied q db =
+let answers q db = answers_via q (visit_homomorphisms q db)
+
+let is_satisfied_via visit =
   let found = ref false in
-  visit_homomorphisms q db (fun _ ->
+  visit (fun _ ->
       found := true;
       false);
   !found
 
+let is_satisfied q db = is_satisfied_via (visit_homomorphisms q db)
+
 module FactSet = Set.Make (Fact)
 
-let support q db =
+let support_via (q : Cq.t) visit =
   let set = ref FactSet.empty in
-  visit_homomorphisms q db (fun sigma ->
+  visit (fun sigma ->
       List.iter (fun a -> set := FactSet.add (atom_image a sigma) !set) q.Cq.body;
       true);
   FactSet.elements !set
+
+let support q db = support_via q (visit_homomorphisms q db)
+
+(* The legacy scan evaluator, independent of [Plan.enabled]: one side
+   of the planner equivalence suite. *)
+module Legacy = struct
+  let visit_homomorphisms = visit_homomorphisms_scan
+  let homomorphisms q db = homomorphisms_via (visit_homomorphisms_scan q db)
+  let answers q db = answers_via q (visit_homomorphisms_scan q db)
+  let is_satisfied q db = is_satisfied_via (visit_homomorphisms_scan q db)
+  let support q db = support_via q (visit_homomorphisms_scan q db)
+end
+
+(* The planned evaluator pinned to an explicit plan, independent of
+   [Plan.enabled]: the other side, exercised with random atom orders. *)
+module Planned = struct
+  let visit_homomorphisms = visit_planned
+  let homomorphisms (plan : Plan.t) db = homomorphisms_via (visit_planned plan db)
+  let answers (plan : Plan.t) db = answers_via plan.Plan.query (visit_planned plan db)
+  let is_satisfied (plan : Plan.t) db = is_satisfied_via (visit_planned plan db)
+  let support (plan : Plan.t) db = support_via plan.Plan.query (visit_planned plan db)
+end

@@ -1,9 +1,14 @@
 (** CQ evaluation: homomorphism enumeration over a database.
 
-    The evaluator is a straightforward backtracking join. It is used for
-    top-level answer materialization, for the support computation of the
-    dynamic programs, and — crucially — inside the exact naive Shapley
-    baseline, which evaluates the query on exponentially many subsets. *)
+    Two interchangeable evaluators produce the same homomorphism set:
+    the default runs a compiled {!Plan} as an index nested-loop join
+    over the database's secondary indexes; the legacy backtracking
+    scan join ({!Legacy}) is kept as the differential-testing
+    reference and is selected globally by clearing {!Plan.enabled}.
+    Only the enumeration {e order} differs between them — every
+    exported view is a set, a bag sum, or a boolean. The evaluator
+    feeds top-level answer materialization, the support computation of
+    the dynamic programs, and the exact naive Shapley baseline. *)
 
 type subst
 (** A homomorphism: a binding of query variables to database values.
@@ -12,7 +17,8 @@ type subst
 val visit_homomorphisms :
   Cq.t -> Aggshap_relational.Database.t -> (subst -> bool) -> unit
 (** Enumerate homomorphisms without materializing them; the visitor
-    returns [true] to continue and [false] to stop early. *)
+    returns [true] to continue and [false] to stop early. Dispatches on
+    {!Plan.enabled}. *)
 
 val homomorphisms : Cq.t -> Aggshap_relational.Database.t -> subst list
 (** All homomorphisms from the query to the database. *)
@@ -33,3 +39,28 @@ val is_satisfied : Cq.t -> Aggshap_relational.Database.t -> bool
 val support : Cq.t -> Aggshap_relational.Database.t -> Aggshap_relational.Fact.t list
 (** Facts that participate in at least one homomorphism. Facts outside
     the support are null players of every Shapley game over the query. *)
+
+(** The legacy scan evaluator — body-order atoms, one relation scan
+    each — independent of {!Plan.enabled}. The reference arm of the
+    planner equivalence suite. *)
+module Legacy : sig
+  val visit_homomorphisms :
+    Cq.t -> Aggshap_relational.Database.t -> (subst -> bool) -> unit
+
+  val homomorphisms : Cq.t -> Aggshap_relational.Database.t -> subst list
+  val answers : Cq.t -> Aggshap_relational.Database.t -> Aggshap_relational.Value.t array list
+  val is_satisfied : Cq.t -> Aggshap_relational.Database.t -> bool
+  val support : Cq.t -> Aggshap_relational.Database.t -> Aggshap_relational.Fact.t list
+end
+
+(** The planned evaluator pinned to an explicit (possibly adversarial)
+    plan, independent of {!Plan.enabled}. *)
+module Planned : sig
+  val visit_homomorphisms :
+    Plan.t -> Aggshap_relational.Database.t -> (subst -> bool) -> unit
+
+  val homomorphisms : Plan.t -> Aggshap_relational.Database.t -> subst list
+  val answers : Plan.t -> Aggshap_relational.Database.t -> Aggshap_relational.Value.t array list
+  val is_satisfied : Plan.t -> Aggshap_relational.Database.t -> bool
+  val support : Plan.t -> Aggshap_relational.Database.t -> Aggshap_relational.Fact.t list
+end

@@ -146,7 +146,7 @@ let apply t u =
    nobody's value), at the cost of the block it lives in instead of the
    whole database. *)
 let compute_game t lin mq =
-  let relevant, _rest = Decompose.relevant mq t.db in
+  let relevant, _pad = Decompose.relevant_part mq t.db in
   List.map
     (fun f -> (f, Boolean_dp.shapley ~memo:lin.bool_memo mq relevant f))
     (Database.endogenous relevant)

@@ -204,6 +204,34 @@ let test_stale_block_value_level () =
                 (Oracle.run_updates smaller = None))
           shrunk.Utrial.ops)
 
+(* `Stale_index makes every database update keep its parent's built
+   secondary indexes verbatim — a forgotten invalidation in the storage
+   layer. The segments stay correct, so the fault is only observable
+   through index probes against a database that was updated after a
+   probe built an index; the update campaign's sessions do exactly
+   that on every step. *)
+let test_stale_index_is_caught () =
+  assert (Tables.current_fault () = `None);
+  Tables.set_fault `Stale_index;
+  Fun.protect
+    ~finally:(fun () -> Tables.set_fault `None)
+    (fun () ->
+      let config =
+        { Fuzz.seed = 42; trials = 300; max_endo = 6; par_jobs = 1; max_failures = 1 }
+      in
+      let report = Fuzz.run_updates config in
+      match report.Fuzz.ufailures with
+      | [] -> Alcotest.fail "injected stale-index survived 300 update trials undetected"
+      | { Fuzz.utrial; ushrunk; _ } :: _ ->
+        Alcotest.(check bool) "shrunk still fails" true
+          (Oracle.run_updates ushrunk <> None);
+        Alcotest.(check bool) "shrunk is no bigger" true
+          (List.length ushrunk.Utrial.ops <= List.length utrial.Utrial.ops
+          && Database.size ushrunk.Utrial.trial.Trial.db
+             <= Database.size utrial.Utrial.trial.Trial.db);
+        Alcotest.(check bool) "reproducer script is printable" true
+          (String.length (Utrial.to_script ushrunk) > 0))
+
 let test_stale_block_flag_is_isolated () =
   let config =
     { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1 }
@@ -269,6 +297,8 @@ let () =
             test_stale_block_value_level;
           Alcotest.test_case "stale-block flag isolated" `Quick
             test_stale_block_flag_is_isolated;
+          Alcotest.test_case "stale-index caught and shrunk" `Slow
+            test_stale_index_is_caught;
         ] );
       ( "fault injection",
         [ Alcotest.test_case "off-by-one caught and shrunk" `Slow
@@ -281,6 +311,8 @@ let () =
             (test_kernel_fault_is_caught `Ntt_prime_drop 300);
           Alcotest.test_case "engine block-drop caught and shrunk" `Slow
             (test_kernel_fault_is_caught `Block_drop 300);
+          Alcotest.test_case "storage stale-index caught and shrunk" `Slow
+            (test_kernel_fault_is_caught `Stale_index 300);
           Alcotest.test_case "fault flag isolated" `Quick test_fault_flag_is_isolated;
         ] );
     ]

@@ -197,6 +197,142 @@ let test_relevant () =
   Alcotest.(check int) "relevant" 5 (Database.size rel);
   Alcotest.(check int) "irrelevant" 2 (Database.size rest)
 
+(* ------------------------------------------------------------------ *)
+(* Join planner: compilation, and equivalence with the legacy scan     *)
+(* ------------------------------------------------------------------ *)
+
+module Plan = Aggshap_cq.Plan
+module Generate = Aggshap_workload.Generate
+
+let gen_config =
+  { Generate.tuples_per_relation = 14; domain = 5; exo_fraction = 0.3 }
+
+(* The query shapes the planner sees in practice: every Figure-1
+   catalog entry plus constant-carrying and cartesian-product bodies. *)
+let planner_queries =
+  List.map (fun (_, q, _) -> q) Catalog.figure1
+  @ [ parse "Q(y) <- R(1, y), S(y)";
+      parse "Q(x) <- R(x, 3)";
+      parse "Q(x, z) <- R(x, y), S(y), T(z)";
+      parse "Q() <- R(x), S(y)";
+    ]
+
+let planner_dbs q =
+  List.map (fun seed -> Generate.random_database ~seed ~config:gen_config q) [ 1; 2; 3 ]
+
+let sorted_tuples ts =
+  List.sort Stdlib.compare
+    (List.map (fun t -> Array.to_list (Array.map Value.to_string t)) ts)
+
+let sorted_facts fs = List.sort_uniq Fact.compare fs
+
+(* A homomorphism is determined by the facts it sends the atoms to, so
+   the multiset of atom-image lists is an order-insensitive view of the
+   full homomorphism set. *)
+let hom_multiset q homs =
+  List.sort Stdlib.compare
+    (List.map
+       (fun h -> List.map (fun a -> Fact.to_string (Eval.atom_image a h)) q.Cq.body)
+       homs)
+
+let check_evaluators_agree name q db =
+  Alcotest.(check (list (list string))) (name ^ ": answers")
+    (sorted_tuples (Eval.Legacy.answers q db))
+    (sorted_tuples (Eval.answers q db));
+  Alcotest.(check bool) (name ^ ": satisfied")
+    (Eval.Legacy.is_satisfied q db) (Eval.is_satisfied q db);
+  Alcotest.(check (list string)) (name ^ ": support")
+    (List.map Fact.to_string (sorted_facts (Eval.Legacy.support q db)))
+    (List.map Fact.to_string (sorted_facts (Eval.support q db)));
+  Alcotest.(check (list (list string))) (name ^ ": homomorphism multiset")
+    (hom_multiset q (Eval.Legacy.homomorphisms q db))
+    (hom_multiset q (Eval.homomorphisms q db))
+
+let test_planned_vs_legacy () =
+  List.iter
+    (fun q ->
+      let name = Cq.to_string q in
+      List.iter (check_evaluators_agree name q) (planner_dbs q))
+    planner_queries
+
+(* Every atom order — including adversarial ones the greedy compiler
+   would never pick — enumerates the same homomorphism set. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let test_adversarial_orders () =
+  List.iter
+    (fun q ->
+      let n = List.length q.Cq.body in
+      if n >= 2 && n <= 3 then
+        let orders = permutations (List.init n Fun.id) in
+        List.iter
+          (fun db ->
+            let reference = hom_multiset q (Eval.Legacy.homomorphisms q db) in
+            List.iter
+              (fun order ->
+                let plan = Plan.compile ~order q in
+                Alcotest.(check (list (list string)))
+                  (Cq.to_string q ^ ": order " ^ Plan.to_string plan)
+                  reference
+                  (hom_multiset q (Eval.Planned.homomorphisms plan db)))
+              orders)
+          (planner_dbs q))
+    planner_queries
+
+let test_plan_shapes () =
+  (* Constants are bound before any variable is: the first step of
+     Q(y) <- R(1, y), S(y) probes R on its constant. *)
+  let p = Plan.compile (parse "Q(y) <- R(1, y), S(y)") in
+  (match (List.hd p.Plan.steps).Plan.access with
+   | Plan.Probe_const (0, v) ->
+     Alcotest.(check string) "probes position 0 with 1" "1" (Value.to_string v)
+   | _ -> Alcotest.fail "expected a constant probe on R");
+  (* Later steps probe on variables bound by earlier ones. *)
+  (match List.map (fun s -> s.Plan.access) p.Plan.steps with
+   | [ _; Plan.Probe_var (0, "y") ] -> ()
+   | _ -> Alcotest.failf "unexpected plan %s" (Plan.to_string p));
+  (* A cartesian product degenerates to scans. *)
+  let p2 = Plan.compile (parse "Q() <- R(x), S(y)") in
+  Alcotest.(check bool) "cartesian product scans" true
+    (List.for_all (fun s -> s.Plan.access = Plan.Scan) p2.Plan.steps);
+  Alcotest.check_raises "order must be a permutation"
+    (Invalid_argument "Plan.compile: order is not a permutation of the body")
+    (fun () -> ignore (Plan.compile ~order:[ 0; 0 ] (parse "Q() <- R(x), S(y)")))
+
+(* The indexed partition and the rescanning partition produce identical
+   blocks in identical order, on every (catalog query, root, random
+   database) combination that has a root at all. *)
+let test_partition_equivalence () =
+  let check_blocks name (b1, d1) (b2, d2) =
+    Alcotest.(check int) (name ^ ": block count") (List.length b1) (List.length b2);
+    List.iter2
+      (fun (v1, db1) (v2, db2) ->
+        Alcotest.(check string) (name ^ ": block value") (Value.to_string v1)
+          (Value.to_string v2);
+        Alcotest.(check bool) (name ^ ": block equal") true (Database.equal db1 db2))
+      b1 b2;
+    Alcotest.(check bool) (name ^ ": dropped equal") true (Database.equal d1 d2)
+  in
+  List.iter
+    (fun q ->
+      match Decompose.choose_root q with
+      | None -> ()
+      | Some x ->
+        List.iter
+          (fun db ->
+            let name = Cq.to_string q ^ " by " ^ x in
+            check_blocks name
+              (Decompose.partition_scan q x db)
+              (Decompose.partition_indexed q x db))
+          (planner_dbs q))
+    planner_queries
+
 let () =
   Alcotest.run "cq"
     [ ( "parser",
@@ -224,5 +360,11 @@ let () =
           Alcotest.test_case "substitute" `Quick test_substitute;
           Alcotest.test_case "partition" `Quick test_partition;
           Alcotest.test_case "relevant" `Quick test_relevant;
+        ] );
+      ( "join planner",
+        [ Alcotest.test_case "planned vs legacy evaluator" `Quick test_planned_vs_legacy;
+          Alcotest.test_case "adversarial atom orders" `Quick test_adversarial_orders;
+          Alcotest.test_case "plan shapes" `Quick test_plan_shapes;
+          Alcotest.test_case "partition equivalence" `Quick test_partition_equivalence;
         ] );
     ]

@@ -273,6 +273,36 @@ let test_stats_counters () =
   Engine.reset_stats ();
   Alcotest.(check int) "reset clears nodes" 0 (Engine.stats ()).Engine.nodes
 
+(* Saturated answer-count tables: every row below the cap is
+   bit-identical to the uncapped table, and the cap row absorbs exactly
+   the tail mass ([at_least]). This is the contract Dup's fast path
+   rests on — it reads rows 0 and 1 of [~cap:2] tables. *)
+let test_capped_answer_counts () =
+  let module C = Count_dp in
+  let module Generate = Aggshap_workload.Generate in
+  let config = { Generate.tuples_per_relation = 10; domain = 4; exo_fraction = 0.25 } in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun seed ->
+          let db = Generate.random_database ~seed ~config q in
+          let exact = C.answer_counts q db in
+          List.iter
+            (fun cap ->
+              let capped = C.answer_counts ~cap q db in
+              let name = Printf.sprintf "%s seed %d cap %d" (Cq.to_string q) seed cap in
+              for l = 0 to cap - 1 do
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: row %d exact" name l)
+                  true
+                  (counts_equal (C.get capped l) (C.get exact l))
+              done;
+              Alcotest.(check bool) (name ^ ": cap row is the tail") true
+                (counts_equal (C.get capped cap) (C.at_least exact cap)))
+            [ 1; 2; 3 ])
+        [ 11; 12; 13 ])
+    [ Catalog.q1_sq; Catalog.q3_sq; Catalog.q_xyy_full ]
+
 (* ------------------------------------------------------------------ *)
 (* `Block_drop caught in every aggregate family                        *)
 (* ------------------------------------------------------------------ *)
@@ -344,6 +374,7 @@ let () =
         [ Alcotest.test_case "parallel blocks bit-identical" `Quick
             test_parallel_blocks_bit_identical;
           Alcotest.test_case "per-node counters" `Quick test_stats_counters;
+          Alcotest.test_case "capped answer counts" `Quick test_capped_answer_counts;
         ] );
       ("block-drop fault per family", List.map directed_block_drop block_drop_families);
     ]

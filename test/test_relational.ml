@@ -70,6 +70,133 @@ let test_database_split () =
   let u = Database.union rs rest in
   Alcotest.(check bool) "union restores" true (Database.equal u db)
 
+(* Both accumulator views are segment reads, not whole-database
+   rebuilds; they must stay sorted, duplicate-free, and cheap on a
+   database with many relations. *)
+let test_relations_accumulators () =
+  let names = List.init 26 (fun i -> String.make 1 (Char.chr (Char.code 'A' + i))) in
+  let db =
+    List.fold_left
+      (fun acc name ->
+        List.fold_left
+          (fun acc k -> Database.add (Fact.of_ints name [ k ]) acc)
+          acc [ 1; 2; 3 ])
+      Database.empty names
+  in
+  let rels = Database.relations db in
+  Alcotest.(check (list string)) "relations sorted, no duplicates" names rels;
+  Alcotest.(check int) "size" 78 (Database.size db);
+  let picked, rest = Database.restrict_relations [ "C"; "A"; "Z" ] db in
+  Alcotest.(check (list string)) "restricted segments" [ "A"; "C"; "Z" ]
+    (Database.relations picked);
+  Alcotest.(check int) "restricted size" 9 (Database.size picked);
+  Alcotest.(check int) "rest size" 69 (Database.size rest);
+  Alcotest.(check bool) "union restores" true
+    (Database.equal (Database.union picked rest) db)
+
+(* ------------------------------------------------------------------ *)
+(* Secondary indexes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let indexed_db () =
+  Database.empty
+  |> Database.add f_r12
+  |> Database.add f_r13
+  |> Database.add ~provenance:Database.Exogenous (Fact.of_ints "R" [ 2; 2 ])
+  |> Database.add f_s1
+  |> Database.add (Fact.of_ints "R" [ 7 ]) (* arity 1: invisible at pos 1 *)
+
+let probe_strings db ~rel ~pos v =
+  List.map Fact.to_string (Database.probe db ~rel ~pos (Value.Int v))
+
+let test_index_probe () =
+  let db = indexed_db () in
+  Alcotest.(check (list string)) "R by pos 0 = 1" [ "R(1, 2)"; "R(1, 3)" ]
+    (probe_strings db ~rel:"R" ~pos:0 1);
+  Alcotest.(check (list string)) "R by pos 1 = 2" [ "R(1, 2)"; "R(2, 2)" ]
+    (probe_strings db ~rel:"R" ~pos:1 2);
+  Alcotest.(check (list string)) "miss" [] (probe_strings db ~rel:"R" ~pos:0 9);
+  Alcotest.(check (list string)) "unknown relation" []
+    (probe_strings db ~rel:"Z" ~pos:0 1);
+  (* The full index groups every value, keeps provenance, and skips
+     facts too short for the position. *)
+  let idx = Database.indexed db ~rel:"R" ~pos:1 in
+  Alcotest.(check int) "groups at pos 1" 2 (Database.ValueMap.cardinal idx);
+  let group = Database.ValueMap.find (Value.Int 2) idx in
+  Alcotest.(check (option bool)) "provenance survives" (Some true)
+    (Option.map
+       (fun p -> p = Database.Exogenous)
+       (Database.FactMap.find_opt (Fact.of_ints "R" [ 2; 2 ]) group))
+
+let test_index_maintenance () =
+  let db = indexed_db () in
+  (* Build the index, then update: the derivative must see the change,
+     the parent must not. *)
+  ignore (Database.probe db ~rel:"R" ~pos:0 (Value.Int 1));
+  let db2 = Database.remove f_r13 db in
+  Alcotest.(check (list string)) "removed from derived index" [ "R(1, 2)" ]
+    (probe_strings db2 ~rel:"R" ~pos:0 1);
+  Alcotest.(check (list string)) "parent index untouched" [ "R(1, 2)"; "R(1, 3)" ]
+    (probe_strings db ~rel:"R" ~pos:0 1);
+  let db3 = Database.add (Fact.of_ints "R" [ 1; 9 ]) db2 in
+  Alcotest.(check (list string)) "added to derived index" [ "R(1, 2)"; "R(1, 9)" ]
+    (probe_strings db3 ~rel:"R" ~pos:0 1);
+  let db4 = Database.set_provenance Database.Exogenous f_r12 db3 in
+  let group =
+    Database.ValueMap.find (Value.Int 1) (Database.indexed db4 ~rel:"R" ~pos:0)
+  in
+  Alcotest.(check (option bool)) "set_provenance updates the index" (Some true)
+    (Option.map
+       (fun p -> p = Database.Exogenous)
+       (Database.FactMap.find_opt f_r12 group))
+
+let test_index_counters () =
+  Database.reset_stats ();
+  let db = indexed_db () in
+  ignore (Database.probe db ~rel:"R" ~pos:0 (Value.Int 1));
+  ignore (Database.probe db ~rel:"R" ~pos:0 (Value.Int 2));
+  ignore (Database.relation db "S");
+  let s = Database.stats () in
+  Alcotest.(check int) "one build serves both probes" 1 s.Database.index_builds;
+  Alcotest.(check int) "probes counted" 2 s.Database.index_probes;
+  Alcotest.(check int) "scans counted" 1 s.Database.rel_scans;
+  Database.reset_stats ()
+
+(* The `Stale_index fault: updates keep the parent's built indexes
+   verbatim. The directed reproducer pins the observable symptom — the
+   segments are correct while a probe still returns the removed fact. *)
+let test_stale_index_fault () =
+  assert (!Database.fault = `None);
+  let db = indexed_db () in
+  ignore (Database.probe db ~rel:"R" ~pos:0 (Value.Int 1));
+  Database.fault := `Stale_index;
+  Fun.protect
+    ~finally:(fun () -> Database.fault := `None)
+    (fun () ->
+      let db2 = Database.remove f_r13 db in
+      Alcotest.(check bool) "segments are correct" false (Database.mem f_r13 db2);
+      Alcotest.(check (list string)) "probe serves the stale group"
+        [ "R(1, 2)"; "R(1, 3)" ]
+        (probe_strings db2 ~rel:"R" ~pos:0 1));
+  (* With the fault cleared the same update maintains the index. *)
+  let db3 = Database.remove f_r13 db in
+  Alcotest.(check (list string)) "clean update is correct" [ "R(1, 2)" ]
+    (probe_strings db3 ~rel:"R" ~pos:0 1)
+
+let test_cached_digest () =
+  let db = indexed_db () in
+  let computations = ref 0 in
+  let compute db =
+    incr computations;
+    String.concat ";" (List.map Fact.to_string (Database.facts db))
+  in
+  let d1 = Database.cached_digest db compute in
+  let d2 = Database.cached_digest db compute in
+  Alcotest.(check string) "stable" d1 d2;
+  Alcotest.(check int) "computed once" 1 !computations;
+  Alcotest.(check bool) "derived database digests fresh" true
+    (Database.cached_digest (Database.remove f_r13 db) compute <> d1)
+
 module Schema = Aggshap_relational.Schema
 
 let test_schema () =
@@ -115,6 +242,14 @@ let () =
           Alcotest.test_case "database basics" `Quick test_database_basic;
           Alcotest.test_case "database updates" `Quick test_database_updates;
           Alcotest.test_case "database split" `Quick test_database_split;
+          Alcotest.test_case "accumulator views" `Quick test_relations_accumulators;
+        ] );
+      ( "secondary indexes",
+        [ Alcotest.test_case "probe and grouping" `Quick test_index_probe;
+          Alcotest.test_case "incremental maintenance" `Quick test_index_maintenance;
+          Alcotest.test_case "kernel counters" `Quick test_index_counters;
+          Alcotest.test_case "stale-index fault reproducer" `Quick test_stale_index_fault;
+          Alcotest.test_case "cached digest" `Quick test_cached_digest;
         ] );
       ( "schema",
         [ Alcotest.test_case "declarations" `Quick test_schema;
