@@ -4,7 +4,7 @@
    experiment here validates a theorem's observable footprint — the
    polynomial/exponential runtime split at each tractability frontier,
    the agreement of closed forms and reductions with brute force — and
-   prints one table per experiment (E1..E16). A final section runs one
+   prints one table per experiment (E1..E20). A final section runs one
    Bechamel micro-benchmark per experiment.
 
    Usage: bench/main.exe [--quick] [--only e14,e18] [--json FILE]
@@ -917,6 +917,134 @@ let e19 () =
     (fun () -> Agg_query.make Aggregate.Median (vid "R" 0) Catalog.q_xyy_full);
   List.rev !results
 
+(* E20: the knowledge-compilation tier vs naive enumeration beyond the
+   frontier. The RST family instantiates the canonical non-hierarchical
+   pattern Q() <- R(x), T(x,y), S(y): T is mostly a matching (plus two
+   cross edges so lineage is genuinely shared), which keeps the d-DNNF
+   near-linear while naive enumeration pays 2^n per fact. Both tiers
+   are exact, so wherever naive runs the values must be bit-identical
+   — a MISMATCH fails the whole bench. The full run additionally
+   asserts the headline: at n >= 20 players the compiled tier beats a
+   single naive evaluation by >= 10x even while answering for *every*
+   fact. *)
+let e20 () =
+  header "E20 (KC tier): d-DNNF knowledge compilation vs naive beyond the frontier";
+  Printf.printf
+    "naive column is one fact (2^n subsets); kc column is ALL facts through\n\
+     one shared compilation. naive(all) cross-checks the full vector at small n.\n";
+  Printf.printf "%-14s %6s %8s %12s %12s %9s %7s %7s %7s\n" "workload" "m" "players"
+    "naive(1)" "kc(all)" "speedup" "nodes" "wmc" "agree";
+  let module Lineage = Aggshap_lineage.Lineage in
+  let module Ddnnf = Aggshap_lineage.Ddnnf in
+  let q_rst = Parser.parse_query_exn "Q() <- R(x), T(x, y), S(y)" in
+  (* m R-facts, m S-facts, m matching T-facts + 2 cross edges:
+     n = 3m + 2 players, all endogenous. *)
+  let rst_db m =
+    let db = ref Database.empty in
+    for i = 0 to m - 1 do
+      db := Database.add (Fact.of_ints "R" [ i ]) !db;
+      db := Database.add (Fact.of_ints "S" [ i ]) !db;
+      db := Database.add (Fact.of_ints "T" [ i; i ]) !db
+    done;
+    for i = 0 to Stdlib.min 1 (m - 1) do
+      db := Database.add (Fact.of_ints "T" [ i; (i + 1) mod m ]) !db
+    done;
+    !db
+  in
+  let results = ref [] in
+  let naive_cap = if quick then 14 else 20 in
+  let run workload alpha tau sizes =
+    List.iter
+      (fun m ->
+        let db = rst_db m in
+        let a = Agg_query.make alpha tau q_rst in
+        let players = Database.endo_size db in
+        let f = first_endo db in
+        Ddnnf.reset_stats ();
+        let kc_all, t_kc = time (fun () -> Lineage.shapley_all a db) in
+        let ks = Ddnnf.stats () in
+        let naive =
+          if players <= naive_cap then
+            Some (time (fun () -> Core.Naive.shapley a db f))
+          else None
+        in
+        (* Bit-identity: the single naive fact always; the full vector
+           where n is small enough for n·2^n. *)
+        let kc_lookup fact =
+          match List.find_opt (fun (g, _) -> Fact.equal g fact) kc_all with
+          | Some (_, v) -> v
+          | None -> failwith "E20: kc result missing a fact"
+        in
+        let agree =
+          match naive with
+          | Some (v, _) ->
+            Q.equal v (kc_lookup f)
+            && (players > 14
+                || List.for_all
+                     (fun g -> Q.equal (Core.Naive.shapley a db g) (kc_lookup g))
+                     (Database.endogenous db))
+          | None -> true
+        in
+        let speedup =
+          match naive with
+          | Some (_, t_n) -> Some (t_n /. Stdlib.max 1e-9 t_kc)
+          | None -> None
+        in
+        Printf.printf "%-14s %6d %8d %12s %12s %8s %7d %7d %7s\n" workload m players
+          (pp_time (Option.map snd naive))
+          (pp_time (Some t_kc))
+          (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-")
+          ks.Ddnnf.nodes ks.Ddnnf.wmc_passes
+          (if agree then (if naive = None then "-" else "ok") else "MISMATCH");
+        if not agree then
+          failwith "E20: knowledge-compilation and naive enumeration diverge";
+        (match speedup with
+         | Some s when (not quick) && players >= 20 && s < 10.0 ->
+           failwith
+             (Printf.sprintf
+                "E20: kc speedup %.1fx below the 10x bar at n=%d" s players)
+         | _ -> ());
+        let open Bench_json in
+        let kernels =
+          Obj
+            [ ("ddnnf_nodes", Int ks.Ddnnf.nodes);
+              ("ddnnf_cache_hits", Int ks.Ddnnf.cache_hits);
+              ("ddnnf_cache_misses", Int ks.Ddnnf.cache_misses);
+              ("ddnnf_compiles", Int ks.Ddnnf.compiles);
+              ("ddnnf_wmc_passes", Int ks.Ddnnf.wmc_passes) ]
+        in
+        results :=
+          Obj
+            ([ ("experiment", String "E20");
+               ("workload", String (workload ^ ":kc"));
+               ("n", Int m);
+               ("players", Int players);
+               ("wall_s", Float t_kc) ]
+            @ (match speedup with
+               | Some s -> [ ("speedup_vs_naive", Float s) ]
+               | None -> [])
+            @ [ ("kernels", kernels) ])
+          :: !results;
+        match naive with
+        | Some (_, t_n) ->
+          results :=
+            Obj
+              [ ("experiment", String "E20");
+                ("workload", String (workload ^ ":naive"));
+                ("n", Int m);
+                ("players", Int players);
+                ("wall_s", Float t_n);
+                ("kernels", Obj []) ]
+            :: !results
+        | None -> ())
+      sizes
+  in
+  run "count_rst" Aggregate.Count (Value_fn.const ~rel:"R" Q.one)
+    (if quick then [ 3; 4 ] else [ 3; 4; 6; 8; 10; 12 ]);
+  run "max_rst" Aggregate.Max (Value_fn.const ~rel:"R" Q.one)
+    (if quick then [ 3 ] else [ 3; 4; 6 ]);
+  List.rev !results
+
 let write_json path rows =
   let report =
     Bench_json.Obj
@@ -1088,11 +1216,14 @@ let () =
   let e16_rows = rows_of "e16" e16 in
   let e18_rows = rows_of "e18" e18 in
   let e19_rows = rows_of "e19" e19 in
+  let e20_rows = rows_of "e20" e20 in
   if want "a1" then a1 ();
   if want "a2" then a2 ();
   if want "bechamel" then run_bechamel ();
   (match json_path with
-   | Some path -> write_json path (e14_rows @ e15_rows @ e16_rows @ e18_rows @ e19_rows)
+   | Some path ->
+     write_json path
+       (e14_rows @ e15_rows @ e16_rows @ e18_rows @ e19_rows @ e20_rows)
    | None -> ());
   print_newline ();
   print_endline "all experiments completed; every cross-check above reports 'ok'"

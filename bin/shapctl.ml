@@ -126,6 +126,7 @@ let print_kernel_stats () =
   let es = Engine.stats () in
   let ds = Aggshap_relational.Database.stats () in
   let ps = Aggshap_cq.Plan.stats () in
+  let ks = Aggshap_lineage.Ddnnf.stats () in
   Printf.printf "kernel counters:\n";
   List.iter
     (fun (name, v) -> Printf.printf "  %-18s %d\n" name v)
@@ -152,7 +153,15 @@ let print_kernel_stats () =
       ("plan_compiles", ps.Aggshap_cq.Plan.plan_compiles);
       ("index_builds", ds.Aggshap_relational.Database.index_builds);
       ("index_probes", ds.Aggshap_relational.Database.index_probes);
-      ("rel_scans", ds.Aggshap_relational.Database.rel_scans) ]
+      ("rel_scans", ds.Aggshap_relational.Database.rel_scans);
+      ("ddnnf_nodes", ks.Aggshap_lineage.Ddnnf.nodes);
+      ("ddnnf_cache_hits", ks.Aggshap_lineage.Ddnnf.cache_hits);
+      ("ddnnf_cache_misses", ks.Aggshap_lineage.Ddnnf.cache_misses);
+      ("ddnnf_compiles", ks.Aggshap_lineage.Ddnnf.compiles);
+      ("ddnnf_wmc_passes", ks.Aggshap_lineage.Ddnnf.wmc_passes) ];
+  if ks.Aggshap_lineage.Ddnnf.compiles > 0 then
+    Printf.printf "  %-18s compile %.6fs, wmc %.6fs\n" "ddnnf_time"
+      ks.Aggshap_lineage.Ddnnf.compile_s ks.Aggshap_lineage.Ddnnf.wmc_s
 
 let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_jobs cache stats =
   let q = parse_query_arg query_s in
@@ -170,7 +179,8 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_j
     Aggshap_core.Tables.reset_stats ();
     Engine.reset_stats ();
     Aggshap_relational.Database.reset_stats ();
-    Aggshap_cq.Plan.reset_stats ()
+    Aggshap_cq.Plan.reset_stats ();
+    Aggshap_lineage.Ddnnf.reset_stats ()
   end;
   let result =
     match (score, fact_s) with
@@ -283,8 +293,8 @@ let client_error = function
   | Protocol.Error { line = None; message } -> die "server error: %s" message
   | _ -> die "unexpected response from server"
 
-let run_client action session socket query_s db_path agg_s tau_s jobs updates_path op_s
-    retry_ms =
+let run_client action session socket query_s db_path agg_s tau_s fallback_s jobs
+    updates_path op_s retry_ms =
   check_jobs jobs;
   let one req print =
     or_die
@@ -309,6 +319,22 @@ let run_client action session socket query_s db_path agg_s tau_s jobs updates_pa
     let session = need_session action session in
     one (Protocol.Solve { session }) (function
       | Protocol.Solved { values; _ } ->
+        if values = [] then print_endline "(no endogenous facts)"
+        else List.iter (fun (fact, v) -> Printf.printf "%-28s %s\n" fact v) values
+      | r -> client_error r);
+    0
+  | "solve-query" ->
+    (* Stateless one-shot solve: no session, so the exact fallback
+       tiers work outside the frontier too. *)
+    let query = match query_s with Some q -> q | None -> die "client solve-query needs --query" in
+    let db_path = match db_path with Some d -> d | None -> die "client solve-query needs --database" in
+    let db = read_file "database" db_path in
+    one
+      (Protocol.Solve_query
+         { query; db; agg = agg_s; tau = tau_s; fallback = Some fallback_s })
+      (function
+      | Protocol.Query_solved { algorithm; values } ->
+        Printf.printf "algorithm: %s\n" algorithm;
         if values = [] then print_endline "(no endogenous facts)"
         else List.iter (fun (fact, v) -> Printf.printf "%-28s %s\n" fact v) values
       | r -> client_error r);
@@ -405,19 +431,30 @@ let run_client action session socket query_s db_path agg_s tau_s jobs updates_pa
     0
   | _ ->
     die
-      "unknown client action %S (use open, solve, update, set-tau, explain, stats, \
-       close, ping, shutdown, or raw)"
+      "unknown client action %S (use open, solve, solve-query, update, set-tau, \
+       explain, stats, close, ping, shutdown, or raw)"
       action
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold legacy_eval verbose =
+let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold legacy_eval
+    fallback_s verbose =
   if trials < 1 then die "--trials must be at least 1 (got %d)" trials;
   if max_endo < 1 then die "--max-endo must be at least 1 (got %d)" max_endo;
   check_jobs jobs;
   if max_failures < 1 then die "--max-failures must be at least 1 (got %d)" max_failures;
+  let kc_always =
+    match or_die (Api.parse_fallback fallback_s) with
+    | `Naive, _ -> false
+    | `Knowledge_compilation, _ -> true
+    | (`Monte_carlo _ | `Fail), _ ->
+      die "fuzz --fallback takes naive or knowledge-compilation (got %S)" fallback_s
+  in
+  if kc_always then
+    Printf.printf
+      "fuzz: knowledge-compilation tier cross-checked on every supported trial\n%!";
   (match ntt_threshold with
    | None -> ()
    | Some t ->
@@ -438,7 +475,7 @@ let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold legacy
   let config =
     { Fuzz.seed; trials; max_endo;
       par_jobs = Option.value jobs ~default:Fuzz.default.Fuzz.par_jobs;
-      max_failures }
+      max_failures; kc_always }
   in
   if updates then begin
     Printf.printf "fuzz: update sequences, seed=%d trials=%d max-endo=%d\n%!" seed trials
@@ -514,8 +551,10 @@ let score_arg =
 let fallback_arg =
   Arg.(value & opt string "naive" & info [ "fallback" ] ~docv:"MODE"
          ~doc:"What to do outside the tractability frontier: naive (exact, \
-               exponential), mc:SAMPLES or mc:SAMPLES:SEED (Monte Carlo; \
-               a seed makes the estimates reproducible), or fail.")
+               exponential), knowledge-compilation (or kc; exact via d-DNNF \
+               lineage compilation and weighted model counting), mc:SAMPLES \
+               or mc:SAMPLES:SEED (Monte Carlo; a seed makes the estimates \
+               reproducible), or fail.")
 
 let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
@@ -616,13 +655,13 @@ let serve_cmd =
 
 let client_action_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION"
-         ~doc:"One of open, solve, update, set-tau, explain, stats, close, \
-               ping, shutdown, raw.")
+         ~doc:"One of open, solve, solve-query, update, set-tau, explain, \
+               stats, close, ping, shutdown, raw.")
 
 let client_session_arg =
   Arg.(value & pos 1 (some string) None & info [] ~docv:"SESSION"
          ~doc:"Session (tenant) name; required by every action except \
-               ping, shutdown, raw, and server-wide stats.")
+               solve-query, ping, shutdown, raw, and server-wide stats.")
 
 let client_query_arg =
   Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY"
@@ -649,12 +688,15 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Drive a running 'shapctl serve' instance: one request per \
-             invocation (open/solve/update/set-tau/explain/stats/close/\
-             ping/shutdown), or 'raw' to stream newline-delimited JSON \
-             requests from stdin and print the raw replies.")
+             invocation (open/solve/solve-query/update/set-tau/explain/\
+             stats/close/ping/shutdown), or 'raw' to stream \
+             newline-delimited JSON requests from stdin and print the \
+             raw replies. solve-query is a stateless one-shot solve \
+             (--fallback selects the exact tier outside the frontier; \
+             Monte Carlo is rejected over the wire).")
     Term.(const run_client $ client_action_arg $ client_session_arg $ socket_arg
-          $ client_query_arg $ client_db_arg $ agg_arg $ tau_arg $ jobs_arg
-          $ client_updates_arg $ client_op_arg $ retry_ms_arg)
+          $ client_query_arg $ client_db_arg $ agg_arg $ tau_arg $ fallback_arg
+          $ jobs_arg $ client_updates_arg $ client_op_arg $ retry_ms_arg)
 
 let seed_arg =
   Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED"
@@ -689,6 +731,15 @@ let legacy_eval_arg =
                rescanning partition (planner and secondary indexes \
                disabled), so both evaluation paths stay green.")
 
+let fuzz_fallback_arg =
+  Arg.(value & opt string "naive" & info [ "fallback" ] ~docv:"MODE"
+         ~doc:"Which exact fallback tier the campaign stresses: naive \
+               (default; the knowledge-compilation tier is still \
+               cross-checked on trials outside the frontier), or \
+               knowledge-compilation (or kc) to additionally drive the \
+               lineage pipeline on every trial whose aggregate it \
+               supports, inside the frontier included.")
+
 let ntt_threshold_arg =
   Arg.(value & opt (some int) None & info [ "ntt-threshold" ] ~docv:"L"
          ~doc:"Override the RNS/NTT convolution tier threshold for the \
@@ -703,7 +754,7 @@ let fuzz_cmd =
              databases, cross-validating the polynomial DPs against naive \
              enumeration, the Shapley axioms, and every engine \
              configuration; failures are shrunk to a minimal reproducer.")
-    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ updates_flag_arg $ ntt_threshold_arg $ legacy_eval_arg $ verbose_arg)
+    Term.(const run_fuzz $ seed_arg $ trials_arg $ max_endo_arg $ jobs_arg $ max_failures_arg $ updates_flag_arg $ ntt_threshold_arg $ legacy_eval_arg $ fuzz_fallback_arg $ verbose_arg)
 
 let main_cmd =
   Cmd.group

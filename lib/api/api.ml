@@ -111,12 +111,12 @@ let make_agg_query ~agg ~tau query =
   in
   trap (fun () -> Agg_query.make alpha tau query)
 
-type fallback = [ `Naive | `Monte_carlo of int | `Fail ]
+type fallback = [ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ]
 
 (* mc:SAMPLES or mc:SAMPLES:SEED. Returns the fallback and the optional
    Monte-Carlo seed. *)
 let parse_fallback s =
-  let mc_usage = "use naive, fail, or mc:SAMPLES[:SEED]" in
+  let mc_usage = "use naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED]" in
   let positive_int what p =
     match int_of_string_opt p with
     | Some n when n > 0 -> Ok n
@@ -127,6 +127,7 @@ let parse_fallback s =
   in
   match s with
   | "naive" -> Ok ((`Naive : fallback), None)
+  | "knowledge-compilation" | "kc" -> Ok (`Knowledge_compilation, None)
   | "fail" -> Ok (`Fail, None)
   | _ when String.length s > 3 && String.sub s 0 3 = "mc:" -> begin
     match String.split_on_char ':' (String.sub s 3 (String.length s - 3)) with

@@ -48,11 +48,11 @@ val make_agg_query :
 (** Parses the aggregate and τ spec ([None] = {!default_tau}) and
     builds the aggregate query. *)
 
-type fallback = [ `Naive | `Monte_carlo of int | `Fail ]
+type fallback = [ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ]
 
 val parse_fallback : string -> (fallback * int option, string) result
-(** [naive | fail | mc:SAMPLES[:SEED]]; the second component is the
-    Monte-Carlo seed, if one was given. *)
+(** [naive | knowledge-compilation (or kc) | fail | mc:SAMPLES[:SEED]];
+    the second component is the Monte-Carlo seed, if one was given. *)
 
 type score = Shapley | Banzhaf
 

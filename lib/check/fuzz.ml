@@ -4,9 +4,12 @@ type config = {
   max_endo : int;
   par_jobs : int;
   max_failures : int;
+  kc_always : bool;
 }
 
-let default = { seed = 0; trials = 100; max_endo = 8; par_jobs = 2; max_failures = 3 }
+let default =
+  { seed = 0; trials = 100; max_endo = 8; par_jobs = 2; max_failures = 3;
+    kc_always = false }
 
 type failure_report = {
   trial : Trial.t;
@@ -39,9 +42,9 @@ let parse_corpus contents =
            | Some seed -> Some seed
            | None -> invalid_arg ("Fuzz.parse_corpus: malformed seed " ^ s)))
 
-let run_one ?max_endo ?par_jobs ~seed () =
+let run_one ?max_endo ?par_jobs ?kc_always ~seed () =
   let trial = Trial.generate ?max_endo ~seed () in
-  (trial, Oracle.run ?par_jobs trial)
+  (trial, Oracle.run ?par_jobs ?kc_always trial)
 
 type ufailure_report = {
   utrial : Utrial.t;
@@ -91,14 +94,17 @@ let run ?on_trial config =
   while !i < config.trials && List.length !failures < config.max_failures do
     let seed = trial_seed ~master:config.seed !i in
     let trial, outcome =
-      run_one ~max_endo:config.max_endo ~par_jobs:config.par_jobs ~seed ()
+      run_one ~max_endo:config.max_endo ~par_jobs:config.par_jobs
+        ~kc_always:config.kc_always ~seed ()
     in
     (match on_trial with Some f -> f !i trial | None -> ());
     incr ran;
     (match outcome with
      | None -> ()
      | Some failure ->
-       let check t = Oracle.run ~par_jobs:config.par_jobs t in
+       let check t =
+         Oracle.run ~par_jobs:config.par_jobs ~kc_always:config.kc_always t
+       in
        let shrunk, shrunk_failure = Shrink.minimize check trial failure in
        failures := { trial; failure; shrunk; shrunk_failure } :: !failures);
     incr i

@@ -10,10 +10,14 @@ type config = {
   max_endo : int;  (** endogenous-fact cap per trial (naive-oracle cost) *)
   par_jobs : int;  (** pool width for the parallel equivalence checks *)
   max_failures : int;  (** stop after this many (shrunk) failures *)
+  kc_always : bool;
+      (** also cross-check the knowledge-compilation tier on trials
+          {e inside} the frontier (it is always checked outside) *)
 }
 
 val default : config
-(** [{ seed = 0; trials = 100; max_endo = 8; par_jobs = 2; max_failures = 3 }] *)
+(** [{ seed = 0; trials = 100; max_endo = 8; par_jobs = 2; max_failures = 3;
+       kc_always = false }] *)
 
 type failure_report = {
   trial : Trial.t;  (** the trial as generated *)
@@ -35,7 +39,9 @@ val parse_corpus : string -> int list
     line, [#] comments and blank lines ignored.
     @raise Invalid_argument on a malformed line. *)
 
-val run_one : ?max_endo:int -> ?par_jobs:int -> seed:int -> unit -> Trial.t * Oracle.failure option
+val run_one :
+  ?max_endo:int -> ?par_jobs:int -> ?kc_always:bool -> seed:int -> unit ->
+  Trial.t * Oracle.failure option
 (** Generate and check a single trial from a derived seed. *)
 
 val run : ?on_trial:(int -> Trial.t -> unit) -> config -> report

@@ -11,6 +11,7 @@ module Solver = Aggshap_core.Solver
 module Monte_carlo = Aggshap_core.Monte_carlo
 
 module Plan = Aggshap_cq.Plan
+module Lineage = Aggshap_lineage.Lineage
 
 (* Reference computations run on the legacy scan evaluator and the
    rescanning partition: the system under test goes through the
@@ -77,7 +78,7 @@ let symmetric_players (g : Game.t) i j =
   done;
   !ok
 
-let run_checks ~par_jobs (t : Trial.t) =
+let run_checks ~par_jobs ~kc_always (t : Trial.t) =
   let a = Trial.agg_query t in
   let db = t.db in
   let endo = Database.endogenous db in
@@ -241,6 +242,24 @@ let run_checks ~par_jobs (t : Trial.t) =
                 (batch ~jobs:par_jobs ~cache:true ()));
         ]
     in
+    let check_knowledge_compilation () =
+      (* The knowledge-compilation tier must agree with the naive
+         reference to the last bit wherever it applies: on every trial
+         outside the frontier with an event-decomposable aggregate
+         (through the solver's dispatch, exactly as users reach it), and
+         — under [kc_always] — inside the frontier too, where the
+         lineage pipeline is driven directly since the solver would pick
+         the polynomial DP. *)
+      if not (Lineage.supports a.Agg_query.alpha) then None
+      else if not within then
+        same_exact_results "kc-vs-naive" (Lazy.force per_fact_list)
+          (exact_results
+             (fst (Solver.shapley_all ~fallback:`Knowledge_compilation ~jobs:1 a db)))
+      else if kc_always then
+        same_exact_results "kc-vs-naive" (Lazy.force per_fact_list)
+          (Lineage.shapley_all a db)
+      else None
+    in
     let check_fail_up_front () =
       if within then None
       else begin
@@ -286,16 +305,16 @@ let run_checks ~par_jobs (t : Trial.t) =
     first_failure
       [ check_oracle_sanity; check_agreement; check_efficiency; check_null_player;
         check_symmetry; check_sum_linearity; check_engine_equivalence;
-        check_fail_up_front; check_mc_reproducible ]
+        check_knowledge_compilation; check_fail_up_front; check_mc_reproducible ]
   end
 
-let run ?(par_jobs = 2) t =
+let run ?(par_jobs = 2) ?(kc_always = false) t =
   let endo = Database.endo_size t.Trial.db in
   if endo > Game.max_players then
     fail "oracle-limit" "%d endogenous facts exceed the naive oracle's cap of %d" endo
       Game.max_players
   else
-    try run_checks ~par_jobs t
+    try run_checks ~par_jobs ~kc_always t
     with e -> fail "exception" "%s" (Printexc.to_string e)
 
 module Batch = Aggshap_core.Batch

@@ -15,11 +15,15 @@ type failure = {
 
 val failure_to_string : failure -> string
 
-val run : ?par_jobs:int -> Trial.t -> failure option
+val run : ?par_jobs:int -> ?kc_always:bool -> Trial.t -> failure option
 (** First failing check of the trial, or [None] when all pass.
     [par_jobs] (default [2]) is the pool width used by the parallel
     engine-equivalence checks; pass [1] to keep the whole run in the
     calling domain (required while {!Aggshap_core.Tables.fault} is set).
+    The knowledge-compilation tier is cross-checked against the naive
+    reference on every trial outside the frontier whose aggregate it
+    supports; [kc_always] (default [false]) extends that check to trials
+    inside the frontier by driving {!Aggshap_lineage.Lineage} directly.
     Exceptions escaping the system under test are reported as an
     ["exception"] failure rather than propagated. *)
 

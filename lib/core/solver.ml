@@ -36,9 +36,18 @@ let make_report (a : Agg_query.t) algorithm =
   let front = frontier a.alpha in
   { cls; frontier = front; within_frontier = Hierarchy.cls_leq cls front; algorithm }
 
-let fallback_name = function
+module Lineage = Aggshap_lineage.Lineage
+
+let fallback_name (a : Agg_query.t) = function
   | `Naive -> "naive enumeration (exponential)"
   | `Monte_carlo _ -> "Monte-Carlo permutation sampling"
+  | `Knowledge_compilation ->
+    if Lineage.supports a.alpha then
+      "knowledge compilation (d-DNNF lineage, Shapley by weighted model counting)"
+    else
+      Printf.sprintf
+        "naive enumeration (exponential; knowledge compilation does not cover %s)"
+        (Aggregate.to_string a.alpha)
   | `Fail -> "none (outside the frontier, fallback disabled)"
 
 (* The single source of algorithm names: [shapley], [shapley_all] and
@@ -47,7 +56,7 @@ let fallback_name = function
 let report ?(fallback = `Naive) (a : Agg_query.t) =
   make_report a
     (if within_frontier a.alpha a.query then fst (frontier_algorithm a)
-     else fallback_name fallback)
+     else fallback_name a fallback)
 
 let frontier_error (a : Agg_query.t) =
   invalid_arg
@@ -66,6 +75,11 @@ let shapley ?(fallback = `Naive) ?mc_seed (a : Agg_query.t) db f =
   else begin
     match fallback with
     | `Naive -> (Exact (Naive.shapley a db f), rep)
+    | `Knowledge_compilation ->
+      (* The lineage tier covers the event-decomposable aggregates;
+         the rest keep the naive behaviour so the tier is total. *)
+      if Lineage.supports a.alpha then (Exact (Lineage.shapley a db f), rep)
+      else (Exact (Naive.shapley a db f), rep)
     | `Monte_carlo samples ->
       (Estimate (Monte_carlo.shapley ?seed:mc_seed ~samples a db f), rep)
     | `Fail -> frontier_error a
@@ -109,13 +123,22 @@ let shapley_all ?(fallback = `Naive) ?mc_seed ?jobs ?(cache = true) (a : Agg_que
     (* [`Fail] must raise before any worker domain is spawned: letting
        the pool fan out and every worker raise mid-batch reported the
        algorithm as "none" while workers died one by one. *)
-    (match fallback with `Fail -> frontier_error a | `Naive | `Monte_carlo _ -> ());
-    let indexed = List.mapi (fun i f -> (i, f)) (Database.endogenous db) in
-    let results =
-      Batch.map ?jobs
-        (fun (i, f) -> fst (shapley ~fallback ?mc_seed:(per_fact_seed mc_seed i) a db f))
-        indexed
-      |> List.map (fun ((_, f), o) -> (f, o))
-    in
-    (results, rep)
+    (match fallback with
+     | `Fail -> frontier_error a
+     | `Naive | `Monte_carlo _ | `Knowledge_compilation -> ());
+    match fallback with
+    | `Knowledge_compilation when Lineage.supports a.alpha ->
+      (* One extraction + one compilation serve every fact, so the
+         batch runs in the calling domain instead of fanning out. *)
+      (List.map (fun (f, v) -> (f, Exact v)) (Lineage.shapley_all a db), rep)
+    | _ ->
+      let indexed = List.mapi (fun i f -> (i, f)) (Database.endogenous db) in
+      let results =
+        Batch.map ?jobs
+          (fun (i, f) ->
+            fst (shapley ~fallback ?mc_seed:(per_fact_seed mc_seed i) a db f))
+          indexed
+        |> List.map (fun ((_, f), o) -> (f, o))
+      in
+      (results, rep)
   end

@@ -11,8 +11,11 @@
     - Avg, Median, Quantile → q-hierarchical (Theorem 5.1),
     - Has-duplicates → sq-hierarchical (Theorem 6.1).
 
-    Outside the frontier the solver can fall back to exact enumeration
-    (exponential) or Monte-Carlo estimation. *)
+    Outside the frontier the solver can fall back to knowledge
+    compilation (exact, via {!Aggshap_lineage}: lineage → d-DNNF →
+    weighted model counting — exponential only in the lineage's
+    branching structure, not in the fact count), to exact enumeration
+    (always exponential), or to Monte-Carlo estimation. *)
 
 type outcome =
   | Exact of Aggshap_arith.Rational.t
@@ -32,7 +35,7 @@ val within_frontier : Aggshap_agg.Aggregate.t -> Aggshap_cq.Cq.t -> bool
     every localized τ)? *)
 
 val report :
-  ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  ?fallback:[ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ] ->
   Aggshap_agg.Agg_query.t ->
   report
 (** The report {!shapley} and {!shapley_all} would attach, without
@@ -43,7 +46,7 @@ val report :
     prints exactly this. *)
 
 val shapley :
-  ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  ?fallback:[ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ] ->
   ?mc_seed:int ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
@@ -51,8 +54,12 @@ val shapley :
   outcome * report
 (** Computes the Shapley value of an endogenous fact. Within the frontier
     the matching polynomial algorithm runs; outside, [fallback] decides
-    (default [`Naive]). [mc_seed] makes a [`Monte_carlo] fallback
-    reproducible (it is ignored by the exact paths).
+    (default [`Naive]). [`Knowledge_compilation] runs the exact lineage
+    tier ({!Aggshap_lineage.Lineage}) for the event-decomposable
+    aggregates (Sum, Count, CDist, Min, Max, Has-dup) and keeps the
+    naive behaviour for the others — the report's [algorithm] string
+    says which. [mc_seed] makes a [`Monte_carlo] fallback reproducible
+    (it is ignored by the exact paths).
     @raise Invalid_argument outside the frontier with [`Fail], or if the
     fact is not endogenous. *)
 
@@ -74,7 +81,7 @@ val shapley_exact :
 (** [shapley] with [`Naive] fallback, unwrapped. *)
 
 val shapley_all :
-  ?fallback:[ `Naive | `Monte_carlo of int | `Fail ] ->
+  ?fallback:[ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ] ->
   ?mc_seed:int ->
   ?jobs:int ->
   ?cache:bool ->
@@ -91,5 +98,7 @@ val shapley_all :
     domain is spawned. [mc_seed] seeds a [`Monte_carlo] fallback: each
     fact gets a distinct seed derived deterministically from [mc_seed]
     and its position, so estimates are reproducible for every [jobs]
-    value. Exact results are bit-identical for every [jobs]/[cache]
-    combination. *)
+    value. A supported [`Knowledge_compilation] batch runs in the
+    calling domain instead: one extraction and one compilation serve
+    every fact. Exact results are bit-identical for every
+    [jobs]/[cache] combination. *)

@@ -73,22 +73,26 @@ type fault =
   | `Stale_block
   | `Block_drop
   | `Ntt_prime_drop
-  | `Stale_index ]
+  | `Stale_index
+  | `Ddnnf_cache_poison ]
 
 let fault : fault ref = ref `None
 
 (* [`Karatsuba_split] and [`Ntt_prime_drop] live in the arithmetic
    layer (the first must corrupt the multiplications of every caller,
-   the second the CRT reconstruction inside [Ntt]), and [`Stale_index]
+   the second the CRT reconstruction inside [Ntt]), [`Stale_index]
    in the relational storage layer (index maintenance skipped on
-   updates), so the setter keeps [Bigint.fault], [Ntt.fault] and
-   [Database.fault] in sync. *)
+   updates), and [`Ddnnf_cache_poison] in the knowledge-compilation
+   tier's circuit compiler, so the setter keeps [Bigint.fault],
+   [Ntt.fault], [Database.fault] and [Ddnnf.fault] in sync. *)
 let set_fault f =
   fault := f;
   B.fault := (match f with `Karatsuba_split -> `Karatsuba_split | _ -> `None);
   N.fault := (match f with `Ntt_prime_drop -> `Prime_drop | _ -> `None);
   Aggshap_relational.Database.fault :=
-    (match f with `Stale_index -> `Stale_index | _ -> `None)
+    (match f with `Stale_index -> `Stale_index | _ -> `None);
+  Aggshap_lineage.Ddnnf.fault :=
+    (match f with `Ddnnf_cache_poison -> `Cache_poison | _ -> `None)
 
 let current_fault () = !fault
 
@@ -272,7 +276,7 @@ let convolve a b =
      if la > 1 && lb > 1 then
        out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one
    | `None | `Tree_fold_skew | `Karatsuba_split | `Stale_block | `Block_drop
-   | `Ntt_prime_drop | `Stale_index -> ());
+   | `Ntt_prime_drop | `Stale_index | `Ddnnf_cache_poison -> ());
   out
 
 let convolve_many ts =
@@ -311,7 +315,7 @@ let convolve_many ts =
          out.(len - 2) <- t
        end
      | `None | `Convolve_off_by_one | `Karatsuba_split | `Stale_block | `Block_drop
-     | `Ntt_prime_drop | `Stale_index -> ());
+     | `Ntt_prime_drop | `Stale_index | `Ddnnf_cache_poison -> ());
     out
 
 let pad p c = if p = 0 then c else convolve c (full p)

@@ -84,7 +84,8 @@ type fault =
   | `Stale_block
   | `Block_drop
   | `Ntt_prime_drop
-  | `Stale_index ]
+  | `Stale_index
+  | `Ddnnf_cache_poison ]
 (** Test-only fault injection for the differential-testing oracle
     ({!Aggshap_check}):
     - [`Convolve_off_by_one] makes {!convolve} corrupt its top entry
@@ -117,6 +118,12 @@ type fault =
       contents, so the planned evaluator and the indexed partition go
       wrong wherever a stale index is probed. The kernels themselves
       ignore this variant.
+    - [`Ddnnf_cache_poison] makes the knowledge-compilation tier's
+      Shannon-expansion compiler poison its formula-keyed cache: the
+      entry stored for a non-trivial decision node swaps the node's
+      children (see {!Aggshap_lineage.Ddnnf.fault}), so every compiled
+      circuit that hits the poisoned cache is semantically wrong. Only
+      the lineage tier is affected; the frontier DPs ignore it.
 
     Every frontier DP funnels through these kernels, so the oracle must
     flag each corruption. Not domain-safe; only toggle around
@@ -124,8 +131,9 @@ type fault =
 
 val set_fault : fault -> unit
 (** Also keeps [Bigint.fault] in sync for [`Karatsuba_split],
-    [Ntt.fault] for [`Ntt_prime_drop], and [Database.fault] for
-    [`Stale_index]. *)
+    [Ntt.fault] for [`Ntt_prime_drop], [Database.fault] for
+    [`Stale_index], and [Aggshap_lineage.Ddnnf.fault] for
+    [`Ddnnf_cache_poison]. *)
 
 val current_fault : unit -> fault
 

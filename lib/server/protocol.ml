@@ -8,6 +8,9 @@
      {"op": "update",  "session": "t1", "script": "insert R(4, 7)\ndelete R(1, 10)"}
      {"op": "set_tau", "session": "t1", "tau": "id:R:0"}
      {"op": "explain", "session": "t1"}
+     {"op": "solve_query", "query": "Q() <- R(x), T(x,y), S(y)",
+      "db": "R(1)\nT(1, 2)\nS(2)\n", "agg": "count",
+      "fallback": "knowledge-compilation"}
      {"op": "stats"}  or  {"op": "stats", "session": "t1"}
      {"op": "close",   "session": "t1"}
      {"op": "ping"}
@@ -31,6 +34,13 @@ type request =
   | Set_tau of { session : string; tau : string }
   | Explain of { session : string }
   | Stats of { session : string option }
+  | Solve_query of {
+      query : string;
+      db : string;
+      agg : string;
+      tau : string option;
+      fallback : string option;
+    }
   | Close of { session : string }
   | Ping
   | Shutdown
@@ -62,6 +72,10 @@ type response =
       requests : int;
       evictions : int;
       restores : int;
+    }
+  | Query_solved of {
+      algorithm : string;
+      values : (string * string) list;
     }
   | Closed of { session : string }
   | Pong
@@ -100,6 +114,14 @@ let request_to_json = function
     Json.Obj
       (("op", Json.String "stats")
       :: opt_field "session" (fun s -> Json.String s) session)
+  | Solve_query { query; db; agg; tau; fallback } ->
+    Json.Obj
+      ([ ("op", Json.String "solve_query");
+         ("query", Json.String query);
+         ("db", Json.String db);
+         ("agg", Json.String agg) ]
+      @ opt_field "tau" (fun s -> Json.String s) tau
+      @ opt_field "fallback" (fun s -> Json.String s) fallback)
   | Close { session } ->
     Json.Obj [ ("op", Json.String "close"); ("session", Json.String session) ]
   | Ping -> Json.Obj [ ("op", Json.String "ping") ]
@@ -159,6 +181,17 @@ let response_to_json = function
                sessions) );
         ("requests", Json.Int requests); ("evictions", Json.Int evictions);
         ("restores", Json.Int restores) ]
+  | Query_solved { algorithm; values } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "solve_query");
+        ("algorithm", Json.String algorithm);
+        ( "values",
+          Json.List
+            (List.map
+               (fun (fact, value) ->
+                 Json.Obj
+                   [ ("fact", Json.String fact); ("shapley", Json.String value) ])
+               values) ) ]
   | Closed { session } ->
     Json.Obj
       [ ("ok", Json.Bool true); ("op", Json.String "close");
@@ -213,6 +246,13 @@ let decode_request line =
   | "stats" ->
     let* session = Json.opt_string_field ~what "session" j in
     Ok (Stats { session })
+  | "solve_query" ->
+    let* query = Json.string_field ~what "query" j in
+    let* db = Json.string_field ~what "db" j in
+    let* agg = Json.string_field ~what "agg" j in
+    let* tau = Json.opt_string_field ~what "tau" j in
+    let* fallback = Json.opt_string_field ~what "fallback" j in
+    Ok (Solve_query { query; db; agg; tau; fallback })
   | "close" ->
     let* session = session_of ~what j in
     Ok (Close { session })
@@ -299,6 +339,19 @@ let decode_response line =
         Ok
           (Server_stats
              { sessions = List.rev sessions; requests; evictions; restores }))
+    | "solve_query" ->
+      let* algorithm = Json.string_field ~what "algorithm" j in
+      let* items = Json.list_field ~what "values" j in
+      let* values =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* fact = Json.string_field ~what "fact" item in
+            let* value = Json.string_field ~what "shapley" item in
+            Ok ((fact, value) :: acc))
+          (Ok []) items
+      in
+      Ok (Query_solved { algorithm; values = List.rev values })
     | "close" ->
       let* session = session_of ~what j in
       Ok (Closed { session })

@@ -20,6 +20,18 @@ type request =
   | Stats of { session : string option }
       (** With a session: its reuse statistics. Without: server-wide
           session table, request count, eviction/restore counts. *)
+  | Solve_query of {
+      query : string;
+      db : string;  (** database text, {!Aggshap_cq.Parser.parse_database} syntax *)
+      agg : string;
+      tau : string option;
+      fallback : string option;  (** {!Api.parse_fallback} spelling; default naive.
+          Monte-Carlo is rejected: the wire carries exact rationals only. *)
+    }
+      (** Stateless one-shot solve — no session, nothing retained. The
+          way to reach the exact fallback tiers (naive,
+          knowledge-compilation) over the wire, since sessions only
+          exist within the tractability frontier. *)
   | Close of { session : string }  (** Drop the session and its snapshot. *)
   | Ping
   | Shutdown  (** Snapshot every live session, reply, and exit. *)
@@ -54,6 +66,13 @@ type response =
       evictions : int;
       restores : int;
     }
+  | Query_solved of {
+      algorithm : string;  (** the report's algorithm string, as [explain] *)
+      values : (string * string) list;
+    }
+      (** Answer to {!Solve_query}: fact and exact Shapley value, both
+          as strings, in [Database.endogenous] order — bit-identical to
+          [shapctl solve] on the same inputs. *)
   | Closed of { session : string }
   | Pong
   | Shutting_down

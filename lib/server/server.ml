@@ -121,6 +121,43 @@ let dispatch (st : state) (req : Protocol.request) : Protocol.response =
     Protocol.Server_stats
       { sessions = Registry.sessions reg; requests = st.requests;
         evictions = Registry.evictions reg; restores = Registry.restores reg }
+  | Protocol.Solve_query { query; db; agg; tau; fallback } ->
+    (* Stateless one-shot solve: nothing opened, nothing retained. This
+       is how the exact fallback tiers are reached over the wire —
+       sessions only exist within the tractability frontier. The wire
+       carries exact rationals only, so the Monte-Carlo fallback is
+       rejected rather than silently degrading the protocol's
+       bit-identical-to-the-CLI promise. *)
+    respond
+      (let* q = Api.parse_query query in
+       let* db = Api.parse_database_text db in
+       let* a = Api.make_agg_query ~agg ~tau q in
+       let* fallback =
+         match Api.parse_fallback (Option.value fallback ~default:"naive") with
+         | Ok ((`Naive | `Knowledge_compilation | `Fail) as fb, _) -> Ok fb
+         | Ok (`Monte_carlo _, _) ->
+           Error
+             "solve_query does not take a Monte-Carlo fallback (the wire carries \
+              exact rationals only)"
+         | Error _ as e -> e
+       in
+       let* result =
+         Api.shapley_all ~fallback ?jobs:st.config.default_jobs a db
+       in
+       let values =
+         List.map
+           (fun (f, outcome) ->
+             match outcome with
+             | Aggshap_core.Solver.Exact v -> (Fact.to_string f, Q.to_string v)
+             | Aggshap_core.Solver.Estimate _ -> assert false)
+           result.Api.values
+       in
+       let algorithm =
+         match result.Api.report with
+         | Some r -> r.Aggshap_core.Solver.algorithm
+         | None -> ""
+       in
+       Ok (Protocol.Query_solved { algorithm; values }))
   | Protocol.Close { session } ->
     respond
       (let* () = Registry.close reg session in

@@ -102,15 +102,15 @@ uncaught int_of_string/of_string exception:
 So do malformed fallback specs:
 
   $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:abc
-  shapctl: malformed sample count "abc" in fallback "mc:abc" (expected a positive integer; use naive, fail, or mc:SAMPLES[:SEED])
+  shapctl: malformed sample count "abc" in fallback "mc:abc" (expected a positive integer; use naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
   [1]
 
   $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:0
-  shapctl: malformed sample count "0" in fallback "mc:0" (expected a positive integer; use naive, fail, or mc:SAMPLES[:SEED])
+  shapctl: malformed sample count "0" in fallback "mc:0" (expected a positive integer; use naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
   [1]
 
   $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:100:x
-  shapctl: malformed seed "x" in fallback "mc:100:x" (expected an integer; use naive, fail, or mc:SAMPLES[:SEED])
+  shapctl: malformed seed "x" in fallback "mc:100:x" (expected an integer; use naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
   [1]
 
 A seeded Monte-Carlo fallback is reproducible, run to run and for every
@@ -127,6 +127,64 @@ error, not a pool of dying workers reporting algorithm "none"):
   shapctl: Solver.shapley: Q(x) <- R(x, y), S(y) is outside the tractability frontier (q-hierarchical) of avg
   [1]
 
+The knowledge-compilation tier gives exact Shapley values beyond the
+frontier: a non-hierarchical query where naive enumeration is the only
+other exact option. The values are bit-identical to naive enumeration
+on the same instance:
+
+  $ cat > rst.facts <<'DB'
+  > R(1)
+  > R(2)
+  > T(1, 1)
+  > T(1, 2)
+  > T(2, 2)
+  > S(1)
+  > S(2)
+  > DB
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback knowledge-compilation
+  class: general; algorithm: knowledge compilation (d-DNNF lineage, Shapley by weighted model counting)
+  R(1)                           17/70 (~ 0.242857)
+  R(2)                           23/210 (~ 0.109524)
+  S(1)                           23/210 (~ 0.109524)
+  S(2)                           17/70 (~ 0.242857)
+  T(1, 1)                        23/210 (~ 0.109524)
+  T(1, 2)                        8/105 (~ 0.0761905)
+  T(2, 2)                        23/210 (~ 0.109524)
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count
+  class: general; algorithm: naive enumeration (exponential)
+  R(1)                           17/70 (~ 0.242857)
+  R(2)                           23/210 (~ 0.109524)
+  S(1)                           23/210 (~ 0.109524)
+  S(2)                           17/70 (~ 0.242857)
+  T(1, 1)                        23/210 (~ 0.109524)
+  T(1, 2)                        8/105 (~ 0.0761905)
+  T(2, 2)                        23/210 (~ 0.109524)
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a max -t const:R:2 --fallback knowledge-compilation
+  class: general; algorithm: knowledge compilation (d-DNNF lineage, Shapley by weighted model counting)
+  R(1)                           17/35 (~ 0.485714)
+  R(2)                           23/105 (~ 0.219048)
+  S(1)                           23/105 (~ 0.219048)
+  S(2)                           17/35 (~ 0.485714)
+  T(1, 1)                        23/105 (~ 0.219048)
+  T(1, 2)                        16/105 (~ 0.152381)
+  T(2, 2)                        23/105 (~ 0.219048)
+
+Aggregates the lineage tier does not cover fall through to naive — the
+algorithm line says so, and the answer is still exact:
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a avg -t const:R:3 --fallback knowledge-compilation
+  class: general; algorithm: naive enumeration (exponential; knowledge compilation does not cover avg)
+  R(1)                           51/70 (~ 0.728571)
+  R(2)                           23/70 (~ 0.328571)
+  S(1)                           23/70 (~ 0.328571)
+  S(2)                           51/70 (~ 0.728571)
+  T(1, 1)                        23/70 (~ 0.328571)
+  T(1, 2)                        8/35 (~ 0.228571)
+  T(2, 2)                        23/70 (~ 0.328571)
+
 The differential-testing oracle replays a fixed seed deterministically:
 
   $ shapctl fuzz --seed 42 --trials 25
@@ -135,6 +193,19 @@ The differential-testing oracle replays a fixed seed deterministically:
 
   $ shapctl fuzz --trials 0
   shapctl: --trials must be at least 1 (got 0)
+  [1]
+
+With --fallback knowledge-compilation the fuzzer additionally
+cross-checks the compiled tier against naive enumeration on every
+supported trial (inside the frontier too):
+
+  $ shapctl fuzz --seed 42 --trials 25 --fallback knowledge-compilation
+  fuzz: knowledge-compilation tier cross-checked on every supported trial
+  fuzz: seed=42 trials=25 max-endo=8
+  fuzz: 25 trials, 0 failures
+
+  $ shapctl fuzz --seed 42 --trials 5 --fallback mc:100
+  shapctl: fuzz --fallback takes naive or knowledge-compilation (got "mc:100")
   [1]
 
 The incremental session replays an update script through a live solver,

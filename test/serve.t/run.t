@@ -86,6 +86,46 @@ Explain and per-session statistics:
   session bob (live)
   requests=14 evictions=0 restores=0
 
+solve-query is a stateless one-shot: no session is opened, so the exact
+fallback tiers work outside the tractability frontier too. The answer
+is bit-identical to `shapctl solve` on the same inputs:
+
+  $ cat > rst.facts <<'DB'
+  > R(1)
+  > R(2)
+  > T(1, 1)
+  > T(1, 2)
+  > T(2, 2)
+  > S(1)
+  > S(2)
+  > DB
+
+  $ shapctl client solve-query --socket $S -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback knowledge-compilation
+  algorithm: knowledge compilation (d-DNNF lineage, Shapley by weighted model counting)
+  R(1)                         17/70
+  R(2)                         23/210
+  S(1)                         23/210
+  S(2)                         17/70
+  T(1, 1)                      23/210
+  T(1, 2)                      8/105
+  T(2, 2)                      23/210
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback knowledge-compilation
+  class: general; algorithm: knowledge compilation (d-DNNF lineage, Shapley by weighted model counting)
+  R(1)                           17/70 (~ 0.242857)
+  R(2)                           23/210 (~ 0.109524)
+  S(1)                           23/210 (~ 0.109524)
+  S(2)                           17/70 (~ 0.242857)
+  T(1, 1)                        23/210 (~ 0.109524)
+  T(1, 2)                        8/105 (~ 0.0761905)
+  T(2, 2)                        23/210 (~ 0.109524)
+
+The wire carries exact rationals only, so the Monte-Carlo fallback is
+rejected rather than silently degrading that promise:
+
+  $ shapctl client solve-query --socket $S -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback mc:100
+  shapctl: server error (line 1): solve_query does not take a Monte-Carlo fallback (the wire carries exact rationals only)
+  [1]
+
 Malformed requests get error replies carrying the connection's request
 line number; the final line has no trailing newline and is still
 answered:

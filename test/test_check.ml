@@ -74,7 +74,7 @@ let test_injected_fault_is_caught () =
     ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
-        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1 }
+        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
       in
       let report = Fuzz.run config in
       match report.Fuzz.failures with
@@ -103,6 +103,91 @@ let test_injected_fault_is_caught () =
               (Oracle.run ~par_jobs:1 smaller = None))
           (Database.facts shrunk.Trial.db);
         ignore shrunk_failure)
+
+(* ------------------------------------------------------------------ *)
+(* knowledge-compilation tier                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lineage_corpus = lazy (Fuzz.parse_corpus (read_file "lineage.corpus"))
+
+let test_lineage_corpus_parses () =
+  let seeds = Lazy.force lineage_corpus in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length seeds >= 100);
+  Alcotest.(check bool) "seeds are distinct" true
+    (List.length (List.sort_uniq Int.compare seeds) = List.length seeds)
+
+(* Every corpus trial is non-hierarchical with an aggregate the lineage
+   tier supports, so each replay cross-validates lineage extraction,
+   the Shannon d-DNNF compiler, and the WMC-to-Shapley pipeline against
+   naive enumeration to the last bit. *)
+let test_lineage_corpus_replays_clean () =
+  let module Solver = Aggshap_core.Solver in
+  let module Lineage = Aggshap_lineage.Lineage in
+  let module Agg_query = Aggshap_agg.Agg_query in
+  List.iter
+    (fun seed ->
+      let trial, outcome = Fuzz.run_one ~kc_always:true ~seed () in
+      let a = Trial.agg_query trial in
+      Alcotest.(check bool) "trial is outside the frontier" false
+        (Solver.within_frontier a.Agg_query.alpha a.Agg_query.query);
+      Alcotest.(check bool) "aggregate is supported" true
+        (Lineage.supports a.Agg_query.alpha);
+      match outcome with
+      | None -> ()
+      | Some failure ->
+        Alcotest.failf "lineage corpus trial failed: %s\n  %s" (Trial.to_string trial)
+          (Oracle.failure_to_string failure))
+    (Lazy.force lineage_corpus)
+
+(* `Ddnnf_cache_poison makes the Shannon compiler's formula-keyed cache
+   store (and serve) a decision node with its children swapped. The
+   kc-vs-naive differential check must catch it and shrink to a
+   1-minimal reproducer; kc_always drives the lineage pipeline on every
+   supported trial, inside the frontier included. *)
+let test_ddnnf_cache_poison_is_caught () =
+  assert (Tables.current_fault () = `None);
+  Tables.set_fault `Ddnnf_cache_poison;
+  Fun.protect
+    ~finally:(fun () -> Tables.set_fault `None)
+    (fun () ->
+      let config =
+        { Fuzz.seed = 42; trials = 300; max_endo = 6; par_jobs = 1; max_failures = 1;
+          kc_always = true }
+      in
+      let report = Fuzz.run config in
+      match report.Fuzz.failures with
+      | [] -> Alcotest.fail "injected cache poison survived 300 trials undetected"
+      | { Fuzz.trial; shrunk; shrunk_failure; _ } :: _ ->
+        Alcotest.(check string) "caught by the kc differential check" "kc-vs-naive"
+          shrunk_failure.Oracle.check;
+        Alcotest.(check bool) "shrunk still fails" true
+          (Oracle.run ~par_jobs:1 ~kc_always:true shrunk <> None);
+        Alcotest.(check bool) "shrunk is no bigger" true
+          (Database.size shrunk.Trial.db <= Database.size trial.Trial.db);
+        Alcotest.(check bool) "reproducer script is printable" true
+          (String.length (Trial.to_script shrunk) > 0);
+        (* 1-minimality: removing any remaining fact makes the failure
+           disappear, or the shrinker would have removed it. *)
+        List.iter
+          (fun fact ->
+            let smaller =
+              { shrunk with Trial.db = Database.remove fact shrunk.Trial.db }
+            in
+            Alcotest.(check bool)
+              ("removing " ^ Aggshap_relational.Fact.to_string fact ^ " un-fails")
+              true
+              (Oracle.run ~par_jobs:1 ~kc_always:true smaller = None))
+          (Database.facts shrunk.Trial.db))
+
+(* With the fault cleared, the same campaign is clean: the flag was the
+   only source of the kc-vs-naive disagreements. *)
+let test_ddnnf_fault_flag_is_isolated () =
+  let config =
+    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1;
+      kc_always = true }
+  in
+  let report = Fuzz.run config in
+  Alcotest.(check int) "clean without the fault" 0 (List.length report.Fuzz.failures)
 
 (* ------------------------------------------------------------------ *)
 (* update sequences                                                    *)
@@ -154,7 +239,7 @@ let test_stale_block_is_caught () =
     ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
-        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1 }
+        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
       in
       let report = Fuzz.run_updates config in
       match report.Fuzz.ufailures with
@@ -217,7 +302,7 @@ let test_stale_index_is_caught () =
     ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
-        { Fuzz.seed = 42; trials = 300; max_endo = 6; par_jobs = 1; max_failures = 1 }
+        { Fuzz.seed = 42; trials = 300; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
       in
       let report = Fuzz.run_updates config in
       match report.Fuzz.ufailures with
@@ -234,7 +319,7 @@ let test_stale_index_is_caught () =
 
 let test_stale_block_flag_is_isolated () =
   let config =
-    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1 }
+    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
   in
   let report = Fuzz.run_updates config in
   Alcotest.(check int) "clean without the fault" 0 (List.length report.Fuzz.ufailures)
@@ -252,7 +337,7 @@ let test_kernel_fault_is_caught fault trials () =
     ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
-        { Fuzz.seed = 42; trials; max_endo = 6; par_jobs = 1; max_failures = 1 }
+        { Fuzz.seed = 42; trials; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
       in
       let report = Fuzz.run config in
       match report.Fuzz.failures with
@@ -269,7 +354,7 @@ let test_kernel_fault_is_caught fault trials () =
    the flag really was the only source of the disagreements. *)
 let test_fault_flag_is_isolated () =
   let config =
-    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1 }
+    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
   in
   let report = Fuzz.run config in
   Alcotest.(check int) "clean without the fault" 0 (List.length report.Fuzz.failures)
@@ -285,6 +370,15 @@ let () =
             test_trial_generation_deterministic;
           Alcotest.test_case "reproducer script shape" `Quick
             test_reproducer_script_shape;
+        ] );
+      ( "knowledge compilation",
+        [ Alcotest.test_case "lineage corpus parses" `Quick test_lineage_corpus_parses;
+          Alcotest.test_case "lineage corpus replays clean" `Slow
+            test_lineage_corpus_replays_clean;
+          Alcotest.test_case "ddnnf cache-poison caught and shrunk" `Slow
+            test_ddnnf_cache_poison_is_caught;
+          Alcotest.test_case "ddnnf fault flag isolated" `Quick
+            test_ddnnf_fault_flag_is_isolated;
         ] );
       ( "update sequences",
         [ Alcotest.test_case "corpus parses" `Quick test_ucorpus_parses;

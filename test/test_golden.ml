@@ -1,8 +1,9 @@
 (* Golden-corpus regression tests for the closed formulas of
-   Propositions 4.2, 4.4 and 5.2 and the Localization algorithms of
-   Proposition 7.3: fixed-seed instances whose exact outputs are pinned
-   in golden.expected AND re-verified against the naive enumeration
-   oracle on every run. A mismatch against the file flags an unintended
+   Propositions 4.2, 4.4 and 5.2, the Localization algorithms of
+   Proposition 7.3, and the knowledge-compilation tier on
+   non-hierarchical instances: fixed-seed instances whose exact outputs
+   are pinned in golden.expected AND re-verified against the naive
+   enumeration oracle on every run. A mismatch against the file flags an unintended
    change of semantics even when the change is self-consistent (a bug in
    both the closed form and the DP would slip past differential checks).
 
@@ -17,8 +18,30 @@ module Aggregate = Aggshap_agg.Aggregate
 module Value_fn = Aggshap_agg.Value_fn
 module Agg_query = Aggshap_agg.Agg_query
 module Core = Aggshap_core
+module Lineage = Aggshap_lineage.Lineage
 
 let q_single = Parser.parse_query_exn "Q(x, y) <- R(x, y)"
+
+(* The canonical non-hierarchical pattern: x and y each shared by two
+   atoms with T in both intersections. Outside every aggregate's
+   frontier, so these cases pin the knowledge-compilation tier. *)
+let q_rst = Parser.parse_query_exn "Q(x) <- R(x), T(x, y), S(y)"
+
+let rst_db ~seed =
+  let rng = Random.State.make [| seed; 0xddf |] in
+  let facts = ref [] in
+  for x = 0 to 2 do
+    if Random.State.int rng 3 > 0 then facts := Fact.of_ints "R" [ x ] :: !facts
+  done;
+  for x = 0 to 2 do
+    for y = 0 to 1 do
+      if Random.State.int rng 2 = 0 then facts := Fact.of_ints "T" [ x; y ] :: !facts
+    done
+  done;
+  for y = 0 to 1 do
+    if Random.State.int rng 3 > 0 then facts := Fact.of_ints "S" [ y ] :: !facts
+  done;
+  Database.of_facts (List.rev !facts)
 
 (* Single-atom instances: all facts endogenous, τ-values drawn from a
    small range so count-distinct sees collisions. *)
@@ -80,14 +103,26 @@ let cases =
            rs),
           fun f ->
             let rs, _ = Database.restrict_relations [ "R"; "S" ] loc_db in
-            Core.Localization.dup_on_y_shapley rs f ) ])
+            Core.Localization.dup_on_y_shapley rs f ) ]
+      @
+      let kc_db = rst_db ~seed in
+      let kc name alpha tau =
+        let a = Agg_query.make alpha tau q_rst in
+        (Printf.sprintf "%s seed=%d" name seed, a, kc_db,
+         fun f -> Lineage.shapley a kc_db f)
+      in
+      [ kc "kc-count" Aggregate.Count (Value_fn.const ~rel:"R" Q.one);
+        kc "kc-sum" Aggregate.Sum (Value_fn.id ~rel:"R" ~pos:0);
+        kc "kc-max" Aggregate.Max (Value_fn.id ~rel:"R" ~pos:0);
+        kc "kc-dup" Aggregate.Has_duplicates (Value_fn.const ~rel:"R" Q.one) ])
     seeds
 
 let render () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "# Pinned exact outputs of the closed formulas (Props 4.2/4.4/5.2) and\n\
-     # the Localization algorithms (Prop 7.3) on fixed-seed instances.\n\
+    "# Pinned exact outputs of the closed formulas (Props 4.2/4.4/5.2), the\n\
+     # Localization algorithms (Prop 7.3), and the knowledge-compilation\n\
+     # tier on non-hierarchical instances, all on fixed seeds.\n\
      # Regenerate after an intended semantic change:\n\
      #   GOLDEN_PRINT=1 dune exec test/test_golden.exe > test/golden.expected\n";
   List.iter

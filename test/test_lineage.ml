@@ -1,0 +1,344 @@
+(* Property tests (qcheck) for the knowledge-compilation tier: the
+   Shannon d-DNNF compiler against brute-force model counting (≤16
+   variables), circuit-level Shapley against the permutation definition,
+   structural d-DNNF invariants (decomposability, determinism, support),
+   the formula-keyed cache as a pure optimization, and the whole
+   lineage pipeline against naive enumeration on random trials. *)
+
+module B = Aggshap_arith.Bigint
+module Q = Aggshap_arith.Rational
+module F = Aggshap_lineage.Formula
+module D = Aggshap_lineage.Ddnnf
+module L = Aggshap_lineage.Lineage
+module Database = Aggshap_relational.Database
+module Agg_query = Aggshap_agg.Agg_query
+module Solver = Aggshap_core.Solver
+module Naive = Aggshap_core.Naive
+module Trial = Aggshap_check.Trial
+module Fuzz = Aggshap_check.Fuzz
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Random monotone formulas                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A pure description of a monotone formula, so the reference semantics
+   ([eval_fd]) is independent of every simplification [Formula] does
+   when the description is interned ([build]). *)
+type fd =
+  | FTrue
+  | FFalse
+  | FVar of int
+  | FAnd of fd list
+  | FOr of fd list
+
+let rec fd_to_string = function
+  | FTrue -> "T"
+  | FFalse -> "F"
+  | FVar v -> Printf.sprintf "x%d" v
+  | FAnd fs -> "(" ^ String.concat " & " (List.map fd_to_string fs) ^ ")"
+  | FOr fs -> "(" ^ String.concat " | " (List.map fd_to_string fs) ^ ")"
+
+let rec eval_fd a = function
+  | FTrue -> true
+  | FFalse -> false
+  | FVar v -> a v
+  | FAnd fs -> List.for_all (eval_fd a) fs
+  | FOr fs -> List.exists (eval_fd a) fs
+
+let rec build store = function
+  | FTrue -> F.tru store
+  | FFalse -> F.fls store
+  | FVar v -> F.var store v
+  | FAnd fs -> F.and_ store (List.map (build store) fs)
+  | FOr fs -> F.or_ store (List.map (build store) fs)
+
+let gen_fd nvars =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [ (8, map (fun v -> FVar v) (int_range 0 (nvars - 1)));
+        (1, return FTrue); (1, return FFalse) ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (2, leaf);
+            (3, map (fun l -> FAnd l) (list_size (int_range 2 3) (self (depth - 1))));
+            (3, map (fun l -> FOr l) (list_size (int_range 2 3) (self (depth - 1)))) ])
+    3
+
+(* (number of players, formula over them) *)
+let arb_inst lo hi =
+  QCheck.make
+    ~print:(fun (n, f) -> Printf.sprintf "n=%d %s" n (fd_to_string f))
+    QCheck.Gen.(int_range lo hi >>= fun n -> map (fun f -> (n, f)) (gen_fd n))
+
+let popcount mask =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 mask
+
+let mem mask v = mask land (1 lsl v) <> 0
+
+(* Per-size satisfying-subset counts of [fd] over n variables, by
+   enumerating all 2^n assignments. *)
+let brute_counts n fd =
+  let counts = Array.make (n + 1) 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    if eval_fd (mem mask) fd then
+      counts.(popcount mask) <- counts.(popcount mask) + 1
+  done;
+  counts
+
+(* The permutation definition of the Shapley value of player [p] in the
+   Boolean game u(S) = 1[fd(S)], as a subset sum. *)
+let brute_shapley n fd p =
+  let fact k =
+    let r = ref 1 in
+    for i = 2 to k do r := !r * i done;
+    !r
+  in
+  let total = ref Q.zero in
+  for mask = 0 to (1 lsl n) - 1 do
+    if not (mem mask p) then begin
+      let u0 = eval_fd (mem mask) fd in
+      let u1 = eval_fd (mem (mask lor (1 lsl p))) fd in
+      if u1 <> u0 then begin
+        let s = popcount mask in
+        let w = Q.of_ints (fact s * fact (n - 1 - s)) (fact n) in
+        total := (if u1 then Q.add !total w else Q.sub !total w)
+      end
+    end
+  done;
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* Formula layer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let formula_props =
+  [ prop "interning: equal descriptions share one id" 300 (arb_inst 1 8)
+      (fun (_, fd) ->
+        let store = F.create_store () in
+        F.id (build store fd) = F.id (build store fd));
+    prop "eval agrees with the pure description" 300 (arb_inst 1 10)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let f = build store fd in
+        let ok = ref true in
+        for mask = 0 to (1 lsl n) - 1 do
+          if F.eval f (mem mask) <> eval_fd (mem mask) fd then ok := false
+        done;
+        !ok);
+    prop "cofactor is the semantic cofactor" 300 (arb_inst 1 8)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let f = build store fd in
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          List.iter
+            (fun b ->
+              let g = F.cond store f v b in
+              if List.mem v (F.vars g) then ok := false;
+              for mask = 0 to (1 lsl n) - 1 do
+                let a u = if u = v then b else mem mask u in
+                if F.eval g (mem mask) <> F.eval f a then ok := false
+              done)
+            [ true; false ]
+        done;
+        !ok);
+    prop "vars covers the semantic support" 300 (arb_inst 1 8)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let f = build store fd in
+        let depends v =
+          let flips = ref false in
+          for mask = 0 to (1 lsl n) - 1 do
+            let a0 u = if u = v then false else mem mask u in
+            let a1 u = if u = v then true else mem mask u in
+            if F.eval f a0 <> F.eval f a1 then flips := true
+          done;
+          !flips
+        in
+        (* Simplification may keep a var the semantics ignores (e.g. a
+           subsumed minterm's partner), but never drop one it needs. *)
+        List.for_all (fun v -> List.mem v (F.vars f)) (List.filter depends (List.init n Fun.id)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* d-DNNF compiler                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural d-DNNF invariants, checked over the whole DAG: a decision
+   variable occurs in neither child (decomposability — determinism is
+   by the ⟨v,hi,lo⟩ shape), and the recorded support is exactly the
+   children's supports plus the decision variable. *)
+let rec circuit_wellformed seen node =
+  match node with
+  | D.True | D.False -> true
+  | D.Decision { id; var; hi; lo; _ } ->
+    if Hashtbl.mem seen id then true
+    else begin
+      Hashtbl.add seen id ();
+      (not (F.ISet.mem var (D.node_vars hi)))
+      && (not (F.ISet.mem var (D.node_vars lo)))
+      && F.ISet.equal (D.node_vars node)
+           (F.ISet.add var (F.ISet.union (D.node_vars hi) (D.node_vars lo)))
+      && circuit_wellformed seen hi
+      && circuit_wellformed seen lo
+    end
+
+let ddnnf_props =
+  [ prop "model counts match brute force (≤10 vars)" 300 (arb_inst 1 10)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let mgr = D.create store in
+        let c = D.compile mgr (build store fd) in
+        let counts = D.model_counts mgr ~n c in
+        let expected = brute_counts n fd in
+        Array.length counts = n + 1
+        && Array.for_all2 (fun b e -> B.equal b (B.of_int e)) counts expected);
+    prop "model counts match brute force (≤16 vars)" 40 (arb_inst 11 16)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let mgr = D.create store in
+        let c = D.compile mgr (build store fd) in
+        let counts = D.model_counts mgr ~n c in
+        let expected = brute_counts n fd in
+        Array.for_all2 (fun b e -> B.equal b (B.of_int e)) counts expected);
+    prop "circuits are decomposable with exact supports" 300 (arb_inst 1 10)
+      (fun (_, fd) ->
+        let store = F.create_store () in
+        let mgr = D.create store in
+        circuit_wellformed (Hashtbl.create 16) (D.compile mgr (build store fd)));
+    prop "conditioning removes the variable and fixes it" 200 (arb_inst 1 8)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let mgr = D.create store in
+        let c = D.compile mgr (build store fd) in
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          List.iter
+            (fun b ->
+              let c' = D.condition mgr c v b in
+              if F.ISet.mem v (D.node_vars c') then ok := false;
+              (* Counting c' over the other n-1 players must match the
+                 brute force of the description with v fixed to b.
+                 Reduced player u < v keeps its index; u ≥ v was u+1. *)
+              let counts = D.model_counts mgr ~n:(n - 1) c' in
+              let expected = Array.make n 0 in
+              for mask = 0 to (1 lsl (n - 1)) - 1 do
+                let a u = if u = v then b else mem mask (if u < v then u else u - 1) in
+                if eval_fd a fd then
+                  expected.(popcount mask) <- expected.(popcount mask) + 1
+              done;
+              if
+                not
+                  (Array.for_all2 (fun bb e -> B.equal bb (B.of_int e)) counts expected)
+              then ok := false)
+            [ true; false ]
+        done;
+        !ok);
+    prop "shapley_diff matches the permutation definition" 200 (arb_inst 1 7)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let mgr = D.create store in
+        let c = D.compile mgr (build store fd) in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          if not (Q.equal (D.shapley_diff mgr ~n c p) (brute_shapley n fd p)) then
+            ok := false
+        done;
+        !ok);
+    prop "circuit Shapley satisfies efficiency" 200 (arb_inst 1 8)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let mgr = D.create store in
+        let c = D.compile mgr (build store fd) in
+        let total = ref Q.zero in
+        for p = 0 to n - 1 do
+          total := Q.add !total (D.shapley_diff mgr ~n c p)
+        done;
+        let grand = eval_fd (fun _ -> true) fd and empty = eval_fd (fun _ -> false) fd in
+        let expected =
+          Q.sub (if grand then Q.one else Q.zero) (if empty then Q.one else Q.zero)
+        in
+        Q.equal !total expected);
+    prop "cache off is semantically identical" 200 (arb_inst 1 9)
+      (fun (n, fd) ->
+        let store = F.create_store () in
+        let cached = D.create ~cache:true store in
+        let uncached = D.create ~cache:false store in
+        let c1 = D.compile cached (build store fd) in
+        let c2 = D.compile uncached (build store fd) in
+        let m1 = D.model_counts cached ~n c1 in
+        let m2 = D.model_counts uncached ~n c2 in
+        Array.for_all2 B.equal m1 m2
+        && List.for_all
+             (fun p -> Q.equal (D.shapley_diff cached ~n c1 p) (D.shapley_diff uncached ~n c2 p))
+             (List.init n Fun.id));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: lineage pipeline vs naive enumeration                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Random oracle trials (the same generator the fuzzer uses): wherever
+   the tier applies, Lineage.shapley_all must be exact-rational
+   identical to per-fact naive enumeration — inside the frontier
+   included. *)
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000)
+
+let lineage_pipeline_props =
+  [ prop "kc equals naive enumeration on random trials" 60 arb_seed (fun seed ->
+        let t = Trial.generate ~max_endo:6 ~seed () in
+        let a = Trial.agg_query t in
+        QCheck.assume (L.supports a.Agg_query.alpha);
+        QCheck.assume (Database.endo_size t.Trial.db > 0);
+        let kc = L.shapley_all a t.Trial.db in
+        let naive =
+          List.map (fun f -> (f, Naive.shapley a t.Trial.db f))
+            (Database.endogenous t.Trial.db)
+        in
+        List.length kc = List.length naive
+        && List.for_all2
+             (fun (f1, v1) (f2, v2) ->
+               Aggshap_relational.Fact.equal f1 f2 && Q.equal v1 v2)
+             kc naive);
+    prop "kc cache on/off bit-identical end to end" 40 arb_seed (fun seed ->
+        let t = Trial.generate ~max_endo:6 ~seed () in
+        let a = Trial.agg_query t in
+        QCheck.assume (L.supports a.Agg_query.alpha);
+        let on = L.shapley_all ~cache:true a t.Trial.db in
+        let off = L.shapley_all ~cache:false a t.Trial.db in
+        List.for_all2
+          (fun (f1, v1) (f2, v2) -> Aggshap_relational.Fact.equal f1 f2 && Q.equal v1 v2)
+          on off);
+    prop "solver dispatch agrees with direct pipeline" 40 arb_seed (fun seed ->
+        let t = Trial.generate ~max_endo:6 ~seed () in
+        let a = Trial.agg_query t in
+        QCheck.assume (not (Solver.within_frontier a.Agg_query.alpha a.Agg_query.query));
+        QCheck.assume (L.supports a.Agg_query.alpha);
+        QCheck.assume (Database.endo_size t.Trial.db > 0);
+        let direct = L.shapley_all a t.Trial.db in
+        let dispatched =
+          fst (Solver.shapley_all ~fallback:`Knowledge_compilation ~jobs:1 a t.Trial.db)
+          |> List.map (fun (f, o) ->
+                 match o with
+                 | Solver.Exact v -> (f, v)
+                 | Solver.Estimate _ -> Alcotest.fail "unexpected estimate")
+        in
+        List.for_all2
+          (fun (f1, v1) (f2, v2) -> Aggshap_relational.Fact.equal f1 f2 && Q.equal v1 v2)
+          direct dispatched);
+  ]
+
+let () =
+  Alcotest.run "lineage"
+    [ ("formula", formula_props);
+      ("ddnnf", ddnnf_props);
+      ("pipeline", lineage_pipeline_props);
+    ]
