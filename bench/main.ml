@@ -4,7 +4,7 @@
    experiment here validates a theorem's observable footprint — the
    polynomial/exponential runtime split at each tractability frontier,
    the agreement of closed forms and reductions with brute force — and
-   prints one table per experiment (E1..E20). A final section runs one
+   prints one table per experiment (E1..E21). A final section runs one
    Bechamel micro-benchmark per experiment.
 
    Usage: bench/main.exe [--quick] [--only e14,e18] [--json FILE]
@@ -1045,6 +1045,146 @@ let e20 () =
     (if quick then [ 3 ] else [ 3; 4; 6 ]);
   List.rev !results
 
+(* E21: the solve planner (`Auto) vs each forced exact tier on E20's
+   beyond-frontier RST family. The planner must pick a route whose
+   values are bit-identical to every forced exact tier (checked here —
+   a MISMATCH fails the bench) and whose wall-clock stays within 1.2x
+   of the best forced tier (bench/validate.exe gates that on the
+   emitted [best_forced_s] field). A deliberately tiny d-DNNF node
+   budget exercises the mid-solve degradation ladder: the forced
+   knowledge-compilation run aborts at the budget and completes on the
+   naive rung with the same values. *)
+let e21 () =
+  header "E21 (solve planner): --fallback auto vs forced exact tiers";
+  Printf.printf
+    "auto rows carry best_forced_s for validate.exe's 1.2x gate; the budget\n\
+     row aborts knowledge compilation mid-solve and degrades to naive.\n";
+  Printf.printf "%-18s %6s %8s %12s %12s %12s %7s %7s\n" "workload" "m" "players"
+    "auto" "kc" "naive" "ratio" "agree";
+  let module Ddnnf = Aggshap_lineage.Ddnnf in
+  let q_rst = Parser.parse_query_exn "Q() <- R(x), T(x, y), S(y)" in
+  (* Same family as E20: n = 3m + 2 players, all endogenous. *)
+  let rst_db m =
+    let db = ref Database.empty in
+    for i = 0 to m - 1 do
+      db := Database.add (Fact.of_ints "R" [ i ]) !db;
+      db := Database.add (Fact.of_ints "S" [ i ]) !db;
+      db := Database.add (Fact.of_ints "T" [ i; i ]) !db
+    done;
+    for i = 0 to Stdlib.min 1 (m - 1) do
+      db := Database.add (Fact.of_ints "T" [ i; (i + 1) mod m ]) !db
+    done;
+    !db
+  in
+  let exact_vec (all, _report) =
+    List.map
+      (fun (f, outcome) ->
+        match outcome with
+        | Core.Solver.Exact v -> (f, v)
+        | Core.Solver.Estimate _ -> failwith "E21: unexpected estimate")
+      all
+  in
+  let same a b =
+    List.length a = List.length b
+    && List.for_all2 (fun (f, v) (g, w) -> Fact.equal f g && Q.equal v w) a b
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let a = Agg_query.make Aggregate.Count (Value_fn.const ~rel:"R" Q.one) q_rst in
+  let results = ref [] in
+  let row workload m players wall extra =
+    let open Bench_json in
+    results :=
+      Obj
+        ([ ("experiment", String "E21");
+           ("workload", String workload);
+           ("n", Int m);
+           ("players", Int players);
+           ("wall_s", Float wall) ]
+        @ extra
+        @ [ ("kernels", Obj []) ])
+      :: !results
+  in
+  (* Full-vector naive is n·2^n: only run it where that is sane. *)
+  let naive_cap = 14 in
+  let sizes = if quick then [ 3; 4 ] else [ 3; 4; 6; 8 ] in
+  List.iter
+    (fun m ->
+      let db = rst_db m in
+      let players = Database.endo_size db in
+      let solve fallback = Core.Solver.shapley_all ~fallback ~jobs:1 a db in
+      let auto_res, t_auto = time (fun () -> solve `Auto) in
+      let kc_res, t_kc = time (fun () -> solve `Knowledge_compilation) in
+      let naive =
+        if players <= naive_cap then Some (time (fun () -> solve `Naive))
+        else None
+      in
+      let auto_vec = exact_vec auto_res in
+      let agree =
+        same auto_vec (exact_vec kc_res)
+        && (match naive with
+            | Some (res, _) -> same auto_vec (exact_vec res)
+            | None -> true)
+      in
+      let best_forced =
+        match naive with
+        | Some (_, t_n) -> Stdlib.min t_kc t_n
+        | None -> t_kc
+      in
+      let ratio = t_auto /. Stdlib.max 1e-9 best_forced in
+      Printf.printf "%-18s %6d %8d %12s %12s %12s %6.1fx %7s\n" "count_rst:auto" m
+        players (pp_time (Some t_auto)) (pp_time (Some t_kc))
+        (pp_time (Option.map snd naive))
+        ratio
+        (if agree then "ok" else "MISMATCH");
+      if not agree then
+        failwith "E21: the planner's auto pick diverges from a forced exact tier";
+      let open Bench_json in
+      row "count_rst:auto" m players t_auto
+        [ ("best_forced_s", Float best_forced);
+          ("algorithm", String (snd auto_res).Core.Solver.algorithm) ];
+      row "count_rst:kc" m players t_kc [];
+      match naive with
+      | Some (_, t_n) -> row "count_rst:naive" m players t_n []
+      | None -> ())
+    sizes;
+  (* The degradation-ladder row: force knowledge compilation with a
+     node budget far below what the compilation needs; the solve must
+     abort mid-compilation, fall to the naive rung, and still agree. *)
+  let m = 3 in
+  let db = rst_db m in
+  let players = Database.endo_size db in
+  Ddnnf.reset_stats ();
+  let budget_res, t_budget =
+    time (fun () ->
+        Core.Solver.shapley_all ~fallback:`Knowledge_compilation
+          ~kc_node_budget:5 ~jobs:1 a db)
+  in
+  let aborts = (Ddnnf.stats ()).Ddnnf.budget_aborts in
+  let naive_vec =
+    exact_vec (Core.Solver.shapley_all ~fallback:`Naive ~jobs:1 a db)
+  in
+  let degraded =
+    contains (snd budget_res).Core.Solver.algorithm "node-budget abort"
+  in
+  let agree = same (exact_vec budget_res) naive_vec in
+  Printf.printf "%-18s %6d %8d %12s %12s %12s %7s %7s\n" "count_rst:budget" m
+    players (pp_time (Some t_budget)) "-" "-" "-"
+    (if degraded && agree && aborts > 0 then "ok" else "MISMATCH");
+  if not degraded then
+    failwith "E21: the node budget did not abort the compilation";
+  if aborts = 0 then failwith "E21: budget abort left the Ddnnf counter at 0";
+  if not agree then
+    failwith "E21: the degraded solve diverges from naive enumeration";
+  (let open Bench_json in
+   row "count_rst:budget" m players t_budget
+     [ ("kc_budget_aborts", Int aborts);
+       ("algorithm", String (snd budget_res).Core.Solver.algorithm) ]);
+  List.rev !results
+
 let write_json path rows =
   let report =
     Bench_json.Obj
@@ -1217,13 +1357,15 @@ let () =
   let e18_rows = rows_of "e18" e18 in
   let e19_rows = rows_of "e19" e19 in
   let e20_rows = rows_of "e20" e20 in
+  let e21_rows = rows_of "e21" e21 in
   if want "a1" then a1 ();
   if want "a2" then a2 ();
   if want "bechamel" then run_bechamel ();
   (match json_path with
    | Some path ->
      write_json path
-       (e14_rows @ e15_rows @ e16_rows @ e18_rows @ e19_rows @ e20_rows)
+       (e14_rows @ e15_rows @ e16_rows @ e18_rows @ e19_rows @ e20_rows
+       @ e21_rows)
    | None -> ());
   print_newline ();
   print_endline "all experiments completed; every cross-check above reports 'ok'"

@@ -3,7 +3,7 @@
    Parse FILE and check it against the BENCH_v1 schema; exit 1 with a
    diagnostic otherwise. With [--compare], additionally gate wall-clock
    regressions against a committed baseline report: every pinned
-   experiment row of the baseline (E13–E16, E18–E20 — the deterministic
+   experiment row of the baseline (E13–E16, E18–E21 — the deterministic
    kernel / incremental / engine benchmarks) must be present in FILE and must
    not be slower than baseline by more than the tolerance (default
    25%). A per-row delta table is always printed; E17 (server latency)
@@ -69,9 +69,9 @@ let load path =
    E19 are pinned so the convolution-tier and join-planner wins stay
    locked in: a regression in either arm of a before/after pair shows
    up as a slower row. E20 pins the knowledge-compilation tier the
-   same way. *)
+   same way, and E21 pins the solve planner's auto tier. *)
 let pinned experiment =
-  List.mem experiment [ "E13"; "E14"; "E15"; "E16"; "E18"; "E19"; "E20" ]
+  List.mem experiment [ "E13"; "E14"; "E15"; "E16"; "E18"; "E19"; "E20"; "E21" ]
 
 (* Tier-selection guard, run on every report (no baseline needed): an
    E18 ":ntt" row where the NTT tier actually fired
@@ -116,6 +116,65 @@ let check_ntt_selection json =
     bad;
   if bad <> [] then exit 1
 
+(* Planner-overhead guard, run on every report (no baseline needed):
+   an E21 ":auto" row must not run slower than 1.2x the best forced
+   exact tier on the same instance — the planner's whole point is that
+   picking a route costs (almost) nothing. The forced wall-clock rides
+   on the auto row itself as [best_forced_s]. Sub-noise-floor pairs are
+   skipped for the same reason as above. A report that carries E21 rows
+   must also carry the ":budget" degradation row, so the
+   abort-and-fall-back path stays exercised in every baseline. *)
+let check_auto_planner json =
+  let open Bench_json in
+  let rows = match member "results" json with Some (List rs) -> rs | _ -> [] in
+  let number = function
+    | Some (Int i) -> Some (float_of_int i)
+    | Some (Float f) -> Some f
+    | _ -> None
+  in
+  let e21 =
+    List.filter
+      (fun r -> match member "experiment" r with
+        | Some (String "E21") -> true
+        | _ -> false)
+      rows
+  in
+  let workload r = match member "workload" r with Some (String w) -> w | _ -> "" in
+  let suffix s tail =
+    let n = String.length s and m = String.length tail in
+    n >= m && String.sub s (n - m) m = tail
+  in
+  let bad =
+    List.filter
+      (fun r ->
+        suffix (workload r) ":auto"
+        &&
+        match (number (member "wall_s" r), number (member "best_forced_s" r)) with
+        | Some wall, Some best ->
+          wall >= noise_floor_s && best >= noise_floor_s
+          && wall > 1.2 *. best
+        | _ -> false)
+      e21
+  in
+  List.iter
+    (fun r ->
+      match (number (member "wall_s" r), number (member "best_forced_s" r),
+             member "n" r) with
+      | Some wall, Some best, Some (Int n) ->
+        Printf.eprintf
+          "validate: planner overhead: %s n=%d took %.4fs vs best forced %.4fs (> 1.2x)\n"
+          (workload r) n wall best
+      | _ -> ())
+    bad;
+  let missing_budget =
+    e21 <> [] && not (List.exists (fun r -> suffix (workload r) ":budget") e21)
+  in
+  if missing_budget then
+    prerr_endline
+      "validate: E21 rows present but no \":budget\" degradation row — the \
+       node-budget abort path is not exercised";
+  if bad <> [] || missing_budget then exit 1
+
 let compare_reports ~tolerance ~base_path baseline current =
   let open Bench_json in
   let base_rows = report_rows baseline in
@@ -124,7 +183,7 @@ let compare_reports ~tolerance ~base_path baseline current =
     List.find_opt (fun r -> row_key r = key) cur_rows
   in
   Printf.printf "\nregression gate: vs %s, tolerance %+.0f%% on pinned rows (%s)\n"
-    base_path tolerance "E13-E16, E18-E20";
+    base_path tolerance "E13-E16, E18-E21";
   Printf.printf "%-44s %10s %10s %8s  %s\n" "row" "baseline" "current" "delta" "gate";
   let failures =
     List.fold_left
@@ -188,6 +247,7 @@ let () =
     Bench_json.schema_version count
     (if count = 1 then "" else "s");
   check_ntt_selection json;
+  check_auto_planner json;
   match args.compare with
   | None -> ()
   | Some base_path ->

@@ -78,28 +78,46 @@ let run_classify query_s =
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_explain query_s agg_s tau_s fallback_s =
+let check_kc_budget = function
+  | Some b when b < 1 -> die "--kc-node-budget must be at least 1 (got %d)" b
+  | _ -> ()
+
+let run_explain query_s agg_s tau_s fallback_s db_path kc_node_budget json =
   let q = parse_query_arg query_s in
   let a = make_agg_query agg_s tau_s q in
   let fallback, _mc_seed = or_die (Api.parse_fallback fallback_s) in
-  let ex = Api.explain ~fallback a in
-  Printf.printf "query: %s\n" (Cq.to_string q);
-  Printf.printf "aggregate: %s\n\n" (Aggregate.to_string a.Agg_query.alpha);
-  Printf.printf "hierarchy chain (each class contains the next):\n";
-  List.iter
-    (fun (name, holds) ->
-      Printf.printf "  %-20s %s\n" name (if holds then "yes" else "no"))
-    ex.Api.chain;
-  Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string ex.Api.cls);
-  Printf.printf "frontier of %s: %s\n"
-    (Aggregate.to_string a.Agg_query.alpha)
-    (Hierarchy.cls_to_string ex.Api.frontier);
-  Printf.printf "within frontier: %s\n"
-    (if ex.Api.within_frontier then "yes (polynomial)" else "no (#P-hard)");
-  Printf.printf "algorithm: %s\n\n" ex.Api.algorithm;
-  Printf.printf "engine decomposition:\n";
-  Format.printf "%a@?" Engine.pp_shape (Engine.shape q);
-  0
+  check_kc_budget kc_node_budget;
+  (* An optional database feeds the planner's cost model; without one
+     the plan still names the route but shows no cost estimates. *)
+  let db = Option.map read_database db_path in
+  let ex = Api.explain ~fallback ?db ?kc_node_budget a in
+  if json then begin
+    (* [to_string] is already newline-terminated. *)
+    print_string (Aggshap_json.Json.to_string (Api.explanation_to_json a ex));
+    0
+  end
+  else begin
+    Printf.printf "query: %s\n" (Cq.to_string q);
+    Printf.printf "aggregate: %s\n\n" (Aggregate.to_string a.Agg_query.alpha);
+    Printf.printf "hierarchy chain (each class contains the next):\n";
+    List.iter
+      (fun (name, holds) ->
+        Printf.printf "  %-20s %s\n" name (if holds then "yes" else "no"))
+      ex.Api.chain;
+    Printf.printf "class: %s\n\n" (Hierarchy.cls_to_string ex.Api.cls);
+    Printf.printf "frontier of %s: %s\n"
+      (Aggregate.to_string a.Agg_query.alpha)
+      (Hierarchy.cls_to_string ex.Api.frontier);
+    Printf.printf "within frontier: %s\n"
+      (if ex.Api.within_frontier then "yes (polynomial)" else "no (#P-hard)");
+    Printf.printf "algorithm: %s\n\n" ex.Api.algorithm;
+    Printf.printf "solve plan (* = chosen):\n";
+    List.iter (fun line -> Printf.printf "  %s\n" line) (Api.plan_lines ex);
+    print_newline ();
+    Printf.printf "engine decomposition:\n";
+    Format.printf "%a@?" Engine.pp_shape (Engine.shape q);
+    0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
@@ -158,12 +176,14 @@ let print_kernel_stats () =
       ("ddnnf_cache_hits", ks.Aggshap_lineage.Ddnnf.cache_hits);
       ("ddnnf_cache_misses", ks.Aggshap_lineage.Ddnnf.cache_misses);
       ("ddnnf_compiles", ks.Aggshap_lineage.Ddnnf.compiles);
-      ("ddnnf_wmc_passes", ks.Aggshap_lineage.Ddnnf.wmc_passes) ];
+      ("ddnnf_wmc_passes", ks.Aggshap_lineage.Ddnnf.wmc_passes);
+      ("kc_budget_aborts", ks.Aggshap_lineage.Ddnnf.budget_aborts) ];
   if ks.Aggshap_lineage.Ddnnf.compiles > 0 then
     Printf.printf "  %-18s compile %.6fs, wmc %.6fs\n" "ddnnf_time"
       ks.Aggshap_lineage.Ddnnf.compile_s ks.Aggshap_lineage.Ddnnf.wmc_s
 
-let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_jobs cache stats =
+let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_jobs cache
+    kc_node_budget stats =
   let q = parse_query_arg query_s in
   let db = read_database db_path in
   warn_schema q db;
@@ -171,6 +191,7 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_j
   let fallback, mc_seed = or_die (Api.parse_fallback fallback_s) in
   let score = or_die (Api.parse_score score_s) in
   check_jobs jobs;
+  check_kc_budget kc_node_budget;
   (match block_jobs with
    | Some b when b < 1 -> die "--block-jobs must be at least 1 (got %d)" b
    | other -> or_die (Api.set_block_jobs other));
@@ -185,8 +206,10 @@ let run_solve query_s db_path agg_s tau_s fact_s fallback_s score_s jobs block_j
   let result =
     match (score, fact_s) with
     | Api.Banzhaf, fact -> or_die (Api.banzhaf_all ?fact a db)
-    | Api.Shapley, Some fact_s -> or_die (Api.shapley_fact ~fallback ?mc_seed a db fact_s)
-    | Api.Shapley, None -> or_die (Api.shapley_all ~fallback ?mc_seed ?jobs ~cache a db)
+    | Api.Shapley, Some fact_s ->
+      or_die (Api.shapley_fact ~fallback ?mc_seed ?kc_node_budget a db fact_s)
+    | Api.Shapley, None ->
+      or_die (Api.shapley_all ~fallback ?mc_seed ?jobs ~cache ?kc_node_budget a db)
   in
   (match result.Api.report with
    | Some report ->
@@ -294,8 +317,9 @@ let client_error = function
   | _ -> die "unexpected response from server"
 
 let run_client action session socket query_s db_path agg_s tau_s fallback_s jobs
-    updates_path op_s retry_ms =
+    updates_path op_s kc_node_budget retry_ms =
   check_jobs jobs;
+  check_kc_budget kc_node_budget;
   let one req print =
     or_die
       (Client.with_connection ~retry_ms socket (fun c ->
@@ -331,7 +355,8 @@ let run_client action session socket query_s db_path agg_s tau_s fallback_s jobs
     let db = read_file "database" db_path in
     one
       (Protocol.Solve_query
-         { query; db; agg = agg_s; tau = tau_s; fallback = Some fallback_s })
+         { query; db; agg = agg_s; tau = tau_s; fallback = Some fallback_s;
+           kc_node_budget })
       (function
       | Protocol.Query_solved { algorithm; values } ->
         Printf.printf "algorithm: %s\n" algorithm;
@@ -363,12 +388,14 @@ let run_client action session socket query_s db_path agg_s tau_s fallback_s jobs
   | "explain" ->
     let session = need_session action session in
     one (Protocol.Explain { session }) (function
-      | Protocol.Explained { cls; frontier; within_frontier; algorithm; _ } ->
+      | Protocol.Explained { cls; frontier; within_frontier; algorithm; plan; _ } ->
         Printf.printf "class: %s\n" cls;
         Printf.printf "frontier: %s\n" frontier;
         Printf.printf "within frontier: %s\n"
           (if within_frontier then "yes (polynomial)" else "no (#P-hard)");
-        Printf.printf "algorithm: %s\n" algorithm
+        Printf.printf "algorithm: %s\n" algorithm;
+        Printf.printf "plan (* = chosen):\n";
+        List.iter (fun line -> Printf.printf "  %s\n" line) plan
       | r -> client_error r);
     0
   | "stats" ->
@@ -445,16 +472,21 @@ let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold legacy
   if max_endo < 1 then die "--max-endo must be at least 1 (got %d)" max_endo;
   check_jobs jobs;
   if max_failures < 1 then die "--max-failures must be at least 1 (got %d)" max_failures;
-  let kc_always =
+  let kc_always, auto_always =
     match or_die (Api.parse_fallback fallback_s) with
-    | `Naive, _ -> false
-    | `Knowledge_compilation, _ -> true
+    | `Naive, _ -> (false, false)
+    | `Knowledge_compilation, _ -> (true, false)
+    | `Auto, _ -> (false, true)
     | (`Monte_carlo _ | `Fail), _ ->
-      die "fuzz --fallback takes naive or knowledge-compilation (got %S)" fallback_s
+      die "fuzz --fallback takes naive, knowledge-compilation, or auto (got %S)"
+        fallback_s
   in
   if kc_always then
     Printf.printf
       "fuzz: knowledge-compilation tier cross-checked on every supported trial\n%!";
+  if auto_always then
+    Printf.printf
+      "fuzz: planner auto mode cross-checked against naive on every trial\n%!";
   (match ntt_threshold with
    | None -> ()
    | Some t ->
@@ -475,7 +507,7 @@ let run_fuzz seed trials max_endo jobs max_failures updates ntt_threshold legacy
   let config =
     { Fuzz.seed; trials; max_endo;
       par_jobs = Option.value jobs ~default:Fuzz.default.Fuzz.par_jobs;
-      max_failures; kc_always }
+      max_failures; kc_always; auto_always }
   in
   if updates then begin
     Printf.printf "fuzz: update sequences, seed=%d trials=%d max-endo=%d\n%!" seed trials
@@ -550,11 +582,20 @@ let score_arg =
 
 let fallback_arg =
   Arg.(value & opt string "naive" & info [ "fallback" ] ~docv:"MODE"
-         ~doc:"What to do outside the tractability frontier: naive (exact, \
-               exponential), knowledge-compilation (or kc; exact via d-DNNF \
-               lineage compilation and weighted model counting), mc:SAMPLES \
-               or mc:SAMPLES:SEED (Monte Carlo; a seed makes the estimates \
+         ~doc:"What to do outside the tractability frontier: auto (the solve \
+               planner picks the cheapest applicable exact tier from the \
+               database's statistics), naive (exact, exponential), \
+               knowledge-compilation (or kc; exact via d-DNNF lineage \
+               compilation and weighted model counting), mc:SAMPLES or \
+               mc:SAMPLES:SEED (Monte Carlo; a seed makes the estimates \
                reproducible), or fail.")
+
+let kc_budget_arg =
+  Arg.(value & opt (some int) None & info [ "kc-node-budget" ] ~docv:"N"
+         ~doc:"Cap the knowledge-compilation tier at N d-DNNF decision \
+               nodes. A compilation that would exceed the budget aborts \
+               mid-solve and the planner falls back to its next choice \
+               (counted by kc_budget_aborts in --stats).")
 
 let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
@@ -588,19 +629,34 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate an aggregate query over a database")
     Term.(const run_eval $ query_arg $ db_arg $ agg_arg $ tau_arg)
 
+let explain_db_arg =
+  Arg.(value & opt (some string) None & info [ "d"; "database" ] ~docv:"FILE"
+         ~doc:"Optional database file; its segment statistics feed the solve \
+               planner's cost model, so the plan shows per-candidate cost \
+               estimates.")
+
+let explain_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Print the explanation as one JSON object (query, aggregate, \
+               hierarchy chain, frontier verdict, and the solve plan with \
+               per-candidate cost estimates and rejection reasons) instead \
+               of text.")
+
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Explain how one aggregate query would be solved: the hierarchy \
              classification chain, the aggregate's tractability frontier, \
-             the selected algorithm, and the decomposition tree the generic \
-             engine evaluates.")
-    Term.(const run_explain $ query_arg $ agg_arg $ tau_arg $ fallback_arg)
+             the solve plan with per-candidate cost estimates, the selected \
+             algorithm, and the decomposition tree the generic engine \
+             evaluates.")
+    Term.(const run_explain $ query_arg $ agg_arg $ tau_arg $ fallback_arg
+          $ explain_db_arg $ kc_budget_arg $ explain_json_arg)
 
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute Shapley values of endogenous facts")
-    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ block_jobs_arg $ cache_arg $ stats_arg)
+    Term.(const run_solve $ query_arg $ db_arg $ agg_arg $ tau_arg $ fact_arg $ fallback_arg $ score_arg $ jobs_arg $ block_jobs_arg $ cache_arg $ kc_budget_arg $ stats_arg)
 
 let updates_file_arg =
   Arg.(required & opt (some string) None & info [ "u"; "updates" ] ~docv:"FILE"
@@ -696,7 +752,8 @@ let client_cmd =
              Monte Carlo is rejected over the wire).")
     Term.(const run_client $ client_action_arg $ client_session_arg $ socket_arg
           $ client_query_arg $ client_db_arg $ agg_arg $ tau_arg $ fallback_arg
-          $ jobs_arg $ client_updates_arg $ client_op_arg $ retry_ms_arg)
+          $ jobs_arg $ client_updates_arg $ client_op_arg $ kc_budget_arg
+          $ retry_ms_arg)
 
 let seed_arg =
   Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED"
@@ -735,10 +792,12 @@ let fuzz_fallback_arg =
   Arg.(value & opt string "naive" & info [ "fallback" ] ~docv:"MODE"
          ~doc:"Which exact fallback tier the campaign stresses: naive \
                (default; the knowledge-compilation tier is still \
-               cross-checked on trials outside the frontier), or \
+               cross-checked on trials outside the frontier), \
                knowledge-compilation (or kc) to additionally drive the \
                lineage pipeline on every trial whose aggregate it \
-               supports, inside the frontier included.")
+               supports, inside the frontier included, or auto to \
+               cross-check the solve planner's pick against naive \
+               enumeration on every trial.")
 
 let ntt_threshold_arg =
   Arg.(value & opt (some int) None & info [ "ntt-threshold" ] ~docv:"L"

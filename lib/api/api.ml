@@ -14,7 +14,9 @@ module Aggregate = Aggshap_agg.Aggregate
 module Value_fn = Aggshap_agg.Value_fn
 module Agg_query = Aggshap_agg.Agg_query
 module Solver = Aggshap_core.Solver
+module Strategy = Aggshap_core.Strategy
 module Engine = Aggshap_core.Engine
+module Json = Aggshap_json.Json
 module Session = Aggshap_incr.Session
 module Script = Aggshap_incr.Script
 module Update = Aggshap_incr.Update
@@ -111,12 +113,13 @@ let make_agg_query ~agg ~tau query =
   in
   trap (fun () -> Agg_query.make alpha tau query)
 
-type fallback = [ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ]
-
 (* mc:SAMPLES or mc:SAMPLES:SEED. Returns the fallback and the optional
-   Monte-Carlo seed. *)
+   Monte-Carlo seed. The fallback type itself lives in
+   {!Aggshap_core.Strategy} — the planner is its only definition. *)
 let parse_fallback s =
-  let mc_usage = "use naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED]" in
+  let mc_usage =
+    "use auto, naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED]"
+  in
   let positive_int what p =
     match int_of_string_opt p with
     | Some n when n > 0 -> Ok n
@@ -126,7 +129,8 @@ let parse_fallback s =
            what p s mc_usage)
   in
   match s with
-  | "naive" -> Ok ((`Naive : fallback), None)
+  | "auto" -> Ok ((`Auto : Strategy.fallback), None)
+  | "naive" -> Ok (`Naive, None)
   | "knowledge-compilation" | "kc" -> Ok (`Knowledge_compilation, None)
   | "fail" -> Ok (`Fail, None)
   | _ when String.length s > 3 && String.sub s 0 3 = "mc:" -> begin
@@ -148,6 +152,19 @@ let parse_fallback s =
     | _ -> Error (Printf.sprintf "cannot parse fallback %S (%s)" s mc_usage)
   end
   | _ -> Error (Printf.sprintf "unknown fallback %S (%s)" s mc_usage)
+
+(* The wire variant: the SHAPWIRE protocol carries exact rationals
+   only, so a Monte-Carlo fallback is rejected here — uniformly for
+   [shapctl client] and raw-mode requests. *)
+let parse_wire_fallback s =
+  let* fb, _seed = parse_fallback s in
+  match fb with
+  | `Monte_carlo _ ->
+    Error
+      "solve_query does not take a Monte-Carlo fallback (the wire carries \
+       exact rationals only)"
+  | (`Auto | `Naive | `Knowledge_compilation | `Fail) as fb ->
+    Ok (fb :> Strategy.fallback)
 
 type score = Shapley | Banzhaf
 
@@ -185,10 +202,13 @@ type explanation = {
   frontier : Hierarchy.cls;
   within_frontier : bool;
   algorithm : string;
+  plan : Strategy.plan;
 }
 
-let explain ?fallback (a : Agg_query.t) =
-  let report = Solver.report ?fallback a in
+let explain ?fallback ?db ?kc_node_budget (a : Agg_query.t) =
+  let stats = Option.map Strategy.db_stats db in
+  let plan = Strategy.plan ?stats ?kc_node_budget ?fallback a in
+  let report = Solver.report ?fallback ?stats ?kc_node_budget a in
   let q = a.Agg_query.query in
   { chain =
       [ ("exists-hierarchical", Hierarchy.is_exists_hierarchical q);
@@ -198,7 +218,60 @@ let explain ?fallback (a : Agg_query.t) =
     cls = report.Solver.cls;
     frontier = report.Solver.frontier;
     within_frontier = report.Solver.within_frontier;
-    algorithm = report.Solver.algorithm }
+    algorithm = report.Solver.algorithm;
+    plan }
+
+(* One line per planner candidate, shared by [shapctl explain] and the
+   server's explain op. *)
+let plan_lines (ex : explanation) = Strategy.render_candidates ex.plan
+
+let plan_to_json (p : Strategy.plan) =
+  let opt name to_json = function
+    | None -> []
+    | Some v -> [ (name, to_json v) ]
+  in
+  let candidate (c : Strategy.candidate) =
+    Json.Obj
+      ([ ("strategy", Json.String (Strategy.route_label c.route));
+         ("algorithm", Json.String c.algorithm);
+         ("applicable", Json.Bool c.applicable) ]
+      @ opt "cost" (fun x -> Json.Float x) c.cost
+      @ [ ("reason", Json.String c.reason) ])
+  in
+  let stats (s : Strategy.db_stats) =
+    Json.Obj
+      [ ("endogenous", Json.Int s.endo);
+        ("facts", Json.Int s.facts);
+        ("relations", Json.Int s.relations) ]
+  in
+  Json.Obj
+    ([ ("fallback", Json.String (Strategy.fallback_label p.requested));
+       ("chosen", Json.String (Strategy.route_label p.chosen));
+       ("algorithm", Json.String p.algorithm);
+       ( "ladder",
+         Json.List
+           (List.map (fun r -> Json.String (Strategy.route_label r)) p.ladder)
+       );
+       ("candidates", Json.List (List.map candidate p.candidates)) ]
+    @ opt "kc_node_budget" (fun b -> Json.Int b) p.kc_node_budget
+    @ opt "stats" stats p.stats)
+
+let explanation_to_json (a : Agg_query.t) (ex : explanation) =
+  Json.Obj
+    [ ("query", Json.String (Cq.to_string a.Agg_query.query));
+      ("aggregate", Json.String (Aggregate.to_string a.Agg_query.alpha));
+      ( "chain",
+        Json.List
+          (List.map
+             (fun (name, holds) ->
+               Json.Obj
+                 [ ("class", Json.String name); ("holds", Json.Bool holds) ])
+             ex.chain) );
+      ("class", Json.String (Hierarchy.cls_to_string ex.cls));
+      ("frontier", Json.String (Hierarchy.cls_to_string ex.frontier));
+      ("within_frontier", Json.Bool ex.within_frontier);
+      ("algorithm", Json.String ex.algorithm);
+      ("plan", plan_to_json ex.plan) ]
 
 (* ------------------------------------------------------------------ *)
 (* Solving                                                             *)
@@ -218,15 +291,19 @@ type solve_result = {
   report : Solver.report option;  (** [None] for Banzhaf (no report attached) *)
 }
 
-let shapley_all ?(fallback = `Naive) ?mc_seed ?jobs ?cache a db =
+let shapley_all ?fallback ?mc_seed ?jobs ?cache ?kc_node_budget a db =
   trap (fun () ->
-      let values, report = Solver.shapley_all ~fallback ?mc_seed ?jobs ?cache a db in
+      let values, report =
+        Solver.shapley_all ?fallback ?mc_seed ?jobs ?cache ?kc_node_budget a db
+      in
       { values; report = Some report })
 
-let shapley_fact ?(fallback = `Naive) ?mc_seed a db fact_s =
+let shapley_fact ?fallback ?mc_seed ?kc_node_budget a db fact_s =
   let* f, _prov = parse_fact fact_s in
   trap (fun () ->
-      let outcome, report = Solver.shapley ~fallback ?mc_seed a db f in
+      let outcome, report =
+        Solver.shapley ?fallback ?mc_seed ?kc_node_budget a db f
+      in
       { values = [ (f, outcome) ]; report = Some report })
 
 let banzhaf_all ?fact a db =

@@ -15,6 +15,8 @@ module Aggregate = Aggshap_agg.Aggregate
 module Value_fn = Aggshap_agg.Value_fn
 module Agg_query = Aggshap_agg.Agg_query
 module Solver = Aggshap_core.Solver
+module Strategy = Aggshap_core.Strategy
+module Json = Aggshap_json.Json
 module Session = Aggshap_incr.Session
 module Script = Aggshap_incr.Script
 module Update = Aggshap_incr.Update
@@ -48,11 +50,18 @@ val make_agg_query :
 (** Parses the aggregate and τ spec ([None] = {!default_tau}) and
     builds the aggregate query. *)
 
-type fallback = [ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ]
+val parse_fallback :
+  string -> (Strategy.fallback * int option, string) result
+(** [auto | naive | knowledge-compilation (or kc) | fail |
+    mc:SAMPLES[:SEED]]; the second component is the Monte-Carlo seed,
+    if one was given. The fallback type is
+    {!Aggshap_core.Strategy.fallback} — the solve planner owns its only
+    definition. *)
 
-val parse_fallback : string -> (fallback * int option, string) result
-(** [naive | knowledge-compilation (or kc) | fail | mc:SAMPLES[:SEED]];
-    the second component is the Monte-Carlo seed, if one was given. *)
+val parse_wire_fallback : string -> (Strategy.fallback, string) result
+(** {!parse_fallback} restricted to what the SHAPWIRE protocol carries:
+    exact rationals only, so [mc:...] is rejected with the same message
+    in [shapctl client] and raw-mode requests. *)
 
 type score = Shapley | Banzhaf
 
@@ -80,9 +89,27 @@ type explanation = {
   frontier : Hierarchy.cls;
   within_frontier : bool;
   algorithm : string;
+  plan : Strategy.plan;  (** the full planner decision *)
 }
 
-val explain : ?fallback:fallback -> Agg_query.t -> explanation
+val explain :
+  ?fallback:Strategy.fallback ->
+  ?db:Database.t ->
+  ?kc_node_budget:int ->
+  Agg_query.t ->
+  explanation
+(** Classification plus the solve plan. [db] feeds the planner's cost
+    model (without it the cost column is empty and [`Auto] picks by
+    applicability alone). *)
+
+val plan_lines : explanation -> string list
+(** One rendered line per planner candidate — what [shapctl explain]
+    and the server's explain op print. *)
+
+val explanation_to_json : Agg_query.t -> explanation -> Json.t
+(** The machine-readable form behind [shapctl explain --json]: query,
+    aggregate, hierarchy chain, frontier verdict, and the plan with
+    per-candidate cost estimates and rejection reasons. *)
 
 (** {1 Solving} *)
 
@@ -100,12 +127,13 @@ type solve_result = {
 }
 
 val shapley_all :
-  ?fallback:fallback -> ?mc_seed:int -> ?jobs:int -> ?cache:bool ->
+  ?fallback:Strategy.fallback -> ?mc_seed:int -> ?jobs:int -> ?cache:bool ->
+  ?kc_node_budget:int ->
   Agg_query.t -> Database.t -> (solve_result, string) result
 (** All endogenous facts, through {!Solver.shapley_all}. *)
 
 val shapley_fact :
-  ?fallback:fallback -> ?mc_seed:int ->
+  ?fallback:Strategy.fallback -> ?mc_seed:int -> ?kc_node_budget:int ->
   Agg_query.t -> Database.t -> string -> (solve_result, string) result
 (** One fact, given in fact syntax. *)
 

@@ -5,11 +5,12 @@ type config = {
   par_jobs : int;
   max_failures : int;
   kc_always : bool;
+  auto_always : bool;
 }
 
 let default =
   { seed = 0; trials = 100; max_endo = 8; par_jobs = 2; max_failures = 3;
-    kc_always = false }
+    kc_always = false; auto_always = false }
 
 type failure_report = {
   trial : Trial.t;
@@ -42,9 +43,9 @@ let parse_corpus contents =
            | Some seed -> Some seed
            | None -> invalid_arg ("Fuzz.parse_corpus: malformed seed " ^ s)))
 
-let run_one ?max_endo ?par_jobs ?kc_always ~seed () =
+let run_one ?max_endo ?par_jobs ?kc_always ?auto_always ~seed () =
   let trial = Trial.generate ?max_endo ~seed () in
-  (trial, Oracle.run ?par_jobs ?kc_always trial)
+  (trial, Oracle.run ?par_jobs ?kc_always ?auto_always trial)
 
 type ufailure_report = {
   utrial : Utrial.t;
@@ -95,7 +96,7 @@ let run ?on_trial config =
     let seed = trial_seed ~master:config.seed !i in
     let trial, outcome =
       run_one ~max_endo:config.max_endo ~par_jobs:config.par_jobs
-        ~kc_always:config.kc_always ~seed ()
+        ~kc_always:config.kc_always ~auto_always:config.auto_always ~seed ()
     in
     (match on_trial with Some f -> f !i trial | None -> ());
     incr ran;
@@ -103,7 +104,8 @@ let run ?on_trial config =
      | None -> ()
      | Some failure ->
        let check t =
-         Oracle.run ~par_jobs:config.par_jobs ~kc_always:config.kc_always t
+         Oracle.run ~par_jobs:config.par_jobs ~kc_always:config.kc_always
+           ~auto_always:config.auto_always t
        in
        let shrunk, shrunk_failure = Shrink.minimize check trial failure in
        failures := { trial; failure; shrunk; shrunk_failure } :: !failures);

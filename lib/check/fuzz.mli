@@ -13,11 +13,14 @@ type config = {
   kc_always : bool;
       (** also cross-check the knowledge-compilation tier on trials
           {e inside} the frontier (it is always checked outside) *)
+  auto_always : bool;
+      (** also cross-check the solve planner's [`Auto] route on trials
+          {e inside} the frontier (it is always checked outside) *)
 }
 
 val default : config
 (** [{ seed = 0; trials = 100; max_endo = 8; par_jobs = 2; max_failures = 3;
-       kc_always = false }] *)
+       kc_always = false; auto_always = false }] *)
 
 type failure_report = {
   trial : Trial.t;  (** the trial as generated *)
@@ -40,7 +43,8 @@ val parse_corpus : string -> int list
     @raise Invalid_argument on a malformed line. *)
 
 val run_one :
-  ?max_endo:int -> ?par_jobs:int -> ?kc_always:bool -> seed:int -> unit ->
+  ?max_endo:int -> ?par_jobs:int -> ?kc_always:bool -> ?auto_always:bool ->
+  seed:int -> unit ->
   Trial.t * Oracle.failure option
 (** Generate and check a single trial from a derived seed. *)
 

@@ -78,7 +78,7 @@ let symmetric_players (g : Game.t) i j =
   done;
   !ok
 
-let run_checks ~par_jobs ~kc_always (t : Trial.t) =
+let run_checks ~par_jobs ~kc_always ~auto_always (t : Trial.t) =
   let a = Trial.agg_query t in
   let db = t.db in
   let endo = Database.endogenous db in
@@ -260,6 +260,19 @@ let run_checks ~par_jobs ~kc_always (t : Trial.t) =
           (Lineage.shapley_all a db)
       else None
     in
+    let check_auto () =
+      (* The solve planner never trades exactness for speed: whatever
+         route [`Auto] picks — the frontier DP, knowledge compilation,
+         or naive enumeration — must be bit-identical to the naive
+         reference. Always checked outside the frontier (where the
+         planner actually chooses); [auto_always] extends it to every
+         trial, DP dispatch included. *)
+      if within && not auto_always then None
+      else
+        same_exact_results "auto-vs-naive" (Lazy.force per_fact_list)
+          (exact_results
+             (fst (Solver.shapley_all ~fallback:`Auto ~jobs:1 a db)))
+    in
     let check_fail_up_front () =
       if within then None
       else begin
@@ -305,16 +318,17 @@ let run_checks ~par_jobs ~kc_always (t : Trial.t) =
     first_failure
       [ check_oracle_sanity; check_agreement; check_efficiency; check_null_player;
         check_symmetry; check_sum_linearity; check_engine_equivalence;
-        check_knowledge_compilation; check_fail_up_front; check_mc_reproducible ]
+        check_knowledge_compilation; check_auto; check_fail_up_front;
+        check_mc_reproducible ]
   end
 
-let run ?(par_jobs = 2) ?(kc_always = false) t =
+let run ?(par_jobs = 2) ?(kc_always = false) ?(auto_always = false) t =
   let endo = Database.endo_size t.Trial.db in
   if endo > Game.max_players then
     fail "oracle-limit" "%d endogenous facts exceed the naive oracle's cap of %d" endo
       Game.max_players
   else
-    try run_checks ~par_jobs ~kc_always t
+    try run_checks ~par_jobs ~kc_always ~auto_always t
     with e -> fail "exception" "%s" (Printexc.to_string e)
 
 module Batch = Aggshap_core.Batch

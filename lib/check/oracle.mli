@@ -15,7 +15,9 @@ type failure = {
 
 val failure_to_string : failure -> string
 
-val run : ?par_jobs:int -> ?kc_always:bool -> Trial.t -> failure option
+val run :
+  ?par_jobs:int -> ?kc_always:bool -> ?auto_always:bool ->
+  Trial.t -> failure option
 (** First failing check of the trial, or [None] when all pass.
     [par_jobs] (default [2]) is the pool width used by the parallel
     engine-equivalence checks; pass [1] to keep the whole run in the
@@ -24,6 +26,9 @@ val run : ?par_jobs:int -> ?kc_always:bool -> Trial.t -> failure option
     reference on every trial outside the frontier whose aggregate it
     supports; [kc_always] (default [false]) extends that check to trials
     inside the frontier by driving {!Aggshap_lineage.Lineage} directly.
+    The solve planner's [`Auto] route is likewise checked bit-identical
+    to the naive reference on every trial outside the frontier;
+    [auto_always] (default [false]) extends it to every trial.
     Exceptions escaping the system under test are reported as an
     ["exception"] failure rather than propagated. *)
 

@@ -3,6 +3,8 @@ module Hierarchy = Aggshap_cq.Hierarchy
 module Agg_query = Aggshap_agg.Agg_query
 module Aggregate = Aggshap_agg.Aggregate
 module Database = Aggshap_relational.Database
+module Lineage = Aggshap_lineage.Lineage
+module Ddnnf = Aggshap_lineage.Ddnnf
 
 type outcome =
   | Exact of Q.t
@@ -20,43 +22,24 @@ let within_frontier = Frontier.within
 
 let frontier_algorithm (a : Agg_query.t) =
   match a.alpha with
-  | Aggregate.Sum | Aggregate.Count ->
-    ("sum/count via linearity + Boolean DP", fun a db f -> Sum_count.shapley a db f)
-  | Aggregate.Count_distinct ->
-    ("count-distinct via per-value Boolean DP", fun a db f -> Cdist.shapley a db f)
-  | Aggregate.Min | Aggregate.Max ->
-    ("min/max (a,k)-table DP", fun a db f -> Minmax.shapley a db f)
+  | Aggregate.Sum | Aggregate.Count -> fun a db f -> Sum_count.shapley a db f
+  | Aggregate.Count_distinct -> fun a db f -> Cdist.shapley a db f
+  | Aggregate.Min | Aggregate.Max -> fun a db f -> Minmax.shapley a db f
   | Aggregate.Avg | Aggregate.Median | Aggregate.Quantile _ ->
-    ("avg/quantile (a,k,l)-table DP", fun a db f -> Avg_quantile.shapley a db f)
-  | Aggregate.Has_duplicates ->
-    ("has-duplicates P0/P1 DP", fun a db f -> Dup.shapley a db f)
+    fun a db f -> Avg_quantile.shapley a db f
+  | Aggregate.Has_duplicates -> fun a db f -> Dup.shapley a db f
 
 let make_report (a : Agg_query.t) algorithm =
   let cls = Hierarchy.classify a.query in
   let front = frontier a.alpha in
   { cls; frontier = front; within_frontier = Hierarchy.cls_leq cls front; algorithm }
 
-module Lineage = Aggshap_lineage.Lineage
-
-let fallback_name (a : Agg_query.t) = function
-  | `Naive -> "naive enumeration (exponential)"
-  | `Monte_carlo _ -> "Monte-Carlo permutation sampling"
-  | `Knowledge_compilation ->
-    if Lineage.supports a.alpha then
-      "knowledge compilation (d-DNNF lineage, Shapley by weighted model counting)"
-    else
-      Printf.sprintf
-        "naive enumeration (exponential; knowledge compilation does not cover %s)"
-        (Aggregate.to_string a.alpha)
-  | `Fail -> "none (outside the frontier, fallback disabled)"
-
-(* The single source of algorithm names: [shapley], [shapley_all] and
-   [shapctl explain] all describe the algorithm that would run through
-   this report. *)
-let report ?(fallback = `Naive) (a : Agg_query.t) =
-  make_report a
-    (if within_frontier a.alpha a.query then fst (frontier_algorithm a)
-     else fallback_name a fallback)
+(* All dispatch goes through the solve planner ({!Strategy}): it owns
+   the route enumeration, the cost model, the algorithm names and the
+   degradation ladder; this module only executes the routes. *)
+let report ?fallback ?stats ?kc_node_budget (a : Agg_query.t) =
+  let p = Strategy.plan ?stats ?kc_node_budget ?fallback a in
+  make_report a p.Strategy.algorithm
 
 let frontier_error (a : Agg_query.t) =
   invalid_arg
@@ -66,24 +49,39 @@ let frontier_error (a : Agg_query.t) =
        (Hierarchy.cls_to_string (frontier a.alpha))
        (Aggregate.to_string a.alpha))
 
-let shapley ?(fallback = `Naive) ?mc_seed (a : Agg_query.t) db f =
-  let rep = report ~fallback a in
-  if rep.within_frontier then begin
-    let _, solve = frontier_algorithm a in
-    (Exact (solve a db f), rep)
-  end
-  else begin
-    match fallback with
-    | `Naive -> (Exact (Naive.shapley a db f), rep)
-    | `Knowledge_compilation ->
-      (* The lineage tier covers the event-decomposable aggregates;
-         the rest keep the naive behaviour so the tier is total. *)
-      if Lineage.supports a.alpha then (Exact (Lineage.shapley a db f), rep)
-      else (Exact (Naive.shapley a db f), rep)
-    | `Monte_carlo samples ->
-      (Estimate (Monte_carlo.shapley ?seed:mc_seed ~samples a db f), rep)
-    | `Fail -> frontier_error a
-  end
+(* Execute one rung for a single fact. *)
+let run_route ?mc_seed ?kc_node_budget (a : Agg_query.t) db f = function
+  | Strategy.Frontier_dp -> Exact ((frontier_algorithm a) a db f)
+  | Strategy.Knowledge_compilation ->
+    Exact (Lineage.shapley ?budget:kc_node_budget a db f)
+  | Strategy.Naive -> Exact (Naive.shapley a db f)
+  | Strategy.Monte_carlo samples ->
+    Estimate (Monte_carlo.shapley ?seed:mc_seed ~samples a db f)
+  | Strategy.Fail -> frontier_error a
+
+(* Walk the plan's degradation ladder: a rung aborting on the d-DNNF
+   node budget falls to the next one (the knowledge-compilation
+   analogue of the Int_overflow abort-and-retry in Tables.convolve).
+   The report names the rung that actually answered. *)
+let run_ladder (p : Strategy.plan) a exec =
+  let rec go aborted = function
+    | [] -> frontier_error a
+    | route :: rest -> (
+      match exec route with
+      | result ->
+        let algorithm =
+          if aborted then Strategy.degraded_name a route else p.Strategy.algorithm
+        in
+        (result, make_report a algorithm)
+      | exception Ddnnf.Budget_exceeded -> go true rest)
+  in
+  go false p.Strategy.ladder
+
+let shapley ?fallback ?mc_seed ?kc_node_budget (a : Agg_query.t) db f =
+  let p =
+    Strategy.plan ~stats:(Strategy.db_stats db) ?kc_node_budget ?fallback a
+  in
+  run_ladder p a (fun route -> run_route ?mc_seed ?kc_node_budget a db f route)
 
 let banzhaf (a : Agg_query.t) db f =
   if within_frontier a.alpha a.query then begin
@@ -113,32 +111,33 @@ let shapley_exact a db f =
 let per_fact_seed mc_seed i =
   Option.map (fun s -> s + ((i + 1) * 0x9e3779b9)) mc_seed
 
-let shapley_all ?(fallback = `Naive) ?mc_seed ?jobs ?(cache = true) (a : Agg_query.t) db =
-  let rep = report ~fallback a in
-  if rep.within_frontier then begin
-    let results, _stats = Batch.shapley_all ?jobs ~cache a db in
-    (List.map (fun (f, v) -> (f, Exact v)) results, rep)
-  end
-  else begin
-    (* [`Fail] must raise before any worker domain is spawned: letting
-       the pool fan out and every worker raise mid-batch reported the
-       algorithm as "none" while workers died one by one. *)
-    (match fallback with
-     | `Fail -> frontier_error a
-     | `Naive | `Monte_carlo _ | `Knowledge_compilation -> ());
-    match fallback with
-    | `Knowledge_compilation when Lineage.supports a.alpha ->
+let shapley_all ?fallback ?mc_seed ?jobs ?(cache = true) ?kc_node_budget
+    (a : Agg_query.t) db =
+  let p =
+    Strategy.plan ~stats:(Strategy.db_stats db) ?kc_node_budget ?fallback a
+  in
+  (* [`Fail] must raise before any worker domain is spawned: letting
+     the pool fan out and every worker raise mid-batch reported the
+     algorithm as "none" while workers died one by one. *)
+  if p.Strategy.chosen = Strategy.Fail then frontier_error a;
+  let run_batch = function
+    | Strategy.Frontier_dp ->
+      let results, _stats = Batch.shapley_all ?jobs ~cache a db in
+      List.map (fun (f, v) -> (f, Exact v)) results
+    | Strategy.Knowledge_compilation ->
       (* One extraction + one compilation serve every fact, so the
          batch runs in the calling domain instead of fanning out. *)
-      (List.map (fun (f, v) -> (f, Exact v)) (Lineage.shapley_all a db), rep)
-    | _ ->
+      List.map
+        (fun (f, v) -> (f, Exact v))
+        (Lineage.shapley_all ?budget:kc_node_budget a db)
+    | Strategy.Fail -> frontier_error a
+    | (Strategy.Naive | Strategy.Monte_carlo _) as route ->
       let indexed = List.mapi (fun i f -> (i, f)) (Database.endogenous db) in
-      let results =
-        Batch.map ?jobs
-          (fun (i, f) ->
-            fst (shapley ~fallback ?mc_seed:(per_fact_seed mc_seed i) a db f))
-          indexed
-        |> List.map (fun ((_, f), o) -> (f, o))
-      in
-      (results, rep)
-  end
+      Batch.map ?jobs
+        (fun (i, f) ->
+          run_route ?mc_seed:(per_fact_seed mc_seed i) ?kc_node_budget a db f
+            route)
+        indexed
+      |> List.map (fun ((_, f), o) -> (f, o))
+  in
+  run_ladder p a run_batch

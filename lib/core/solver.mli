@@ -1,6 +1,7 @@
-(** Front door of the library: classify the query, pick the right
-    algorithm, and report which side of the tractability frontier the
-    instance fell on — Figure 1 of the paper, operationally.
+(** Front door of the library: classify the query, let the solve
+    planner ({!Strategy}) pick the route, and report which side of the
+    tractability frontier the instance fell on — Figure 1 of the paper,
+    operationally.
 
     For each aggregate function the {e frontier} is the class of CQs
     (without self-joins) for which the Shapley value is computable in
@@ -11,11 +12,14 @@
     - Avg, Median, Quantile → q-hierarchical (Theorem 5.1),
     - Has-duplicates → sq-hierarchical (Theorem 6.1).
 
-    Outside the frontier the solver can fall back to knowledge
-    compilation (exact, via {!Aggshap_lineage}: lineage → d-DNNF →
-    weighted model counting — exponential only in the lineage's
-    branching structure, not in the fact count), to exact enumeration
-    (always exponential), or to Monte-Carlo estimation. *)
+    Outside the frontier the {!Strategy.fallback} request decides:
+    knowledge compilation (exact, via {!Aggshap_lineage}: lineage →
+    d-DNNF → weighted model counting), exact enumeration (always
+    exponential), Monte-Carlo estimation, [`Fail], or [`Auto] — the
+    planner picks the cheapest applicable exact tier under its cost
+    model. Execution walks the plan's degradation ladder: a
+    knowledge-compilation run aborting on its d-DNNF node budget falls
+    to the next rung instead of failing. *)
 
 type outcome =
   | Exact of Aggshap_arith.Rational.t
@@ -35,31 +39,40 @@ val within_frontier : Aggshap_agg.Aggregate.t -> Aggshap_cq.Cq.t -> bool
     every localized τ)? *)
 
 val report :
-  ?fallback:[ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ] ->
+  ?fallback:Strategy.fallback ->
+  ?stats:Strategy.db_stats ->
+  ?kc_node_budget:int ->
   Aggshap_agg.Agg_query.t ->
   report
 (** The report {!shapley} and {!shapley_all} would attach, without
     solving anything: classification of the query, frontier of the
-    aggregate, and the name of the algorithm that would run (the
-    frontier algorithm inside, the [fallback]'s name outside; default
-    [`Naive]). The single source of algorithm names — [shapctl explain]
-    prints exactly this. *)
+    aggregate, and the name of the algorithm the planner would choose
+    (the frontier algorithm inside, the [fallback]'s route outside;
+    default [`Naive]). [stats] feeds the planner's cost model — without
+    it [`Auto] picks by applicability alone. The algorithm vocabulary
+    lives in {!Strategy.route_name}; [shapctl explain] prints exactly
+    this. *)
 
 val shapley :
-  ?fallback:[ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ] ->
+  ?fallback:Strategy.fallback ->
   ?mc_seed:int ->
+  ?kc_node_budget:int ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
   outcome * report
 (** Computes the Shapley value of an endogenous fact. Within the frontier
-    the matching polynomial algorithm runs; outside, [fallback] decides
-    (default [`Naive]). [`Knowledge_compilation] runs the exact lineage
-    tier ({!Aggshap_lineage.Lineage}) for the event-decomposable
-    aggregates (Sum, Count, CDist, Min, Max, Has-dup) and keeps the
-    naive behaviour for the others — the report's [algorithm] string
-    says which. [mc_seed] makes a [`Monte_carlo] fallback reproducible
-    (it is ignored by the exact paths).
+    the matching polynomial algorithm runs; outside, the planner's
+    choice for [fallback] (default [`Naive]) does. [`Knowledge_compilation]
+    runs the exact lineage tier ({!Aggshap_lineage.Lineage}) for the
+    event-decomposable aggregates (Sum, Count, CDist, Min, Max,
+    Has-dup) and keeps the naive behaviour for the others; [`Auto] lets
+    the planner pick the cheapest applicable exact tier — the report's
+    [algorithm] string says which. [kc_node_budget] caps the d-DNNF
+    node count: an aborted compilation falls down the plan's ladder
+    (to naive enumeration) and the report says so. [mc_seed] makes a
+    [`Monte_carlo] fallback reproducible (it is ignored by the exact
+    paths).
     @raise Invalid_argument outside the frontier with [`Fail], or if the
     fact is not endogenous. *)
 
@@ -81,10 +94,11 @@ val shapley_exact :
 (** [shapley] with [`Naive] fallback, unwrapped. *)
 
 val shapley_all :
-  ?fallback:[ `Naive | `Monte_carlo of int | `Knowledge_compilation | `Fail ] ->
+  ?fallback:Strategy.fallback ->
   ?mc_seed:int ->
   ?jobs:int ->
   ?cache:bool ->
+  ?kc_node_budget:int ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   (Aggshap_relational.Fact.t * outcome) list * report
@@ -93,12 +107,14 @@ val shapley_all :
     per-fact loop fans out over [jobs] domains (default
     {!Pool.default_jobs}[ ()]; [1] is fully sequential) and DP tables are
     shared across facts when [cache] is [true] (the default). Outside the
-    frontier the fallback solver is fanned across the same pool; with
-    [`Fail] the frontier error is raised up-front, before any worker
-    domain is spawned. [mc_seed] seeds a [`Monte_carlo] fallback: each
-    fact gets a distinct seed derived deterministically from [mc_seed]
-    and its position, so estimates are reproducible for every [jobs]
-    value. A supported [`Knowledge_compilation] batch runs in the
-    calling domain instead: one extraction and one compilation serve
-    every fact. Exact results are bit-identical for every
-    [jobs]/[cache] combination. *)
+    frontier the planner's route runs — the fallback solvers fan across
+    the same pool; with [`Fail] the frontier error is raised up-front,
+    before any worker domain is spawned. [mc_seed] seeds a
+    [`Monte_carlo] fallback: each fact gets a distinct seed derived
+    deterministically from [mc_seed] and its position, so estimates are
+    reproducible for every [jobs] value. A supported
+    [`Knowledge_compilation] (or auto-picked) batch runs in the calling
+    domain instead: one extraction and one compilation serve every
+    fact; if it aborts on [kc_node_budget] the batch re-runs on the
+    ladder's next rung. Exact results are bit-identical for every
+    [jobs]/[cache] combination and every exact route. *)

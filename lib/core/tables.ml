@@ -74,7 +74,8 @@ type fault =
   | `Block_drop
   | `Ntt_prime_drop
   | `Stale_index
-  | `Ddnnf_cache_poison ]
+  | `Ddnnf_cache_poison
+  | `Kc_budget_leak ]
 
 let fault : fault ref = ref `None
 
@@ -82,9 +83,10 @@ let fault : fault ref = ref `None
    layer (the first must corrupt the multiplications of every caller,
    the second the CRT reconstruction inside [Ntt]), [`Stale_index]
    in the relational storage layer (index maintenance skipped on
-   updates), and [`Ddnnf_cache_poison] in the knowledge-compilation
-   tier's circuit compiler, so the setter keeps [Bigint.fault],
-   [Ntt.fault], [Database.fault] and [Ddnnf.fault] in sync. *)
+   updates), and [`Ddnnf_cache_poison] / [`Kc_budget_leak] in the
+   knowledge-compilation tier's circuit compiler, so the setter keeps
+   [Bigint.fault], [Ntt.fault], [Database.fault] and [Ddnnf.fault] in
+   sync. *)
 let set_fault f =
   fault := f;
   B.fault := (match f with `Karatsuba_split -> `Karatsuba_split | _ -> `None);
@@ -92,7 +94,10 @@ let set_fault f =
   Aggshap_relational.Database.fault :=
     (match f with `Stale_index -> `Stale_index | _ -> `None);
   Aggshap_lineage.Ddnnf.fault :=
-    (match f with `Ddnnf_cache_poison -> `Cache_poison | _ -> `None)
+    (match f with
+    | `Ddnnf_cache_poison -> `Cache_poison
+    | `Kc_budget_leak -> `Budget_leak
+    | _ -> `None)
 
 let current_fault () = !fault
 
@@ -276,7 +281,8 @@ let convolve a b =
      if la > 1 && lb > 1 then
        out.(Array.length out - 1) <- B.add out.(Array.length out - 1) B.one
    | `None | `Tree_fold_skew | `Karatsuba_split | `Stale_block | `Block_drop
-   | `Ntt_prime_drop | `Stale_index | `Ddnnf_cache_poison -> ());
+   | `Ntt_prime_drop | `Stale_index | `Ddnnf_cache_poison
+   | `Kc_budget_leak -> ());
   out
 
 let convolve_many ts =
@@ -315,7 +321,8 @@ let convolve_many ts =
          out.(len - 2) <- t
        end
      | `None | `Convolve_off_by_one | `Karatsuba_split | `Stale_block | `Block_drop
-     | `Ntt_prime_drop | `Stale_index | `Ddnnf_cache_poison -> ());
+     | `Ntt_prime_drop | `Stale_index | `Ddnnf_cache_poison
+     | `Kc_budget_leak -> ());
     out
 
 let pad p c = if p = 0 then c else convolve c (full p)

@@ -85,7 +85,8 @@ type fault =
   | `Block_drop
   | `Ntt_prime_drop
   | `Stale_index
-  | `Ddnnf_cache_poison ]
+  | `Ddnnf_cache_poison
+  | `Kc_budget_leak ]
 (** Test-only fault injection for the differential-testing oracle
     ({!Aggshap_check}):
     - [`Convolve_off_by_one] makes {!convolve} corrupt its top entry
@@ -124,6 +125,12 @@ type fault =
       children (see {!Aggshap_lineage.Ddnnf.fault}), so every compiled
       circuit that hits the poisoned cache is semantically wrong. Only
       the lineage tier is affected; the frontier DPs ignore it.
+    - [`Kc_budget_leak] breaks the d-DNNF node-budget abort path (see
+      {!Aggshap_lineage.Ddnnf.fault}): past a small node count the
+      compiler silently truncates sub-formulas to [False] instead of
+      raising [Budget_exceeded], so the compiled circuits under-count
+      models and the values drift low. Only the lineage tier is
+      affected; the frontier DPs ignore it.
 
     Every frontier DP funnels through these kernels, so the oracle must
     flag each corruption. Not domain-safe; only toggle around
@@ -133,7 +140,7 @@ val set_fault : fault -> unit
 (** Also keeps [Bigint.fault] in sync for [`Karatsuba_split],
     [Ntt.fault] for [`Ntt_prime_drop], [Database.fault] for
     [`Stale_index], and [Aggshap_lineage.Ddnnf.fault] for
-    [`Ddnnf_cache_poison]. *)
+    [`Ddnnf_cache_poison] and [`Kc_budget_leak]. *)
 
 val current_fault : unit -> fault
 

@@ -32,9 +32,12 @@ type node =
 
 type fault =
   [ `None
-  | `Cache_poison ]
+  | `Cache_poison
+  | `Budget_leak ]
 
 let fault : fault ref = ref `None
+
+exception Budget_exceeded
 
 (* {1 Instrumentation} *)
 
@@ -43,6 +46,7 @@ let c_cache_hits = Atomic.make 0
 let c_cache_misses = Atomic.make 0
 let c_compiles = Atomic.make 0
 let c_wmc_passes = Atomic.make 0
+let c_budget_aborts = Atomic.make 0
 
 (* Wall-time split between compilation and counting; plain refs (the
    knowledge-compilation tier runs in the calling domain). *)
@@ -55,6 +59,7 @@ type stats = {
   cache_misses : int;  (* sub-formulas actually expanded *)
   compiles : int;  (* circuits compiled *)
   wmc_passes : int;  (* per-fact conditioned counting passes *)
+  budget_aborts : int;  (* compilations aborted at the node budget *)
   compile_s : float;  (* time spent compiling *)
   wmc_s : float;  (* time spent counting *)
 }
@@ -65,6 +70,7 @@ let stats () =
     cache_misses = Atomic.get c_cache_misses;
     compiles = Atomic.get c_compiles;
     wmc_passes = Atomic.get c_wmc_passes;
+    budget_aborts = Atomic.get c_budget_aborts;
     compile_s = !t_compile;
     wmc_s = !t_wmc }
 
@@ -74,6 +80,7 @@ let reset_stats () =
   Atomic.set c_cache_misses 0;
   Atomic.set c_compiles 0;
   Atomic.set c_wmc_passes 0;
+  Atomic.set c_budget_aborts 0;
   t_compile := 0.0;
   t_wmc := 0.0
 
@@ -84,14 +91,15 @@ let timed cell f =
 type manager = {
   store : Formula.store;
   use_cache : bool;
+  budget : int option;  (* max decision nodes before Budget_exceeded *)
   unique : (int * int * int, node) Hashtbl.t;  (* (var, hi, lo) -> node *)
   compile_cache : (int, node) Hashtbl.t;  (* formula id -> circuit *)
   count_memo : (int, B.t array) Hashtbl.t;  (* node id -> size polynomial *)
   mutable next_id : int;
 }
 
-let create ?(cache = true) store =
-  { store; use_cache = cache; unique = Hashtbl.create 256;
+let create ?(cache = true) ?budget store =
+  { store; use_cache = cache; budget; unique = Hashtbl.create 256;
     compile_cache = Hashtbl.create 256; count_memo = Hashtbl.create 256;
     next_id = 0 }
 
@@ -112,6 +120,16 @@ let mk mgr var hi lo =
     match Hashtbl.find_opt mgr.unique key with
     | Some n -> n
     | None ->
+      (* The node budget caps the circuit before the next allocation,
+         mirroring the Int_overflow abort-and-retry in Tables.convolve:
+         the caller catches Budget_exceeded and falls back to the
+         planner's next tier. Under [`Budget_leak] the guard is
+         silently skipped (see {!expand}). *)
+      (match mgr.budget with
+      | Some b when mgr.next_id >= b && !fault <> `Budget_leak ->
+        Atomic.incr c_budget_aborts;
+        raise_notrace Budget_exceeded
+      | _ -> ());
       let vars = ISet.add var (ISet.union (node_vars hi) (node_vars lo)) in
       let n = Decision { id = mgr.next_id; var; hi; lo; vars } in
       mgr.next_id <- mgr.next_id + 1;
@@ -125,10 +143,18 @@ let mk mgr var hi lo =
    non-trivial decision swaps its children — the cache now answers with
    a semantically wrong circuit, exactly the corruption the
    differential oracle must catch. With the cache disabled the fault
-   has nothing to poison and compilation stays correct. *)
+   has nothing to poison and compilation stays correct.
+
+   Under [`Budget_leak] the node-budget abort path is broken the
+   quietest way possible: instead of raising {!Budget_exceeded} the
+   compiler hands back the partial circuit it had built, truncating
+   every sub-formula reached after a small node count to [False]. The
+   result under-counts models, so the values drift low — wrong answers
+   the kc-vs-naive differential check must catch and shrink. *)
 let rec expand mgr f =
   if Formula.is_true f then True
   else if Formula.is_false f then False
+  else if !fault = `Budget_leak && mgr.next_id > 4 then False
   else begin
     let fid = Formula.id f in
     match

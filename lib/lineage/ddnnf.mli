@@ -22,24 +22,40 @@ type node =
 
 type fault =
   [ `None
-  | `Cache_poison ]
+  | `Cache_poison
+  | `Budget_leak ]
 
 val fault : fault ref
 (** [`Cache_poison] makes the formula-keyed cache store (and answer
     with) a child-swapped decision node — a semantically wrong circuit
     the differential oracle must catch. Kept in sync with
     {!Aggshap_core.Tables.set_fault} ([`Ddnnf_cache_poison]). With the
-    cache disabled there is nothing to poison. Not domain-safe. *)
+    cache disabled there is nothing to poison. [`Budget_leak] breaks
+    the node-budget abort path: past a small node count the compiler
+    silently truncates sub-formulas to [False] instead of raising
+    {!Budget_exceeded} — under-counted models the differential oracle
+    must catch ([`Kc_budget_leak] on the {!Aggshap_core.Tables} side).
+    Not domain-safe. *)
+
+exception Budget_exceeded
+(** Raised (without a backtrace) by {!compile} when the manager's node
+    budget would be exceeded by the next allocation. The caller is
+    expected to abandon the manager and fall back to the solve
+    planner's next tier — the knowledge-compilation analogue of the
+    [Int_overflow] abort-and-retry in [Tables.convolve]. *)
 
 type manager
 (** Unique node table + formula-keyed compile cache + counting memo.
     Not domain-safe; formulas must come from the store it was created
     over. *)
 
-val create : ?cache:bool -> Formula.store -> manager
+val create : ?cache:bool -> ?budget:int -> Formula.store -> manager
 (** [cache] (default [true]) enables the formula-keyed compile cache;
     disabling it re-expands shared sub-formulas (exponentially slower,
-    semantically identical — a qcheck invariant). *)
+    semantically identical — a qcheck invariant). [budget] caps the
+    number of decision nodes the manager may ever allocate; exceeding
+    it raises {!Budget_exceeded} and bumps the [budget_aborts]
+    counter. *)
 
 val compile : manager -> Formula.t -> node
 
@@ -76,6 +92,7 @@ type stats = {
   cache_misses : int;  (** sub-formulas actually expanded *)
   compiles : int;  (** circuits compiled *)
   wmc_passes : int;  (** conditioned counting passes *)
+  budget_aborts : int;  (** compilations aborted at the node budget *)
   compile_s : float;  (** time spent compiling *)
   wmc_s : float;  (** time spent counting *)
 }

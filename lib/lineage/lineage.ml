@@ -227,15 +227,16 @@ let check_supported alpha =
          (Aggregate.to_string alpha))
 
 (* Shared solve core: compile each merged event once, then fill the
-   requested player columns. *)
-let solve ?(cache = true) (a : Agg_query.t) db select =
+   requested player columns. [budget] caps the total d-DNNF node count
+   across all events; Ddnnf.Budget_exceeded escapes to the caller. *)
+let solve ?(cache = true) ?budget (a : Agg_query.t) db select =
   check_supported a.Agg_query.alpha;
   let ext = extract a db in
   let n = Array.length ext.players in
   let acc = Array.make (max n 1) Q.zero in
   if n > 0 then begin
     let evs = merge_events (events a.Agg_query.alpha ext.store ext.answers) in
-    let mgr = Ddnnf.create ~cache ext.store in
+    let mgr = Ddnnf.create ~cache ?budget ext.store in
     List.iter
       (fun (c, fml) ->
         let circuit = Ddnnf.compile mgr fml in
@@ -248,11 +249,11 @@ let solve ?(cache = true) (a : Agg_query.t) db select =
   end;
   (ext.players, acc)
 
-let shapley_all ?cache (a : Agg_query.t) db =
-  let players, acc = solve ?cache a db (fun _ -> true) in
+let shapley_all ?cache ?budget (a : Agg_query.t) db =
+  let players, acc = solve ?cache ?budget a db (fun _ -> true) in
   Array.to_list (Array.mapi (fun i f -> (f, acc.(i))) players)
 
-let shapley ?cache (a : Agg_query.t) db f =
+let shapley ?cache ?budget (a : Agg_query.t) db f =
   match Database.provenance db f with
   | Some Database.Endogenous ->
     let target =
@@ -262,6 +263,6 @@ let shapley ?cache (a : Agg_query.t) db f =
       in
       idx 0 (Database.endogenous db)
     in
-    let _, acc = solve ?cache a db (fun p -> p = target) in
+    let _, acc = solve ?cache ?budget a db (fun p -> p = target) in
     acc.(target)
   | _ -> invalid_arg ("Lineage.shapley: fact is not endogenous: " ^ Fact.to_string f)

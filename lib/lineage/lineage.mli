@@ -44,22 +44,27 @@ val events :
 
 val shapley_all :
   ?cache:bool ->
+  ?budget:int ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   (Aggshap_relational.Fact.t * Aggshap_arith.Rational.t) list
 (** Exact Shapley values of all endogenous facts, in
     [Database.endogenous] order. [cache] (default [true]) toggles the
     compiler's formula-keyed cache — results are identical either way
-    (a qcheck invariant).
+    (a qcheck invariant). [budget] caps the total d-DNNF node count
+    across all compiled events.
+    @raise Ddnnf.Budget_exceeded when the budget would be exceeded.
     @raise Invalid_argument on an unsupported aggregate or a
     non-localized τ. *)
 
 val shapley :
   ?cache:bool ->
+  ?budget:int ->
   Aggshap_agg.Agg_query.t ->
   Aggshap_relational.Database.t ->
   Aggshap_relational.Fact.t ->
   Aggshap_arith.Rational.t
 (** Single-fact variant: only the requested fact's counting passes run
     (compilation is shared work regardless).
+    @raise Ddnnf.Budget_exceeded when [budget] would be exceeded.
     @raise Invalid_argument if the fact is not endogenous. *)

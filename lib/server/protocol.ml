@@ -40,6 +40,7 @@ type request =
       agg : string;
       tau : string option;
       fallback : string option;
+      kc_node_budget : int option;
     }
   | Close of { session : string }
   | Ping
@@ -65,6 +66,7 @@ type response =
       frontier : string;
       within_frontier : bool;
       algorithm : string;
+      plan : string list;  (* rendered planner candidates, chosen marked *)
     }
   | Session_stats of { session : string; stats : session_stats }
   | Server_stats of {
@@ -114,14 +116,15 @@ let request_to_json = function
     Json.Obj
       (("op", Json.String "stats")
       :: opt_field "session" (fun s -> Json.String s) session)
-  | Solve_query { query; db; agg; tau; fallback } ->
+  | Solve_query { query; db; agg; tau; fallback; kc_node_budget } ->
     Json.Obj
       ([ ("op", Json.String "solve_query");
          ("query", Json.String query);
          ("db", Json.String db);
          ("agg", Json.String agg) ]
       @ opt_field "tau" (fun s -> Json.String s) tau
-      @ opt_field "fallback" (fun s -> Json.String s) fallback)
+      @ opt_field "fallback" (fun s -> Json.String s) fallback
+      @ opt_field "kc_node_budget" (fun n -> Json.Int n) kc_node_budget)
   | Close { session } ->
     Json.Obj [ ("op", Json.String "close"); ("session", Json.String session) ]
   | Ping -> Json.Obj [ ("op", Json.String "ping") ]
@@ -153,13 +156,14 @@ let response_to_json = function
     Json.Obj
       [ ("ok", Json.Bool true); ("op", Json.String "set_tau");
         ("session", Json.String session) ]
-  | Explained { session; cls; frontier; within_frontier; algorithm } ->
+  | Explained { session; cls; frontier; within_frontier; algorithm; plan } ->
     Json.Obj
       [ ("ok", Json.Bool true); ("op", Json.String "explain");
         ("session", Json.String session); ("class", Json.String cls);
         ("frontier", Json.String frontier);
         ("within_frontier", Json.Bool within_frontier);
-        ("algorithm", Json.String algorithm) ]
+        ("algorithm", Json.String algorithm);
+        ("plan", Json.List (List.map (fun l -> Json.String l) plan)) ]
   | Session_stats { session; stats } ->
     Json.Obj
       [ ("ok", Json.Bool true); ("op", Json.String "stats");
@@ -252,7 +256,8 @@ let decode_request line =
     let* agg = Json.string_field ~what "agg" j in
     let* tau = Json.opt_string_field ~what "tau" j in
     let* fallback = Json.opt_string_field ~what "fallback" j in
-    Ok (Solve_query { query; db; agg; tau; fallback })
+    let* kc_node_budget = Json.opt_int_field ~what "kc_node_budget" j in
+    Ok (Solve_query { query; db; agg; tau; fallback; kc_node_budget })
   | "close" ->
     let* session = session_of ~what j in
     Ok (Close { session })
@@ -305,7 +310,18 @@ let decode_response line =
       let* frontier = Json.string_field ~what "frontier" j in
       let* within_frontier = Json.bool_field ~what "within_frontier" j in
       let* algorithm = Json.string_field ~what "algorithm" j in
-      Ok (Explained { session; cls; frontier; within_frontier; algorithm })
+      let* plan_json = Json.list_field ~what "plan" j in
+      let* plan =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | Json.String s -> Ok (s :: acc)
+            | _ -> Error (what ^ ": plan entries must be strings"))
+          (Ok []) plan_json
+      in
+      let plan = List.rev plan in
+      Ok (Explained { session; cls; frontier; within_frontier; algorithm; plan })
     | "stats" -> (
       match Json.member "session" j with
       | Some _ ->

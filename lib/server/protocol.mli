@@ -27,6 +27,9 @@ type request =
       tau : string option;
       fallback : string option;  (** {!Api.parse_fallback} spelling; default naive.
           Monte-Carlo is rejected: the wire carries exact rationals only. *)
+      kc_node_budget : int option;
+          (** d-DNNF node budget; an aborted compilation falls down the
+              planner's degradation ladder. *)
     }
       (** Stateless one-shot solve — no session, nothing retained. The
           way to reach the exact fallback tiers (naive,
@@ -58,6 +61,9 @@ type response =
       frontier : string;
       within_frontier : bool;
       algorithm : string;
+      plan : string list;
+          (** rendered solve-planner candidates, one line each, the
+              chosen route marked with "*" *)
     }
   | Session_stats of { session : string; stats : session_stats }
   | Server_stats of {

@@ -94,14 +94,18 @@ let dispatch (st : state) (req : Protocol.request) : Protocol.response =
   | Protocol.Explain { session } ->
     respond
       (Registry.with_session reg session (fun _e s ->
-           let ex = Api.explain (Session.query s) in
+           (* The session's live database feeds the planner's cost
+              model, so the explain op shows the same candidate costs
+              a solve would plan with. *)
+           let ex = Api.explain ~db:(Session.database s) (Session.query s) in
            Ok
              (Protocol.Explained
                 { session;
                   cls = Hierarchy.cls_to_string ex.Api.cls;
                   frontier = Hierarchy.cls_to_string ex.Api.frontier;
                   within_frontier = ex.Api.within_frontier;
-                  algorithm = ex.Api.algorithm })))
+                  algorithm = ex.Api.algorithm;
+                  plan = Api.plan_lines ex })))
   | Protocol.Stats { session = Some session } ->
     respond
       (Registry.with_session reg session (fun _e s ->
@@ -121,28 +125,23 @@ let dispatch (st : state) (req : Protocol.request) : Protocol.response =
     Protocol.Server_stats
       { sessions = Registry.sessions reg; requests = st.requests;
         evictions = Registry.evictions reg; restores = Registry.restores reg }
-  | Protocol.Solve_query { query; db; agg; tau; fallback } ->
+  | Protocol.Solve_query { query; db; agg; tau; fallback; kc_node_budget } ->
     (* Stateless one-shot solve: nothing opened, nothing retained. This
-       is how the exact fallback tiers are reached over the wire —
-       sessions only exist within the tractability frontier. The wire
-       carries exact rationals only, so the Monte-Carlo fallback is
-       rejected rather than silently degrading the protocol's
-       bit-identical-to-the-CLI promise. *)
+       is how the exact fallback tiers (and the planner's auto mode)
+       are reached over the wire — sessions only exist within the
+       tractability frontier. The wire carries exact rationals only, so
+       the Monte-Carlo fallback is rejected rather than silently
+       degrading the protocol's bit-identical-to-the-CLI promise. *)
     respond
       (let* q = Api.parse_query query in
        let* db = Api.parse_database_text db in
        let* a = Api.make_agg_query ~agg ~tau q in
        let* fallback =
-         match Api.parse_fallback (Option.value fallback ~default:"naive") with
-         | Ok ((`Naive | `Knowledge_compilation | `Fail) as fb, _) -> Ok fb
-         | Ok (`Monte_carlo _, _) ->
-           Error
-             "solve_query does not take a Monte-Carlo fallback (the wire carries \
-              exact rationals only)"
-         | Error _ as e -> e
+         Api.parse_wire_fallback (Option.value fallback ~default:"naive")
        in
        let* result =
-         Api.shapley_all ~fallback ?jobs:st.config.default_jobs a db
+         Api.shapley_all ~fallback ?jobs:st.config.default_jobs ?kc_node_budget
+           a db
        in
        let values =
          List.map

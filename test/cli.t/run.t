@@ -102,15 +102,15 @@ uncaught int_of_string/of_string exception:
 So do malformed fallback specs:
 
   $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:abc
-  shapctl: malformed sample count "abc" in fallback "mc:abc" (expected a positive integer; use naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
+  shapctl: malformed sample count "abc" in fallback "mc:abc" (expected a positive integer; use auto, naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
   [1]
 
   $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:0
-  shapctl: malformed sample count "0" in fallback "mc:0" (expected a positive integer; use naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
+  shapctl: malformed sample count "0" in fallback "mc:0" (expected a positive integer; use auto, naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
   [1]
 
   $ shapctl solve -q "Q(x) <- R(x,y), S(y)" -d db.facts -a avg -t id:R:0 --fallback mc:100:x
-  shapctl: malformed seed "x" in fallback "mc:100:x" (expected an integer; use naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
+  shapctl: malformed seed "x" in fallback "mc:100:x" (expected an integer; use auto, naive, knowledge-compilation, fail, or mc:SAMPLES[:SEED])
   [1]
 
 A seeded Monte-Carlo fallback is reproducible, run to run and for every
@@ -185,6 +185,162 @@ algorithm line says so, and the answer is still exact:
   T(1, 2)                        8/35 (~ 0.228571)
   T(2, 2)                        23/70 (~ 0.328571)
 
+With --fallback auto the solve planner picks the cheapest applicable
+exact tier from the database's statistics — knowledge compilation when
+the lineage tier covers the aggregate, naive enumeration otherwise —
+and the algorithm line names the pick. The values are bit-identical to
+forcing the chosen tier by hand:
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback auto
+  class: general; algorithm: knowledge compilation (d-DNNF lineage, Shapley by weighted model counting) (selected by the solve planner)
+  R(1)                           17/70 (~ 0.242857)
+  R(2)                           23/210 (~ 0.109524)
+  S(1)                           23/210 (~ 0.109524)
+  S(2)                           17/70 (~ 0.242857)
+  T(1, 1)                        23/210 (~ 0.109524)
+  T(1, 2)                        8/105 (~ 0.0761905)
+  T(2, 2)                        23/210 (~ 0.109524)
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a avg -t const:R:3 --fallback auto
+  class: general; algorithm: naive enumeration (exponential) (selected by the solve planner)
+  R(1)                           51/70 (~ 0.728571)
+  R(2)                           23/70 (~ 0.328571)
+  S(1)                           23/70 (~ 0.328571)
+  S(2)                           51/70 (~ 0.728571)
+  T(1, 1)                        23/70 (~ 0.328571)
+  T(1, 2)                        8/35 (~ 0.228571)
+  T(2, 2)                        23/70 (~ 0.328571)
+
+explain shows the whole plan: every candidate route, its cost estimate
+(fed by the database's segment statistics when a database is given),
+and why the planner took or rejected it:
+
+  $ shapctl explain -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback auto
+  query: Q() <- R(x), T(x, y), S(y)
+  aggregate: count
+  
+  hierarchy chain (each class contains the next):
+    exists-hierarchical  no
+    all-hierarchical     no
+    q-hierarchical       no
+    sq-hierarchical      no
+  class: general
+  
+  frontier of count: exists-hierarchical
+  within frontier: no (#P-hard)
+  algorithm: knowledge compilation (d-DNNF lineage, Shapley by weighted model counting) (selected by the solve planner)
+  
+  solve plan (* = chosen):
+    - frontier-dp (not applicable, cost n/a): the query is general but the count frontier is exists-hierarchical
+    * knowledge-compilation (applicable, cost ~407): exact; exponential only in the lineage's branching structure
+    - naive (applicable, cost ~896): exact enumeration over all 2^n subsets; always applicable
+    - mc (not applicable, cost n/a): approximate; never auto-selected (force with mc:SAMPLES[:SEED])
+    - fail (not applicable, cost n/a): diagnostic: raise instead of solving outside the frontier
+  
+  engine decomposition:
+  stuck: no root variable (not hierarchical): Q() <- R(x), T(x, y), S(y)
+
+--json emits the same explanation as one machine-readable object:
+
+  $ shapctl explain -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback auto --json
+  {
+    "query": "Q() <- R(x), T(x, y), S(y)",
+    "aggregate": "count",
+    "chain": [
+      {
+        "class": "exists-hierarchical",
+        "holds": false
+      },
+      {
+        "class": "all-hierarchical",
+        "holds": false
+      },
+      {
+        "class": "q-hierarchical",
+        "holds": false
+      },
+      {
+        "class": "sq-hierarchical",
+        "holds": false
+      }
+    ],
+    "class": "general",
+    "frontier": "exists-hierarchical",
+    "within_frontier": false,
+    "algorithm": "knowledge compilation (d-DNNF lineage, Shapley by weighted model counting) (selected by the solve planner)",
+    "plan": {
+      "fallback": "auto",
+      "chosen": "knowledge-compilation",
+      "algorithm": "knowledge compilation (d-DNNF lineage, Shapley by weighted model counting) (selected by the solve planner)",
+      "ladder": [
+        "knowledge-compilation",
+        "naive"
+      ],
+      "candidates": [
+        {
+          "strategy": "frontier-dp",
+          "algorithm": "sum/count via linearity + Boolean DP",
+          "applicable": false,
+          "reason": "the query is general but the count frontier is exists-hierarchical"
+        },
+        {
+          "strategy": "knowledge-compilation",
+          "algorithm": "knowledge compilation (d-DNNF lineage, Shapley by weighted model counting)",
+          "applicable": true,
+          "cost": 407.0,
+          "reason": "exact; exponential only in the lineage's branching structure"
+        },
+        {
+          "strategy": "naive",
+          "algorithm": "naive enumeration (exponential)",
+          "applicable": true,
+          "cost": 896.0,
+          "reason": "exact enumeration over all 2^n subsets; always applicable"
+        },
+        {
+          "strategy": "mc",
+          "algorithm": "Monte-Carlo permutation sampling",
+          "applicable": false,
+          "reason": "approximate; never auto-selected (force with mc:SAMPLES[:SEED])"
+        },
+        {
+          "strategy": "fail",
+          "algorithm": "none (outside the frontier, fallback disabled)",
+          "applicable": false,
+          "reason": "diagnostic: raise instead of solving outside the frontier"
+        }
+      ],
+      "stats": {
+        "endogenous": 7,
+        "facts": 7,
+        "relations": 3
+      }
+    }
+  }
+  
+
+A node budget caps the knowledge-compilation tier. A compilation that
+would exceed it aborts mid-solve, the solve degrades to the next rung
+of the planner's ladder — still exact, the algorithm line says what
+happened — and the abort shows up in the kernel counters:
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback knowledge-compilation --kc-node-budget 5
+  class: general; algorithm: naive enumeration (exponential) (after a knowledge-compilation node-budget abort)
+  R(1)                           17/70 (~ 0.242857)
+  R(2)                           23/210 (~ 0.109524)
+  S(1)                           23/210 (~ 0.109524)
+  S(2)                           17/70 (~ 0.242857)
+  T(1, 1)                        23/210 (~ 0.109524)
+  T(1, 2)                        8/105 (~ 0.0761905)
+  T(2, 2)                        23/210 (~ 0.109524)
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback kc --kc-node-budget 5 --stats 2>&1 | grep kc_budget_aborts
+    kc_budget_aborts   1
+
+  $ shapctl solve -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --kc-node-budget 0
+  shapctl: --kc-node-budget must be at least 1 (got 0)
+  [1]
+
 The differential-testing oracle replays a fixed seed deterministically:
 
   $ shapctl fuzz --seed 42 --trials 25
@@ -204,8 +360,16 @@ supported trial (inside the frontier too):
   fuzz: seed=42 trials=25 max-endo=8
   fuzz: 25 trials, 0 failures
 
+With --fallback auto the fuzzer cross-checks the solve planner's pick
+against naive enumeration on every trial, inside the frontier too:
+
+  $ shapctl fuzz --seed 42 --trials 25 --fallback auto
+  fuzz: planner auto mode cross-checked against naive on every trial
+  fuzz: seed=42 trials=25 max-endo=8
+  fuzz: 25 trials, 0 failures
+
   $ shapctl fuzz --seed 42 --trials 5 --fallback mc:100
-  shapctl: fuzz --fallback takes naive or knowledge-compilation (got "mc:100")
+  shapctl: fuzz --fallback takes naive, knowledge-compilation, or auto (got "mc:100")
   [1]
 
 The incremental session replays an update script through a live solver,

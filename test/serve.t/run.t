@@ -79,6 +79,12 @@ Explain and per-session statistics:
   frontier: exists-hierarchical
   within frontier: yes (polynomial)
   algorithm: sum/count via linearity + Boolean DP
+  plan (* = chosen):
+    * frontier-dp (applicable, cost ~26): inside the frontier; polynomial in the database
+    - knowledge-compilation (applicable, cost ~189): exact; exponential only in the lineage's branching structure
+    - naive (applicable, cost ~160): exact enumeration over all 2^n subsets; always applicable
+    - mc (not applicable, cost n/a): approximate; never auto-selected (force with mc:SAMPLES[:SEED])
+    - fail (not applicable, cost n/a): diagnostic: raise instead of solving outside the frontier
   $ shapctl client stats alice --socket $S
   session alice: steps=4 games=6 computed/3 reused flushes=0 facts=6 endogenous=5
   $ shapctl client stats --socket $S
@@ -119,12 +125,44 @@ is bit-identical to `shapctl solve` on the same inputs:
   T(1, 2)                        8/105 (~ 0.0761905)
   T(2, 2)                        23/210 (~ 0.109524)
 
+--fallback auto reaches the same solve planner over the wire, and a
+knowledge-compilation node budget rides along with the request — an
+aborted compilation degrades to the planner's next rung server-side,
+still bit-identical to the CLI:
+
+  $ shapctl client solve-query --socket $S -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback auto
+  algorithm: knowledge compilation (d-DNNF lineage, Shapley by weighted model counting) (selected by the solve planner)
+  R(1)                         17/70
+  R(2)                         23/210
+  S(1)                         23/210
+  S(2)                         17/70
+  T(1, 1)                      23/210
+  T(1, 2)                      8/105
+  T(2, 2)                      23/210
+
+  $ shapctl client solve-query --socket $S -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback knowledge-compilation --kc-node-budget 5
+  algorithm: naive enumeration (exponential) (after a knowledge-compilation node-budget abort)
+  R(1)                         17/70
+  R(2)                         23/210
+  S(1)                         23/210
+  S(2)                         17/70
+  T(1, 1)                      23/210
+  T(1, 2)                      8/105
+  T(2, 2)                      23/210
+
 The wire carries exact rationals only, so the Monte-Carlo fallback is
-rejected rather than silently degrading that promise:
+rejected rather than silently degrading that promise — with the same
+message, and the connection's request line number, whether it arrives
+through the client or as a raw request:
 
   $ shapctl client solve-query --socket $S -q "Q() <- R(x), T(x, y), S(y)" -d rst.facts -a count --fallback mc:100
   shapctl: server error (line 1): solve_query does not take a Monte-Carlo fallback (the wire carries exact rationals only)
   [1]
+
+  $ printf '{"op":"ping"}\n{"op":"solve_query","query":"Q(x) <- R(x)","db":"R(1)","agg":"count","fallback":"mc:50"}\n{"op":"ping"}' | shapctl client raw --socket $S
+  {"ok": true, "op": "ping"}
+  {"ok": false, "line": 2, "error": "solve_query does not take a Monte-Carlo fallback (the wire carries exact rationals only)"}
+  {"ok": true, "op": "ping"}
 
 Malformed requests get error replies carrying the connection's request
 line number; the final line has no trailing newline and is still

@@ -74,7 +74,8 @@ let test_injected_fault_is_caught () =
     ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
-        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
+        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false;
+          auto_always = false }
       in
       let report = Fuzz.run config in
       match report.Fuzz.failures with
@@ -152,7 +153,7 @@ let test_ddnnf_cache_poison_is_caught () =
     (fun () ->
       let config =
         { Fuzz.seed = 42; trials = 300; max_endo = 6; par_jobs = 1; max_failures = 1;
-          kc_always = true }
+          kc_always = true; auto_always = false }
       in
       let report = Fuzz.run config in
       match report.Fuzz.failures with
@@ -179,12 +180,48 @@ let test_ddnnf_cache_poison_is_caught () =
               (Oracle.run ~par_jobs:1 ~kc_always:true smaller = None))
           (Database.facts shrunk.Trial.db))
 
+(* `Kc_budget_leak breaks the node-budget abort path: instead of
+   raising Budget_exceeded past the cap, the compiler silently truncates
+   further expansion to False — under-counted models, wrong Shapley
+   values. The kc-vs-naive differential check must catch it and shrink
+   to a 1-minimal reproducer. *)
+let test_kc_budget_leak_is_caught () =
+  assert (Tables.current_fault () = `None);
+  Tables.set_fault `Kc_budget_leak;
+  Fun.protect
+    ~finally:(fun () -> Tables.set_fault `None)
+    (fun () ->
+      let config =
+        { Fuzz.seed = 42; trials = 300; max_endo = 6; par_jobs = 1; max_failures = 1;
+          kc_always = true; auto_always = false }
+      in
+      let report = Fuzz.run config in
+      match report.Fuzz.failures with
+      | [] -> Alcotest.fail "injected budget leak survived 300 trials undetected"
+      | { Fuzz.trial; shrunk; shrunk_failure; _ } :: _ ->
+        Alcotest.(check string) "caught by the kc differential check" "kc-vs-naive"
+          shrunk_failure.Oracle.check;
+        Alcotest.(check bool) "shrunk still fails" true
+          (Oracle.run ~par_jobs:1 ~kc_always:true shrunk <> None);
+        Alcotest.(check bool) "shrunk is no bigger" true
+          (Database.size shrunk.Trial.db <= Database.size trial.Trial.db);
+        List.iter
+          (fun fact ->
+            let smaller =
+              { shrunk with Trial.db = Database.remove fact shrunk.Trial.db }
+            in
+            Alcotest.(check bool)
+              ("removing " ^ Aggshap_relational.Fact.to_string fact ^ " un-fails")
+              true
+              (Oracle.run ~par_jobs:1 ~kc_always:true smaller = None))
+          (Database.facts shrunk.Trial.db))
+
 (* With the fault cleared, the same campaign is clean: the flag was the
    only source of the kc-vs-naive disagreements. *)
 let test_ddnnf_fault_flag_is_isolated () =
   let config =
     { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1;
-      kc_always = true }
+      kc_always = true; auto_always = false }
   in
   let report = Fuzz.run config in
   Alcotest.(check int) "clean without the fault" 0 (List.length report.Fuzz.failures)
@@ -239,7 +276,8 @@ let test_stale_block_is_caught () =
     ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
-        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
+        { Fuzz.seed = 42; trials = 100; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false;
+          auto_always = false }
       in
       let report = Fuzz.run_updates config in
       match report.Fuzz.ufailures with
@@ -302,7 +340,8 @@ let test_stale_index_is_caught () =
     ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
-        { Fuzz.seed = 42; trials = 300; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
+        { Fuzz.seed = 42; trials = 300; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false;
+          auto_always = false }
       in
       let report = Fuzz.run_updates config in
       match report.Fuzz.ufailures with
@@ -319,7 +358,8 @@ let test_stale_index_is_caught () =
 
 let test_stale_block_flag_is_isolated () =
   let config =
-    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
+    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false;
+          auto_always = false }
   in
   let report = Fuzz.run_updates config in
   Alcotest.(check int) "clean without the fault" 0 (List.length report.Fuzz.ufailures)
@@ -337,7 +377,8 @@ let test_kernel_fault_is_caught fault trials () =
     ~finally:(fun () -> Tables.set_fault `None)
     (fun () ->
       let config =
-        { Fuzz.seed = 42; trials; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
+        { Fuzz.seed = 42; trials; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false;
+          auto_always = false }
       in
       let report = Fuzz.run config in
       match report.Fuzz.failures with
@@ -354,7 +395,8 @@ let test_kernel_fault_is_caught fault trials () =
    the flag really was the only source of the disagreements. *)
 let test_fault_flag_is_isolated () =
   let config =
-    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false }
+    { Fuzz.seed = 42; trials = 20; max_endo = 6; par_jobs = 1; max_failures = 1; kc_always = false;
+          auto_always = false }
   in
   let report = Fuzz.run config in
   Alcotest.(check int) "clean without the fault" 0 (List.length report.Fuzz.failures)
@@ -377,6 +419,8 @@ let () =
             test_lineage_corpus_replays_clean;
           Alcotest.test_case "ddnnf cache-poison caught and shrunk" `Slow
             test_ddnnf_cache_poison_is_caught;
+          Alcotest.test_case "kc budget-leak caught and shrunk" `Slow
+            test_kc_budget_leak_is_caught;
           Alcotest.test_case "ddnnf fault flag isolated" `Quick
             test_ddnnf_fault_flag_is_isolated;
         ] );

@@ -1,0 +1,299 @@
+(* The solve planner (Strategy): pinned route choices, the auto mode's
+   bit-identity with the exact tiers it picks from, the node-budget
+   degradation ladder, and the explain --json encoding. *)
+
+module Q = Aggshap_arith.Rational
+module Fact = Aggshap_relational.Fact
+module Database = Aggshap_relational.Database
+module Agg_query = Aggshap_agg.Agg_query
+module Strategy = Aggshap_core.Strategy
+module Solver = Aggshap_core.Solver
+module Ddnnf = Aggshap_lineage.Ddnnf
+module Api = Aggshap_api.Api
+module Json = Aggshap_json.Json
+module Trial = Aggshap_check.Trial
+module Fuzz = Aggshap_check.Fuzz
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let agg_query ?tau:(tau_s = None) ~agg q_s =
+  let q = Result.get_ok (Api.parse_query q_s) in
+  Result.get_ok (Api.make_agg_query ~agg ~tau:tau_s q)
+
+(* Q() <- R(x), T(x, y), S(y) is the minimal non-hierarchical triangle:
+   outside every frontier, so the planner actually chooses. *)
+let rst agg = agg_query ~agg "Q() <- R(x), T(x, y), S(y)"
+
+(* Q(x) <- R(x, y), S(y) is all-hierarchical: inside the frontier for
+   sum/count/min/max/cdist. *)
+let rs agg = agg_query ~agg "Q(x) <- R(x,y), S(y)"
+
+let stats ~endo = { Strategy.endo; facts = endo; relations = 3 }
+
+let rst_db =
+  List.fold_left
+    (fun db f -> Database.add f db)
+    Database.empty
+    [ Fact.make "R" [ Aggshap_relational.Value.Int 1 ];
+      Fact.make "R" [ Aggshap_relational.Value.Int 2 ];
+      Fact.make "T" Aggshap_relational.Value.[ Int 1; Int 1 ];
+      Fact.make "T" Aggshap_relational.Value.[ Int 1; Int 2 ];
+      Fact.make "T" Aggshap_relational.Value.[ Int 2; Int 2 ];
+      Fact.make "S" [ Aggshap_relational.Value.Int 1 ];
+      Fact.make "S" [ Aggshap_relational.Value.Int 2 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Pinned planner choices                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The regression table: (description, query, fallback, stats, expected
+   route, expected ladder). Pinning the table means a cost-model change
+   has to come here and justify itself. *)
+let choice_table =
+  [ ("within frontier: DP regardless of stats", rs "sum", `Auto,
+     Some (stats ~endo:50), Strategy.Frontier_dp, [ Strategy.Frontier_dp ]);
+    ("auto, tiny instance: naive beats kc below the crossover", rst "count",
+     `Auto, Some (stats ~endo:4), Strategy.Naive, [ Strategy.Naive ]);
+    ("auto, crossover at n=6: kc from here on", rst "count", `Auto,
+     Some (stats ~endo:6), Strategy.Knowledge_compilation,
+     [ Strategy.Knowledge_compilation; Strategy.Naive ]);
+    ("auto, larger instance: kc wins clearly", rst "count", `Auto,
+     Some (stats ~endo:14), Strategy.Knowledge_compilation,
+     [ Strategy.Knowledge_compilation; Strategy.Naive ]);
+    ("auto without stats: kc when supported", rst "count", `Auto, None,
+     Strategy.Knowledge_compilation,
+     [ Strategy.Knowledge_compilation; Strategy.Naive ]);
+    ("auto on an unsupported aggregate: naive", rst "avg", `Auto,
+     Some (stats ~endo:14), Strategy.Naive, [ Strategy.Naive ]);
+    ("forced naive", rst "count", `Naive, Some (stats ~endo:14),
+     Strategy.Naive, [ Strategy.Naive ]);
+    ("forced kc: ladder ends in naive", rst "count", `Knowledge_compilation,
+     Some (stats ~endo:4), Strategy.Knowledge_compilation,
+     [ Strategy.Knowledge_compilation; Strategy.Naive ]);
+    ("forced kc on an unsupported aggregate: naive", rst "avg",
+     `Knowledge_compilation, Some (stats ~endo:14), Strategy.Naive,
+     [ Strategy.Naive ]);
+    ("forced mc", rst "count", `Monte_carlo 50, Some (stats ~endo:14),
+     Strategy.Monte_carlo 50, [ Strategy.Monte_carlo 50 ]);
+    ("forced fail", rst "count", `Fail, Some (stats ~endo:14), Strategy.Fail,
+     [ Strategy.Fail ]) ]
+
+let test_pinned_choices () =
+  List.iter
+    (fun (descr, a, fallback, stats, chosen, ladder) ->
+      let p = Strategy.plan ?stats ~fallback a in
+      Alcotest.(check string) (descr ^ ": chosen route")
+        (Strategy.route_label chosen)
+        (Strategy.route_label p.Strategy.chosen);
+      Alcotest.(check (list string)) (descr ^ ": ladder")
+        (List.map Strategy.route_label ladder)
+        (List.map Strategy.route_label p.Strategy.ladder);
+      Alcotest.(check bool) (descr ^ ": chosen heads the ladder") true
+        (List.hd p.Strategy.ladder = p.Strategy.chosen))
+    choice_table
+
+let test_algorithm_strings () =
+  let check descr expected plan =
+    Alcotest.(check string) descr expected plan.Strategy.algorithm
+  in
+  check "auto pick carries the planner marker"
+    "knowledge compilation (d-DNNF lineage, Shapley by weighted model \
+     counting) (selected by the solve planner)"
+    (Strategy.plan ~fallback:`Auto (rst "count"));
+  check "forced kc keeps the historical name"
+    "knowledge compilation (d-DNNF lineage, Shapley by weighted model \
+     counting)"
+    (Strategy.plan ~fallback:`Knowledge_compilation (rst "count"));
+  check "forced kc on avg keeps the legacy degradation wording"
+    "naive enumeration (exponential; knowledge compilation does not cover avg)"
+    (Strategy.plan ~fallback:`Knowledge_compilation (rst "avg"));
+  check "within the frontier the DP name is unchanged"
+    "sum/count via linearity + Boolean DP"
+    (Strategy.plan ~fallback:`Auto (rs "sum"))
+
+let test_candidates_shape () =
+  let p = Strategy.plan ~stats:(stats ~endo:7) ~fallback:`Auto (rst "count") in
+  Alcotest.(check (list string)) "fixed candidate order"
+    [ "frontier-dp"; "knowledge-compilation"; "naive"; "mc"; "fail" ]
+    (List.map
+       (fun c -> Strategy.route_label c.Strategy.route)
+       p.Strategy.candidates);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Strategy.route_label c.Strategy.route ^ " has a reason")
+        true
+        (String.length c.Strategy.reason > 0))
+    p.Strategy.candidates;
+  let lines = Strategy.render_candidates p in
+  Alcotest.(check int) "one line per candidate"
+    (List.length p.Strategy.candidates)
+    (List.length lines);
+  Alcotest.(check int) "exactly one line is starred" 1
+    (List.length
+       (List.filter (fun l -> String.length l > 0 && l.[0] = '*') lines))
+
+(* Exact applicable costs are monotone in what they model: the DP stays
+   below KC, and naive overtakes KC from the crossover on. *)
+let test_cost_model () =
+  Alcotest.(check bool) "crossover sits at n = 6" true
+    (Strategy.kc_cost 6 <= Strategy.naive_cost 6
+    && Strategy.kc_cost 5 > Strategy.naive_cost 5);
+  for n = 1 to 20 do
+    Alcotest.(check bool) "dp is the cheapest exact tier" true
+      (Strategy.dp_cost n <= Strategy.kc_cost n)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Auto is bit-identical to the exact tiers on the pinned corpora      *)
+(* ------------------------------------------------------------------ *)
+
+let exact = function
+  | Solver.Exact v -> v
+  | Solver.Estimate _ -> Alcotest.fail "expected an exact outcome"
+
+let solve_all ~fallback a db =
+  List.map (fun (f, o) -> (f, exact o)) (fst (Solver.shapley_all ~fallback ~jobs:1 a db))
+
+let check_bit_identical descr reference candidate =
+  Alcotest.(check bool) descr true
+    (List.length reference = List.length candidate
+    && List.for_all2
+         (fun (f1, v1) (f2, v2) -> Fact.equal f1 f2 && Q.equal v1 v2)
+         reference candidate)
+
+(* Every corpus trial: auto must equal naive (and thereby every exact
+   tier the oracle already cross-checks) to the last bit. *)
+let test_auto_identical_on_corpora () =
+  let seeds =
+    Fuzz.parse_corpus (read_file "fuzz.corpus")
+    @ Fuzz.parse_corpus (read_file "lineage.corpus")
+  in
+  List.iter
+    (fun seed ->
+      let trial = Trial.generate ~seed () in
+      let a = Trial.agg_query trial in
+      let db = trial.Trial.db in
+      if Database.endo_size db > 0 then
+        check_bit_identical
+          (Printf.sprintf "seed %d: auto = naive" seed)
+          (solve_all ~fallback:`Naive a db)
+          (solve_all ~fallback:`Auto a db))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Node-budget degradation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_abort_degrades_exactly () =
+  let a = rst "count" in
+  let reference = solve_all ~fallback:`Naive a rst_db in
+  let before = (Ddnnf.stats ()).Ddnnf.budget_aborts in
+  let results, report =
+    Solver.shapley_all ~fallback:`Knowledge_compilation ~jobs:1
+      ~kc_node_budget:5 a rst_db
+  in
+  check_bit_identical "degraded solve equals naive" reference
+    (List.map (fun (f, o) -> (f, exact o)) results);
+  Alcotest.(check string) "report names the abort"
+    "naive enumeration (exponential) (after a knowledge-compilation \
+     node-budget abort)"
+    report.Solver.algorithm;
+  Alcotest.(check bool) "the abort was counted" true
+    ((Ddnnf.stats ()).Ddnnf.budget_aborts > before)
+
+let test_budget_large_enough_is_silent () =
+  let a = rst "count" in
+  let no_budget = solve_all ~fallback:`Knowledge_compilation a rst_db in
+  let results, report =
+    Solver.shapley_all ~fallback:`Knowledge_compilation ~jobs:1
+      ~kc_node_budget:100_000 a rst_db
+  in
+  check_bit_identical "same values under a roomy budget" no_budget
+    (List.map (fun (f, o) -> (f, exact o)) results);
+  Alcotest.(check string) "no abort in the report"
+    "knowledge compilation (d-DNNF lineage, Shapley by weighted model \
+     counting)"
+    report.Solver.algorithm
+
+(* The per-fact path degrades identically to the batch. *)
+let test_budget_abort_per_fact () =
+  let a = rst "count" in
+  let f = Fact.make "R" [ Aggshap_relational.Value.Int 1 ] in
+  let outcome, report = Solver.shapley ~fallback:`Auto ~kc_node_budget:5 a rst_db f in
+  let reference = List.assoc f (solve_all ~fallback:`Naive a rst_db) in
+  Alcotest.(check bool) "value equals naive" true (Q.equal reference (exact outcome));
+  Alcotest.(check string) "report names the abort"
+    "naive enumeration (exponential) (after a knowledge-compilation \
+     node-budget abort)"
+    report.Solver.algorithm
+
+(* ------------------------------------------------------------------ *)
+(* explain --json round-trips                                          *)
+(* ------------------------------------------------------------------ *)
+
+let explanation_json ?db ?kc_node_budget ~fallback a =
+  Api.explanation_to_json a (Api.explain ~fallback ?db ?kc_node_budget a)
+
+let json_round_trips descr j =
+  match Json.parse (Json.to_line j) with
+  | Ok j' -> Alcotest.(check bool) (descr ^ ": round-trips") true (j = j')
+  | Error msg -> Alcotest.failf "%s: parse error: %s" descr msg
+
+let test_explain_json_pinned () =
+  json_round_trips "auto with stats"
+    (explanation_json ~db:rst_db ~fallback:`Auto (rst "count"));
+  json_round_trips "auto without stats" (explanation_json ~fallback:`Auto (rst "count"));
+  json_round_trips "budgeted kc"
+    (explanation_json ~db:rst_db ~kc_node_budget:5 ~fallback:`Knowledge_compilation
+       (rst "count"));
+  json_round_trips "within frontier" (explanation_json ~fallback:`Auto (rs "sum"));
+  json_round_trips "mc request" (explanation_json ~fallback:(`Monte_carlo 50) (rst "avg"))
+
+(* Any generated trial's explanation encodes to a single JSON line that
+   parses back to the same value — the costs go through the float
+   emitter, so this pins its integer-exactness too. *)
+let test_explain_json_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"explain --json round-trips on random trials"
+       ~count:200
+       QCheck.(make Gen.(int_range 0 1_000_000))
+       (fun seed ->
+         let trial = Trial.generate ~seed () in
+         let a = Trial.agg_query trial in
+         let j =
+           Api.explanation_to_json a
+             (Api.explain ~fallback:`Auto ~db:trial.Trial.db a)
+         in
+         let line = Json.to_line j in
+         (not (String.contains line '\n'))
+         &&
+         match Json.parse line with
+         | Ok j' -> j = j'
+         | Error msg -> QCheck.Test.fail_reportf "parse error: %s" msg))
+
+let () =
+  Alcotest.run "planner"
+    [ ("choices",
+       [ Alcotest.test_case "pinned route table" `Quick test_pinned_choices;
+         Alcotest.test_case "algorithm strings" `Quick test_algorithm_strings;
+         Alcotest.test_case "candidate rendering" `Quick test_candidates_shape;
+         Alcotest.test_case "cost model" `Quick test_cost_model ]);
+      ("auto equivalence",
+       [ Alcotest.test_case "bit-identical on the corpora" `Slow
+           test_auto_identical_on_corpora ]);
+      ("node budget",
+       [ Alcotest.test_case "abort degrades exactly" `Quick
+           test_budget_abort_degrades_exactly;
+         Alcotest.test_case "roomy budget is silent" `Quick
+           test_budget_large_enough_is_silent;
+         Alcotest.test_case "per-fact path degrades too" `Quick
+           test_budget_abort_per_fact ]);
+      ("explain json",
+       [ Alcotest.test_case "pinned shapes round-trip" `Quick
+           test_explain_json_pinned;
+         test_explain_json_qcheck ]) ]

@@ -108,10 +108,12 @@ let arb_response =
           (list_size (int_range 0 5) (pair s s));
         map2 (fun session applied -> Protocol.Updated { session; applied }) s nat;
         map (fun session -> Protocol.Tau_set { session }) s;
-        map
-          (fun (session, cls, frontier, within_frontier, algorithm) ->
-            Protocol.Explained { session; cls; frontier; within_frontier; algorithm })
-          (tup5 s s s bool s);
+        map2
+          (fun (session, cls, frontier, within_frontier, algorithm) plan ->
+            Protocol.Explained
+              { session; cls; frontier; within_frontier; algorithm; plan })
+          (tup5 s s s bool s)
+          (list_size (int_range 0 5) s);
         map2
           (fun session (steps, games_computed, games_reused, full_recomputes, facts) ->
             Protocol.Session_stats
